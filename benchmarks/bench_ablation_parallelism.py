@@ -1,0 +1,66 @@
+"""Design-choice ablation: CLP vs rPLP parallelization (Section 4.3).
+
+Not a numbered figure in the paper, but the argument behind BTS's
+central architectural decision: coefficient-level parallelism keeps all
+2,048 PEs busy at every multiplicative level, while residue-polynomial-
+level parallelism (the F1/HEAX approach) starves PEs whenever the live
+limb count drops below the PE count.  Measured over the real
+bootstrapping-heavy op trace.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.parallelism import (
+    clp_utilization,
+    compare_over_trace,
+    ntt_split_exchange_rounds,
+    rplp_utilization,
+)
+from repro.ckks.params import CkksParams
+from repro.workloads.microbench import amortized_mult_workload
+
+
+def compute_ablation() -> dict:
+    rows = []
+    for params in CkksParams.paper_instances():
+        wl = amortized_mult_workload(params)
+        # rPLP sized for the max-level working base (k+L+1 limbs)
+        cmp = compare_over_trace(params, wl.trace,
+                                 n_pe=params.k + params.l + 1)
+        rows.append({
+            "instance": params.name,
+            "rplp_pe": cmp.n_pe,
+            "rplp_mean": cmp.rplp_mean,
+            "rplp_worst": cmp.rplp_worst,
+            "clp": cmp.clp,
+            "advantage": cmp.clp_advantage,
+        })
+    levels = {lvl: rplp_utilization(lvl, 56) for lvl in (1, 7, 27, 55)}
+    return {"rows": rows, "per_level": levels,
+            "ntt_rounds": {d: ntt_split_exchange_rounds(d)
+                           for d in (2, 3, 4)}}
+
+
+def _print(result: dict) -> None:
+    print("\nAblation - CLP vs rPLP PE utilization over the Eq. 8 trace")
+    print(f"{'inst':<7} {'rPLP PEs':>9} {'rPLP mean':>10} "
+          f"{'rPLP worst':>11} {'CLP':>6} {'CLP adv':>8}")
+    for r in result["rows"]:
+        print(f"{r['instance']:<7} {r['rplp_pe']:>9} "
+              f"{100 * r['rplp_mean']:>9.1f}% "
+              f"{100 * r['rplp_worst']:>10.1f}% "
+              f"{100 * r['clp']:>5.0f}% {r['advantage']:>7.2f}x")
+    print("rPLP utilization by level (56 PEs):",
+          {k: f"{100 * v:.0f}%" for k, v in result["per_level"].items()})
+    print("NTT split exchange rounds:", result["ntt_rounds"],
+          "(3D = 2 rounds is BTS's choice)")
+
+
+def bench_ablation_parallelism(benchmark):
+    result = benchmark.pedantic(compute_ablation, rounds=1, iterations=1)
+    _print(result)
+    for r in result["rows"]:
+        assert r["clp"] > 0.99           # N >> n_PE: near-perfect balance
+        assert r["advantage"] > 1.2      # CLP's load-balance win
+        assert r["rplp_worst"] < 0.25    # low-level ops starve rPLP
+    assert result["ntt_rounds"][3] == 2

@@ -1,0 +1,79 @@
+"""Fig. 10: bootstrapping time breakdown and EDAP vs scratchpad size.
+
+Sweeps the scratchpad from 192MB to 1GB on INS-1, simulating two
+back-to-back bootstrap invocations (steady state), and reports the
+per-op-kind time split plus the energy-delay-area product.
+"""
+
+from __future__ import annotations
+
+from repro.ckks.params import CkksParams
+from repro.core.config import MIB, BtsConfig
+from repro.core.power import AreaPowerModel
+from repro.core.simulator import BtsSimulator
+from repro.workloads.bootstrap_trace import BootstrapTraceBuilder
+from repro.workloads.trace import Trace
+
+
+SWEEP_MIB = (192, 256, 320, 384, 448, 512, 768, 1024, 1536)
+
+
+def compute_fig10() -> list[dict]:
+    params = CkksParams.ins1()
+    rows = []
+    for mib in SWEEP_MIB:
+        config = BtsConfig.paper().with_scratchpad(mib * MIB)
+        trace = Trace(name="boot-sweep")
+        builder = BootstrapTraceBuilder(params)
+        ct = trace.new_ct()
+        for _ in range(2):
+            ct = builder.emit(trace, ct)
+        sim = BtsSimulator(params, config)
+        rep = sim.run(trace)
+        per_boot = rep.total_seconds / 2
+        power = AreaPowerModel(config)
+        rows.append({
+            "scratchpad_mib": mib,
+            "boot_ms": per_boot * 1e3,
+            "keyswitch_share": rep.keyswitch_fraction,
+            "op_ms": {k: v / 2 * 1e3
+                      for k, v in sorted(rep.op_seconds.items())},
+            "edap": power.edap(per_boot, rep.utilization),
+            "hit_rate": rep.cache.hit_rate,
+        })
+    return rows
+
+
+def _print(rows: list[dict]) -> None:
+    print("\nFig. 10 - INS-1 bootstrapping vs scratchpad capacity")
+    print(f"{'MiB':>5} {'boot ms':>8} {'KS share':>9} {'hit':>6} "
+          f"{'EDAP (J*s*mm^2)':>16}")
+    for r in rows:
+        print(f"{r['scratchpad_mib']:>5} {r['boot_ms']:>8.1f} "
+              f"{100 * r['keyswitch_share']:>8.1f}% "
+              f"{100 * r['hit_rate']:>5.1f}% {r['edap']:>16.4f}")
+    smallest = rows[0]
+    print("op-time split at 192MiB (ms):",
+          {k: round(v, 2) for k, v in smallest["op_ms"].items()})
+    print("paper: time falls then saturates; HMult/HRot share grows with "
+          "capacity; EDAP minimizes near 512MB")
+
+
+def bench_fig10(benchmark):
+    rows = benchmark.pedantic(compute_fig10, rounds=1, iterations=1)
+    _print(rows)
+    times = [r["boot_ms"] for r in rows]
+    # bootstrapping time is monotone non-increasing in capacity...
+    assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+    # ... and saturates: the last doubling helps far less than the first
+    first_gain = times[0] - times[2]
+    last_gain = times[-2] - times[-1]
+    assert first_gain >= last_gain
+    # the key-switch share of time grows with the hit rate (paper's story)
+    assert rows[-1]["keyswitch_share"] >= rows[0]["keyswitch_share"]
+    # EDAP is non-monotone: a minimum strictly inside the sweep (the
+    # paper's sits near 512MB; ours lands later - see EXPERIMENTS.md)
+    edaps = [r["edap"] for r in rows]
+    best = edaps.index(min(edaps))
+    assert 0 < best < len(edaps) - 1
+    assert edaps[-1] > edaps[best]

@@ -1,0 +1,50 @@
+"""Fig. 1: maximum level L and evk size versus dnum (four ring degrees).
+
+Also regenerates the embedded max-dnum table (14 / 29 / 60 / 121).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.parameters import dnum_sweep, max_dnum
+
+
+def compute_fig1() -> dict[int, list]:
+    return {log_n: dnum_sweep(1 << log_n) for log_n in (15, 16, 17, 18)}
+
+
+def _print(curves: dict[int, list]) -> None:
+    print("\nFig. 1(a) - maximum level L vs normalized dnum")
+    for log_n, points in curves.items():
+        sampled = [points[0]] + \
+            [points[len(points) * i // 4] for i in (1, 2, 3)] + \
+            [points[-1]]
+        row = ", ".join(f"({p.normalized_dnum:.2f}: L={p.max_level})"
+                        for p in sampled)
+        print(f"  N=2^{log_n}: {row}")
+    print("Fig. 1(b) - evk size vs normalized dnum (GiB)")
+    for log_n, points in curves.items():
+        sampled = [points[0], points[len(points) // 2], points[-1]]
+        row = ", ".join(
+            f"({p.normalized_dnum:.2f}: {p.evk_bytes / 2**30:.2f})"
+            for p in sampled)
+        print(f"  N=2^{log_n}: {row}")
+    print("Fig. 1 table - max dnum per N (paper: 14/29/60/121)")
+    print("  " + ", ".join(f"2^{log_n}: {max_dnum(1 << log_n)}"
+                           for log_n in (15, 16, 17, 18)))
+
+
+def bench_fig1(benchmark):
+    curves = benchmark.pedantic(compute_fig1, rounds=1, iterations=1)
+    _print(curves)
+    # the embedded table must reproduce exactly
+    assert [max_dnum(1 << b) for b in (15, 16, 17, 18)] == \
+        [14, 29, 60, 121]
+    # L rises (then saturates) with dnum; evk grows monotonically
+    for points in curves.values():
+        assert points[-1].max_level >= points[0].max_level
+        evks = [p.evk_bytes for p in points]
+        assert evks == sorted(evks)
+    # the dnum=1 point at 2^17 is INS-1's (L=27, 112MiB evk)
+    ins1_point = curves[17][0]
+    assert ins1_point.max_level == 27
+    assert abs(ins1_point.evk_bytes / 2**20 - 112) < 1

@@ -1,0 +1,60 @@
+"""Fig. 6: T_mult,a/slot across systems (the headline comparison).
+
+Lattigo (structural model), 100x and F1/F1+ (published anchors), and the
+three BTS instances on the cycle simulator, with speedups over Lattigo.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cpu_lattigo import LattigoCpuModel
+from repro.baselines.f1 import F1Model
+from repro.baselines.gpu_100x import Gpu100xModel
+from repro.ckks.params import CkksParams
+from repro.core.simulator import BtsSimulator
+from repro.workloads.microbench import amortized_mult_workload
+
+
+def compute_fig6() -> list[dict]:
+    cpu_t = LattigoCpuModel().tmult_a_slot()
+    rows = [
+        {"system": "Lattigo (CPU)", "tmult_s": cpu_t},
+        {"system": "100x (GPU, 97b)",
+         "tmult_s": Gpu100xModel().tmult_a_slot(97)},
+        {"system": "F1", "tmult_s": F1Model().tmult_a_slot()},
+        {"system": "F1+", "tmult_s": F1Model(scaled=True).tmult_a_slot()},
+    ]
+    for params in CkksParams.paper_instances():
+        wl = amortized_mult_workload(params, repeats=3)
+        rep = BtsSimulator(params).run(wl.trace)
+        rows.append({"system": f"BTS {params.name}",
+                     "tmult_s": wl.tmult_a_slot(rep.total_seconds)})
+    for row in rows:
+        row["speedup_vs_cpu"] = cpu_t / row["tmult_s"]
+    return rows
+
+
+def _print(rows: list[dict]) -> None:
+    print("\nFig. 6 - amortized mult time per slot")
+    print(f"{'system':<18} {'Tmult,a/slot':>14} {'vs Lattigo':>11}")
+    for r in rows:
+        t = r["tmult_s"]
+        pretty = f"{t * 1e9:.1f} ns" if t < 1e-6 else f"{t * 1e6:.1f} us"
+        print(f"{r['system']:<18} {pretty:>14} {r['speedup_vs_cpu']:>10.1f}x")
+    print("paper: BTS best 45.5ns = 2,237x vs Lattigo; 100x 16.3x slower "
+          "than BTS; F1 2.5x slower than Lattigo; F1+ 824x slower than BTS")
+
+
+def bench_fig6(benchmark):
+    rows = benchmark.pedantic(compute_fig6, rounds=1, iterations=1)
+    _print(rows)
+    by_name = {r["system"]: r for r in rows}
+    bts_best = min(r["tmult_s"] for r in rows
+                   if r["system"].startswith("BTS"))
+    # headline: thousands-fold speedup over the CPU
+    assert 1_000 < by_name["Lattigo (CPU)"]["tmult_s"] / bts_best < 4_000
+    # F1 loses to the CPU per slot; F1+ beats the CPU but not BTS
+    assert by_name["F1"]["tmult_s"] > by_name["Lattigo (CPU)"]["tmult_s"]
+    assert bts_best < by_name["F1+"]["tmult_s"]
+    # GPU sits between BTS and the CPU
+    assert bts_best < by_name["100x (GPU, 97b)"]["tmult_s"] \
+        < by_name["Lattigo (CPU)"]["tmult_s"]

@@ -1,0 +1,78 @@
+"""Fig. 7: (a) min-bound vs 512MB vs 2GB T_mult,a/slot per instance;
+(b) the bootstrapping share of each application's runtime on INS-1.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import min_bound_tmult_a_slot
+from repro.ckks.params import CkksParams
+from repro.core.config import BtsConfig
+from repro.core.simulator import BtsSimulator
+from repro.workloads.helr import build_helr_trace
+from repro.workloads.microbench import amortized_mult_workload
+from repro.workloads.resnet import build_resnet_trace
+from repro.workloads.sorting import build_sorting_trace
+
+
+def compute_fig7a() -> list[dict]:
+    rows = []
+    for params in CkksParams.paper_instances():
+        bound = min_bound_tmult_a_slot(params).tmult_a_slot
+        measured = {}
+        for label, capacity in (("512MB", 512 << 20), ("2GB", 2 << 30)):
+            wl = amortized_mult_workload(params, repeats=3)
+            sim = BtsSimulator(params,
+                               BtsConfig.paper().with_scratchpad(capacity))
+            rep = sim.run(wl.trace)
+            measured[label] = wl.tmult_a_slot(rep.total_seconds)
+        rows.append({"instance": params.name, "min_ns": bound * 1e9,
+                     "t512_ns": measured["512MB"] * 1e9,
+                     "t2g_ns": measured["2GB"] * 1e9})
+    return rows
+
+
+def compute_fig7b() -> list[dict]:
+    params = CkksParams.ins1()
+    sim = BtsSimulator(params)
+    out = []
+    wl_t = amortized_mult_workload(params, repeats=2)
+    builders = [
+        ("Tmult,a/slot", wl_t.trace),
+        ("HELR", build_helr_trace(params).trace),
+        ("ResNet-20", build_resnet_trace(params).trace),
+        ("Sorting", build_sorting_trace(params).trace),
+    ]
+    for name, trace in builders:
+        rep = sim.run(trace)
+        out.append({"workload": name,
+                    "bootstrap_fraction": rep.phase_fraction("boot.")})
+    return out
+
+
+def _print(fig7a: list[dict], fig7b: list[dict]) -> None:
+    print("\nFig. 7(a) - Tmult,a/slot: min bound vs scratchpad size (ns)")
+    print(f"{'inst':<7} {'min':>7} {'512MB':>7} {'2GB':>7}")
+    for r in fig7a:
+        print(f"{r['instance']:<7} {r['min_ns']:>7.1f} "
+              f"{r['t512_ns']:>7.1f} {r['t2g_ns']:>7.1f}")
+    print("paper: INS-2 best throughout; 2GB approaches the minimum")
+    print("\nFig. 7(b) - bootstrapping share of runtime (INS-1)")
+    for r in fig7b:
+        print(f"  {r['workload']:<14} {100 * r['bootstrap_fraction']:5.1f}%")
+    print("paper: bootstrapping dominates Tmult/sorting; smaller for "
+          "ResNet-20")
+
+
+def bench_fig7(benchmark):
+    fig7a = benchmark.pedantic(compute_fig7a, rounds=1, iterations=1)
+    fig7b = compute_fig7b()
+    _print(fig7a, fig7b)
+    for r in fig7a:
+        assert r["min_ns"] < r["t2g_ns"] < r["t512_ns"]
+        assert r["t2g_ns"] / r["min_ns"] < 1.6  # 2GB ~ the bound
+    by_inst = {r["instance"]: r for r in fig7a}
+    assert by_inst["INS-3"]["t512_ns"] == max(
+        r["t512_ns"] for r in fig7a)
+    shares = {r["workload"]: r["bootstrap_fraction"] for r in fig7b}
+    assert shares["Sorting"] > 0.5
+    assert shares["Tmult,a/slot"] > 0.5

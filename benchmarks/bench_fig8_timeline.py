@@ -1,0 +1,64 @@
+"""Fig. 8: the INS-1 HMult timeline with resource occupancy.
+
+Runs one steady-state HMult at the maximum level with event logging and
+prints the Fig. 3a / Fig. 8 stage sequence (evk chunk loads, per-slice
+iNTT -> BConv -> NTT, the two ModDown halves, SSA) plus per-resource
+utilization over the op window.
+"""
+
+from __future__ import annotations
+
+from repro.ckks.params import CkksParams
+from repro.core.config import BtsConfig
+from repro.core.compute_graph import OpCostModel, OpScheduler
+from repro.core.scheduler import Machine
+from repro.core.stats import collect_timeline, format_timeline
+from repro.workloads.trace import HEOp, OpKind
+
+
+def compute_fig8() -> dict:
+    params = CkksParams.ins1()
+    cost = OpCostModel(params, BtsConfig.paper())
+    machine = Machine.create(log_events=True)
+    scheduler = OpScheduler(cost, machine)
+    op = HEOp(OpKind.HMULT, params.l, (0, 1), 2)
+    execution = scheduler.schedule_keyswitch(op, data_ready=0.0,
+                                             evk_request_time=0.0)
+    rows = collect_timeline(machine)
+    window = execution.end
+    return {
+        "rows": rows,
+        "duration_us": window * 1e6,
+        "utilization": machine.utilizations(0.0, window),
+        "temp_peak_mib": execution.temp_peak_bytes / (1 << 20),
+        "evk_mib": execution.evk_bytes / (1 << 20),
+    }
+
+
+def _print(result: dict) -> None:
+    print("\nFig. 8 - HMult timeline on BTS with INS-1")
+    print(format_timeline(result["rows"], limit=30))
+    print(f"total: {result['duration_us']:.1f} us "
+          "(paper: ~120 us, bounded by the evk stream)")
+    print("utilization over the op window:")
+    for name, util in result["utilization"].items():
+        print(f"  {name:<16} {100 * util:5.1f}%")
+    print("paper: HBM 98%, NTTU 76%, BConvU 33%")
+    print(f"peak temporary data: {result['temp_peak_mib']:.0f} MiB "
+          "(paper: 183MB at BConv.ax)")
+
+
+def bench_fig8(benchmark):
+    result = benchmark.pedantic(compute_fig8, rounds=1, iterations=1)
+    _print(result)
+    labels = [r.label for r in result["rows"]]
+    # the Fig. 8 stage vocabulary must all appear
+    for needle in ("load evk.bx.P", "load evk.ax.Q", "iNTT.d2[0]",
+                   "BConv2.d2[0]", "NTT.d2[0]", "iNTT.bx", "SSA.ax"):
+        assert any(needle in lab for lab in labels), needle
+    # evk-load bound: ~117 us
+    assert 110 < result["duration_us"] < 135
+    # resource utilization in the paper's bands
+    assert result["utilization"]["HBM"] > 0.9
+    assert 0.5 < result["utilization"]["NTTU"] < 0.95
+    assert 0.1 < result["utilization"]["MMAU"] < 0.6

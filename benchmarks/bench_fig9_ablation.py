@@ -1,0 +1,65 @@
+"""Fig. 9: the ablation ladder from 'small BTS' to the full design.
+
+Steps: small BTS on the Lattigo-shaped instance -> small BTS on INS-1 ->
+512MB scratchpad -> BConv/iNTT overlap -> 2TB/s HBM, each measured as
+T_mult,a/slot speedup over the Lattigo CPU model.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cpu_lattigo import LattigoCpuModel
+from repro.ckks.params import CkksParams
+from repro.core.config import MIB, BtsConfig
+from repro.core.simulator import BtsSimulator
+from repro.workloads.microbench import amortized_mult_workload
+
+
+def _measure(params: CkksParams, config: BtsConfig) -> float:
+    wl = amortized_mult_workload(params, repeats=2)
+    rep = BtsSimulator(params, config).run(wl.trace)
+    return wl.tmult_a_slot(rep.total_seconds)
+
+
+def compute_fig9() -> list[dict]:
+    cpu_t = LattigoCpuModel().tmult_a_slot()
+    lattigo_like = CkksParams.lattigo_like()
+    ins1 = CkksParams.ins1()
+    steps = [
+        ("small BTS (INS-Lattigo)", lattigo_like,
+         BtsConfig.small(scratchpad_bytes=230 * MIB)),
+        ("small BTS (INS-1)", ins1,
+         BtsConfig.small(scratchpad_bytes=380 * MIB)),
+        ("+512MB scratchpad", ins1,
+         BtsConfig.paper().without_bconv_overlap()),
+        ("+BConv/iNTT overlap (BTS)", ins1, BtsConfig.paper()),
+        ("+2TB/s HBM", ins1,
+         BtsConfig.paper().with_hbm_bandwidth(2e12)),
+    ]
+    rows = []
+    for label, params, config in steps:
+        t = _measure(params, config)
+        rows.append({"step": label, "tmult_us": t * 1e6,
+                     "speedup_vs_cpu": cpu_t / t})
+    return rows
+
+
+def _print(rows: list[dict]) -> None:
+    print("\nFig. 9 - ablation: Tmult,a/slot speedup over Lattigo")
+    print(f"{'configuration':<28} {'Tmult (us)':>11} {'speedup':>9}")
+    for r in rows:
+        print(f"{r['step']:<28} {r['tmult_us']:>11.3f} "
+              f"{r['speedup_vs_cpu']:>8.0f}x")
+    print("paper ladder: 379x -> 568x -> 1805x -> 2044x -> 2584x")
+
+
+def bench_fig9(benchmark):
+    rows = benchmark.pedantic(compute_fig9, rounds=1, iterations=1)
+    _print(rows)
+    speedups = [r["speedup_vs_cpu"] for r in rows]
+    # each step helps (monotone ladder)
+    assert speedups == sorted(speedups)
+    # hundreds-fold at the small baseline, thousands-fold at the end
+    assert speedups[0] > 100
+    assert speedups[-2] > 1_000
+    # the 2TB/s step gives a sub-2x gain (compute becomes the limit)
+    assert speedups[-1] / speedups[-2] < 2.0

@@ -1,0 +1,93 @@
+"""Wall-clock microbenchmarks of the functional CKKS library.
+
+These time the *Python implementation itself* (not the modeled
+accelerator): NTT throughput, HMult latency and a full bootstrap at
+reduced ring degree.  They document the substrate's own performance and
+catch regressions in the hot numerical paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks.encoder import Encoder
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.params import CkksParams, RingContext
+
+
+@pytest.fixture(scope="module")
+def func_ring():
+    params = CkksParams.functional(n=1 << 11, l=10, dnum=2,
+                                   scale_bits=40, q0_bits=50, p_bits=50,
+                                   h=64)
+    ring = RingContext(params)
+    kg = KeyGenerator(ring, seed=1)
+    ev = Evaluator(ring, relin_key=kg.gen_relinearization_key(),
+                   rotation_keys={1: kg.gen_rotation_key(1)})
+    enc = Encoder(ring)
+    rng = np.random.default_rng(0)
+    n_slots = params.slots_max
+    z = rng.normal(size=n_slots) + 1j * rng.normal(size=n_slots)
+    ct = kg.encrypt_symmetric(enc.encode(z, 2.0 ** 40).poly, 2.0 ** 40,
+                              n_slots)
+    return ring, kg, ev, enc, ct
+
+
+def bench_ntt_forward(benchmark, func_ring):
+    ring, _, _, _, _ = func_ring
+    prime = ring.q_primes[0]
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, prime.value, size=ring.n, dtype=np.uint64)
+    benchmark(prime.ntt.forward, a)
+
+
+def bench_ntt_inverse(benchmark, func_ring):
+    ring, _, _, _, _ = func_ring
+    prime = ring.q_primes[0]
+    rng = np.random.default_rng(4)
+    a = rng.integers(0, prime.value, size=ring.n, dtype=np.uint64)
+    benchmark(prime.ntt.inverse, a)
+
+
+def bench_encode(benchmark, func_ring):
+    ring, _, _, enc, _ = func_ring
+    rng = np.random.default_rng(5)
+    z = rng.normal(size=ring.n // 2) + 1j * rng.normal(size=ring.n // 2)
+    benchmark(enc.encode, z, 2.0 ** 40)
+
+
+def bench_hmult(benchmark, func_ring):
+    _, _, ev, _, ct = func_ring
+    benchmark.pedantic(ev.multiply, args=(ct, ct), rounds=3, iterations=1)
+
+
+def bench_rotate(benchmark, func_ring):
+    _, _, ev, _, ct = func_ring
+    benchmark.pedantic(ev.rotate, args=(ct, 1), rounds=3, iterations=1)
+
+
+def bench_bootstrap_small(benchmark):
+    """Full functional bootstrap at N=512 (the library's deepest path)."""
+    from repro.ckks.bootstrap import Bootstrapper, BootstrapConfig
+    from repro.ckks.sine import SineConfig
+
+    params = CkksParams.functional(n=1 << 9, l=14, dnum=3, scale_bits=40,
+                                   q0_bits=52, p_bits=52, h=32)
+    ring = RingContext(params)
+    kg = KeyGenerator(ring, seed=2)
+    ev = Evaluator(ring)
+    bs = Bootstrapper(ev, BootstrapConfig(
+        n_slots=4, sine=SineConfig(k_range=12, degree=63,
+                                   double_angles=2)))
+    bs.generate_keys(kg)
+    enc = Encoder(ring)
+    z = np.array([0.3, -0.2, 0.1, 0.4])
+    ct = ev.drop_to_level(
+        kg.encrypt_symmetric(enc.encode(z + 0j, 2.0 ** 40).poly,
+                             2.0 ** 40, 4), 0)
+    out = benchmark.pedantic(bs.bootstrap, args=(ct,), rounds=1,
+                             iterations=1)
+    got = ev.decrypt_to_message(out, kg.secret)
+    assert np.max(np.abs(got - z)) < 5e-2

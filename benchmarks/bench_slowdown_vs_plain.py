@@ -1,0 +1,64 @@
+"""Section 6.3 "Slowdown of FHE": BTS vs unencrypted execution.
+
+The paper's sober closing note: even with a 2,000x accelerator, FHE
+applications remain two orders of magnitude slower than plaintext - HELR
+141x and ResNet-20 440x on their numbers.  Regenerated here from the
+simulator's FHE times and the FLOP-count plaintext model.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.unencrypted import UnencryptedModel
+from repro.ckks.params import CkksParams
+from repro.core.simulator import BtsSimulator
+from repro.workloads.helr import build_helr_trace
+from repro.workloads.resnet import build_resnet_trace
+
+
+def compute_slowdown() -> list[dict]:
+    plain = UnencryptedModel()
+    rows = []
+    helr_params = CkksParams.ins2()     # the paper's best HELR instance
+    wl = build_helr_trace(helr_params)
+    rep = BtsSimulator(helr_params).run(wl.trace)
+    fhe_iter = rep.total_seconds / wl.config.iterations
+    rows.append({
+        "workload": "HELR iteration",
+        "fhe_s": fhe_iter,
+        "plain_s": plain.helr_iteration_seconds(),
+        "slowdown": fhe_iter / plain.helr_iteration_seconds(),
+        "paper_slowdown": 141.0,
+    })
+    resnet_params = CkksParams.ins1()   # the paper's best ResNet instance
+    rwl = build_resnet_trace(resnet_params)
+    rrep = BtsSimulator(resnet_params).run(rwl.trace)
+    rows.append({
+        "workload": "ResNet-20 inference",
+        "fhe_s": rrep.total_seconds,
+        "plain_s": plain.resnet20_seconds(),
+        "slowdown": rrep.total_seconds / plain.resnet20_seconds(),
+        "paper_slowdown": 440.0,
+    })
+    return rows
+
+
+def _print(rows: list[dict]) -> None:
+    print("\nSection 6.3 - slowdown of FHE on BTS vs unencrypted CPU")
+    print(f"{'workload':<20} {'FHE':>10} {'plain':>10} {'slowdown':>9} "
+          f"{'paper':>7}")
+    for r in rows:
+        print(f"{r['workload']:<20} {r['fhe_s'] * 1e3:>8.1f}ms "
+              f"{r['plain_s'] * 1e6:>8.1f}us {r['slowdown']:>8.0f}x "
+              f"{r['paper_slowdown']:>6.0f}x")
+    print("the paper's conclusion: FHE-friendliness of applications "
+          "remains crucial even with acceleration")
+
+
+def bench_slowdown(benchmark):
+    rows = benchmark.pedantic(compute_slowdown, rounds=1, iterations=1)
+    _print(rows)
+    for r in rows:
+        # two orders of magnitude, same band as the paper's 141x / 440x
+        assert 50 < r["slowdown"] < 1_000
+        assert abs(r["slowdown"] - r["paper_slowdown"]) \
+            / r["paper_slowdown"] < 1.0

@@ -1,0 +1,50 @@
+"""Table 3: area and peak power of every BTS component.
+
+Recomposes the chip bottom-up from the per-component constants and
+checks the published totals (154,863 um^2 / 35.75 mW per PE; 373.6 mm^2
+and 163.2 W for the chip).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BtsConfig
+from repro.core.power import AreaPowerModel, CHIP_COMPONENTS
+
+
+def compute_table3() -> dict:
+    model = AreaPowerModel(BtsConfig.paper())
+    return {
+        "pe_components": model.pe_component_table(),
+        "pe_area_um2": model.pe_area_um2(),
+        "pe_power_mw": model.pe_power_mw(),
+        "pes_area_mm2": model.pe_area_um2() * 2048 / 1e6,
+        "pes_power_w": model.pe_power_mw() * 2048 / 1e3,
+        "chip_components": dict(CHIP_COMPONENTS),
+        "chip_area_mm2": model.chip_area_mm2(),
+        "chip_power_w": model.chip_peak_power_w(),
+    }
+
+
+def _print(result: dict) -> None:
+    print("\nTable 3 - area and peak power")
+    print(f"{'PE component':<18} {'area (um^2)':>12} {'power (mW)':>11}")
+    for name, (area, power) in result["pe_components"].items():
+        print(f"{name:<18} {area:>12,.0f} {power:>11.2f}")
+    print(f"{'1 PE total':<18} {result['pe_area_um2']:>12,.0f} "
+          f"{result['pe_power_mw']:>11.2f}   (paper: 154,863 / 35.75)")
+    print(f"\n{'chip component':<18} {'area (mm^2)':>12} {'power (W)':>11}")
+    print(f"{'2048 PEs':<18} {result['pes_area_mm2']:>12.1f} "
+          f"{result['pes_power_w']:>11.2f}   (paper: 317.2 / 73.21)")
+    for name, (area, power) in result["chip_components"].items():
+        print(f"{name:<18} {area:>12.2f} {power:>11.2f}")
+    print(f"{'total':<18} {result['chip_area_mm2']:>12.1f} "
+          f"{result['chip_power_w']:>11.1f}   (paper: 373.6 / 163.2)")
+
+
+def bench_table3(benchmark):
+    result = benchmark.pedantic(compute_table3, rounds=1, iterations=1)
+    _print(result)
+    assert abs(result["pe_area_um2"] - 154_863) < 300
+    assert abs(result["pe_power_mw"] - 35.75) < 0.2
+    assert abs(result["chip_area_mm2"] - 373.6) < 2.0
+    assert abs(result["chip_power_w"] - 163.2) < 1.0

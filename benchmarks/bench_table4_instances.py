@@ -1,0 +1,45 @@
+"""Table 4: the three evaluated CKKS instances.
+
+Recomputes N / L / dnum / log PQ / lambda from first principles and the
+temporary-data column from the simulator's live-range model.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.parameters import table4_rows
+from repro.ckks.params import CkksParams
+from repro.core.compute_graph import OpCostModel
+from repro.core.config import MIB, BtsConfig
+
+
+def compute_table4() -> list[dict]:
+    rows = table4_rows()
+    for row, params in zip(rows, CkksParams.paper_instances()):
+        cost = OpCostModel(params, BtsConfig.paper())
+        row["temp_mib"] = round(
+            cost.keyswitch_temp_bytes(params.l) / MIB)
+    return rows
+
+
+def _print(rows: list[dict]) -> None:
+    print("\nTable 4 - CKKS instances used for evaluation")
+    print(f"{'inst':<7} {'N':>7} {'L':>4} {'dnum':>5} {'k':>4} "
+          f"{'logPQ':>6} {'lambda':>7} {'evk MiB':>8} {'temp MiB':>9}")
+    paper_temp = {"INS-1": 183, "INS-2": 304, "INS-3": 365}
+    for r in rows:
+        print(f"{r['instance']:<7} 2^17    {r['L']:>4} {r['dnum']:>5} "
+              f"{r['k']:>4} {r['log_pq']:>6} {r['lambda']:>7.1f} "
+              f"{r['evk_mib']:>8.0f} {r['temp_mib']:>9} "
+              f"(paper {paper_temp[r['instance']]})")
+    print("paper: logPQ 3090/3210/3160, lambda 133.4/128.7/130.8, "
+          "temp 183/304/365MB")
+
+
+def bench_table4(benchmark):
+    rows = benchmark.pedantic(compute_table4, rounds=1, iterations=1)
+    _print(rows)
+    assert [r["log_pq"] for r in rows] == [3090, 3210, 3160]
+    for r, lam in zip(rows, (133.4, 128.7, 130.8)):
+        assert abs(r["lambda"] - lam) < 0.3
+    for r, temp in zip(rows, (183, 304, 365)):
+        assert abs(r["temp_mib"] - temp) / temp < 0.25

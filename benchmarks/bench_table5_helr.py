@@ -1,0 +1,67 @@
+"""Table 5: HELR logistic-regression training time per iteration.
+
+Lattigo on the structural CPU model, 100x / F1 / F1+ from published
+anchors, and the three BTS instances on the cycle simulator.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cpu_lattigo import LattigoCpuModel
+from repro.baselines.f1 import F1Model
+from repro.baselines.gpu_100x import Gpu100xModel
+from repro.ckks.params import CkksParams
+from repro.core.simulator import BtsSimulator
+from repro.workloads.helr import build_helr_trace
+
+
+def compute_table5() -> list[dict]:
+    cpu = LattigoCpuModel()
+    cpu_wl = build_helr_trace(cpu.params)
+    cpu_ms = cpu_wl.ms_per_iteration(cpu.run(cpu_wl.trace))
+    rows = [
+        {"system": "Lattigo", "ms": cpu_ms, "paper_ms": 37_050.0},
+        {"system": "100x", "ms": Gpu100xModel().helr_ms_per_iteration(),
+         "paper_ms": 775.0},
+        {"system": "F1", "ms": F1Model().helr_ms_per_iteration(),
+         "paper_ms": 1_024.0},
+        {"system": "F1+",
+         "ms": F1Model(scaled=True).helr_ms_per_iteration(),
+         "paper_ms": 148.0},
+    ]
+    paper_bts = {"INS-1": 39.9, "INS-2": 28.4, "INS-3": 43.5}
+    for params in CkksParams.paper_instances():
+        wl = build_helr_trace(params)
+        rep = BtsSimulator(params).run(wl.trace)
+        rows.append({"system": f"BTS {params.name}",
+                     "ms": wl.ms_per_iteration(rep.total_seconds),
+                     "paper_ms": paper_bts[params.name]})
+    cpu_row_ms = rows[0]["ms"]
+    for row in rows:
+        row["speedup"] = cpu_row_ms / row["ms"]
+    return rows
+
+
+def _print(rows: list[dict]) -> None:
+    print("\nTable 5 - HELR training time per iteration")
+    print(f"{'system':<14} {'ms/iter':>10} {'speedup':>9} {'paper ms':>10}")
+    for r in rows:
+        print(f"{r['system']:<14} {r['ms']:>10.1f} {r['speedup']:>8.0f}x "
+              f"{r['paper_ms']:>10.1f}")
+    print("paper speedups vs Lattigo: 48x (100x), 36x (F1), 250x (F1+), "
+          "929/1306/852x (BTS INS-1/2/3)")
+
+
+def bench_table5(benchmark):
+    rows = benchmark.pedantic(compute_table5, rounds=1, iterations=1)
+    _print(rows)
+    by_name = {r["system"]: r for r in rows}
+    # CPU in the tens of seconds per iteration
+    assert 20_000 < by_name["Lattigo"]["ms"] < 60_000
+    # BTS in the tens of milliseconds: three-orders-of-magnitude gain
+    for name in ("BTS INS-1", "BTS INS-2", "BTS INS-3"):
+        assert 10 < by_name[name]["ms"] < 80
+        assert by_name[name]["speedup"] > 500
+    # every BTS instance beats all prior systems
+    best_prior = min(by_name[n]["ms"] for n in ("100x", "F1", "F1+"))
+    assert all(by_name[f"BTS {p.name}"]["ms"] < best_prior
+               for p in CkksParams.paper_instances())

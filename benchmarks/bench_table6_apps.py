@@ -1,0 +1,77 @@
+"""Table 6: ResNet-20 inference and 2^14-element sorting on BTS.
+
+Execution times and emergent bootstrap counts per instance, with the
+reported multi-threaded CPU numbers as the speedup baseline (the paper
+also uses reported numbers: [59] and [42]).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cpu_lattigo import (
+    REPORTED_RESNET_SECONDS,
+    REPORTED_SORTING_SECONDS,
+)
+from repro.ckks.params import CkksParams
+from repro.core.simulator import BtsSimulator
+from repro.workloads.resnet import build_resnet_trace
+from repro.workloads.sorting import build_sorting_trace
+
+
+def compute_table6() -> dict[str, list[dict]]:
+    out = {"resnet": [], "sorting": []}
+    paper_resnet = {"INS-1": (1.91, 53), "INS-2": (2.02, 22),
+                    "INS-3": (3.09, 19)}
+    paper_sort = {"INS-1": (15.6, 521), "INS-2": (18.8, 306),
+                  "INS-3": (25.2, 229)}
+    for params in CkksParams.paper_instances():
+        sim = BtsSimulator(params)
+        wl = build_resnet_trace(params)
+        rep = sim.run(wl.trace)
+        out["resnet"].append({
+            "instance": params.name,
+            "seconds": rep.total_seconds,
+            "bootstraps": wl.bootstrap_count,
+            "speedup": REPORTED_RESNET_SECONDS / rep.total_seconds,
+            "paper": paper_resnet[params.name]})
+        sw = build_sorting_trace(params)
+        rep = sim.run(sw.trace)
+        out["sorting"].append({
+            "instance": params.name,
+            "seconds": rep.total_seconds,
+            "bootstraps": sw.bootstrap_count,
+            "speedup": REPORTED_SORTING_SECONDS / rep.total_seconds,
+            "paper": paper_sort[params.name]})
+    return out
+
+
+def _print(result: dict[str, list[dict]]) -> None:
+    for app, label, cpu_s in (("resnet", "ResNet-20 inference",
+                               REPORTED_RESNET_SECONDS),
+                              ("sorting", "Sorting 2^14 values",
+                               REPORTED_SORTING_SECONDS)):
+        print(f"\nTable 6 - {label} (CPU baseline {cpu_s:,.0f}s)")
+        print(f"{'inst':<7} {'seconds':>9} {'boots':>7} {'speedup':>9} "
+              f"{'paper s / boots':>16}")
+        for r in result[app]:
+            paper_s, paper_b = r["paper"]
+            print(f"{r['instance']:<7} {r['seconds']:>9.2f} "
+                  f"{r['bootstraps']:>7} {r['speedup']:>8.0f}x "
+                  f"{paper_s:>9.2f} / {paper_b}")
+
+
+def bench_table6(benchmark):
+    result = benchmark.pedantic(compute_table6, rounds=1, iterations=1)
+    _print(result)
+    # thousands-fold speedups over the CPU implementations
+    for app in ("resnet", "sorting"):
+        for r in result[app]:
+            assert r["speedup"] > 500
+    # ResNet-20 runs in seconds; ordering INS-1 <= INS-2 < INS-3
+    resnet = {r["instance"]: r for r in result["resnet"]}
+    assert resnet["INS-1"]["seconds"] < resnet["INS-3"]["seconds"]
+    assert 0.5 < resnet["INS-1"]["seconds"] < 4.0
+    # bootstrap counts within 35% of the paper's
+    for app in ("resnet", "sorting"):
+        for r in result[app]:
+            want = r["paper"][1]
+            assert abs(r["bootstraps"] - want) / want < 0.35

@@ -1,0 +1,82 @@
+"""Run the paper's workloads on the BTS accelerator model.
+
+Executes the amortized-mult microbenchmark, HELR, ResNet-20 and sorting
+traces on the cycle-level simulator for all three Table 4 instances, and
+prints the Fig. 6 / Table 5 / Table 6-style results with the paper's
+numbers alongside.
+
+Usage:  python examples/accelerator_simulation.py [--quick]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines.cpu_lattigo import LattigoCpuModel
+from repro.ckks.params import CkksParams
+from repro.core.config import BtsConfig
+from repro.core.simulator import BtsSimulator
+from repro.workloads.helr import build_helr_trace
+from repro.workloads.microbench import amortized_mult_workload
+from repro.workloads.resnet import build_resnet_trace
+from repro.workloads.sorting import build_sorting_trace
+
+
+def main(quick: bool = False) -> None:
+    cpu = LattigoCpuModel()
+    cpu_tmult = cpu.tmult_a_slot()
+    print("Reconstructed Lattigo CPU baseline: "
+          f"T_mult,a/slot = {cpu_tmult * 1e6:.1f} us "
+          "(paper: ~101.8 us)")
+
+    print("\n=== Amortized mult time per slot (Fig. 6) ===")
+    paper_ns = {"INS-1": "~55", "INS-2": "45.5", "INS-3": "~60"}
+    for params in CkksParams.paper_instances():
+        wl = amortized_mult_workload(params, repeats=2 if quick else 3)
+        sim = BtsSimulator(params, BtsConfig.paper())
+        rep = sim.run(wl.trace)
+        tmult = wl.tmult_a_slot(rep.total_seconds)
+        print(f"  {params.name}: {tmult * 1e9:6.1f} ns "
+              f"({cpu_tmult / tmult:5.0f}x vs CPU, ct-cache hit "
+              f"{100 * rep.cache.hit_rate:.0f}%)  paper: "
+              f"{paper_ns[params.name]} ns")
+
+    print("\n=== HELR training, ms/iteration (Table 5) ===")
+    paper_helr = {"INS-1": 39.9, "INS-2": 28.4, "INS-3": 43.5}
+    for params in CkksParams.paper_instances():
+        wl = build_helr_trace(params)
+        rep = BtsSimulator(params).run(wl.trace)
+        ms = wl.ms_per_iteration(rep.total_seconds)
+        print(f"  {params.name}: {ms:6.1f} ms  "
+              f"({wl.bootstrap_count} bootstraps)  paper: "
+              f"{paper_helr[params.name]} ms")
+
+    print("\n=== ResNet-20 inference (Table 6) ===")
+    paper_resnet = {"INS-1": (1.91, 53), "INS-2": (2.02, 22),
+                    "INS-3": (3.09, 19)}
+    for params in CkksParams.paper_instances():
+        wl = build_resnet_trace(params)
+        rep = BtsSimulator(params).run(wl.trace)
+        want_s, want_b = paper_resnet[params.name]
+        print(f"  {params.name}: {rep.total_seconds:5.2f} s, "
+              f"{wl.bootstrap_count} bootstraps   paper: {want_s} s, "
+              f"{want_b} bootstraps")
+
+    if quick:
+        print("\n(quick mode: skipping the 2^14-element sorting network)")
+        return
+
+    print("\n=== Sorting 2^14 values (Table 6) ===")
+    paper_sort = {"INS-1": (15.6, 521), "INS-2": (18.8, 306),
+                  "INS-3": (25.2, 229)}
+    for params in CkksParams.paper_instances():
+        wl = build_sorting_trace(params)
+        rep = BtsSimulator(params).run(wl.trace)
+        want_s, want_b = paper_sort[params.name]
+        print(f"  {params.name}: {rep.total_seconds:5.2f} s, "
+              f"{wl.bootstrap_count} bootstraps   paper: {want_s} s, "
+              f"{want_b} bootstraps")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -1,0 +1,76 @@
+"""Bootstrapping demo: refresh an exhausted ciphertext and keep computing.
+
+This is the paper's central capability (Section 2.4): a level-0
+ciphertext - on which no further multiplication is possible - is restored
+to a high level by ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff.
+Runs the *real* pipeline at N = 512 with 4 packed slots (about 10-20s).
+
+Usage:  python examples/bootstrapping_demo.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.ckks.bootstrap import Bootstrapper, BootstrapConfig
+from repro.ckks.encoder import Encoder
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.params import CkksParams, RingContext
+from repro.ckks.sine import SineConfig
+
+
+def main() -> None:
+    params = CkksParams.functional(n=1 << 9, l=14, dnum=3, scale_bits=40,
+                                   q0_bits=52, p_bits=52, h=32)
+    config = BootstrapConfig(
+        n_slots=4,
+        sine=SineConfig(k_range=12, degree=63, double_angles=2))
+    print(f"N = {params.n}, L = {params.l}, "
+          f"L_boot = {config.levels_consumed()} "
+          f"(CtS 1 + normalize 1 + sine {config.sine.depth} + StC 1)")
+
+    ring = RingContext(params)
+    keygen = KeyGenerator(ring, seed=11)
+    evaluator = Evaluator(ring)
+    bootstrapper = Bootstrapper(evaluator, config)
+    t0 = time.perf_counter()
+    bootstrapper.generate_keys(keygen)
+    print(f"key generation: {time.perf_counter() - t0:.1f}s "
+          f"({len(evaluator.rotation_keys)} rotation keys)")
+
+    encoder = Encoder(ring)
+    rng = np.random.default_rng(3)
+    z = rng.normal(size=4) * 0.5 + 1j * rng.normal(size=4) * 0.5
+    scale = 2.0 ** 40
+    ct = keygen.encrypt_symmetric(encoder.encode(z, scale).poly, scale, 4)
+
+    # Exhaust the multiplicative budget.
+    ct = evaluator.drop_to_level(ct, 0)
+    print(f"\nciphertext exhausted: level {ct.level} "
+          "(no multiplication possible)")
+
+    t0 = time.perf_counter()
+    refreshed = bootstrapper.bootstrap(ct)
+    elapsed = time.perf_counter() - t0
+    got = evaluator.decrypt_to_message(refreshed, keygen.secret)
+    err = float(np.max(np.abs(got - z)))
+    print(f"bootstrapped in {elapsed:.1f}s -> level {refreshed.level}, "
+          f"max err = {err:.1e}")
+    print(f"  original : {np.round(z, 4)}")
+    print(f"  refreshed: {np.round(got, 4)}")
+
+    # The point of FHE: we can multiply again.
+    squared = evaluator.multiply(refreshed, refreshed)
+    got_sq = evaluator.decrypt_to_message(squared, keygen.secret)
+    err_sq = float(np.max(np.abs(got_sq - z ** 2)))
+    print(f"\nmultiplied after refresh: level {squared.level}, "
+          f"max err vs z^2 = {err_sq:.1e}")
+    assert err < 5e-2 and err_sq < 1e-1
+    print("unbounded-depth computation demonstrated")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Explore the Section 3 parameter space interactively.
+
+Given a ring degree and dnum, reports the budget-maximal instance, its
+security level, evk/ct sizes, the minimum-bound amortized mult time
+(Eq. 8 at 1 TB/s) and the NTTU provisioning requirement (Eq. 10) - the
+analysis a designer would run before committing to an accelerator
+configuration.
+
+Usage:  python examples/parameter_explorer.py [log2_N] [dnum]
+        python examples/parameter_explorer.py          # full sweep
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.bounds import min_bound_tmult_a_slot, min_nttu
+from repro.analysis.parameters import instance_for, max_dnum
+from repro.analysis.security import security_level
+
+
+def describe(log_n: int, dnum: int) -> None:
+    n = 1 << log_n
+    params = instance_for(n, dnum)
+    lam = security_level(n, params.log_pq)
+    print(f"\nN = 2^{log_n}, dnum = {dnum}  ->  L = {params.l}, "
+          f"k = {params.k}")
+    print(f"  log PQ    : {params.log_pq} bits (lambda = {lam:.1f})")
+    print(f"  ct size   : {params.ct_mib:.1f} MiB at max level")
+    print(f"  evk size  : {params.evk_mib:.1f} MiB "
+          f"({params.evk_bytes(params.l) / 1e12 * 1e6:.1f} us at 1 TB/s)")
+    print(f"  minNTTU   : {min_nttu(params):.0f} "
+          "(BTS provisions 2,048)")
+    try:
+        bound = min_bound_tmult_a_slot(params)
+        print(f"  min-bound T_mult,a/slot: "
+              f"{bound.tmult_a_slot * 1e9:.1f} ns "
+              f"({bound.usable_levels} usable levels, "
+              f"T_boot >= {bound.boot_seconds * 1e3:.1f} ms)")
+    except ValueError as exc:
+        print(f"  bootstrapping: infeasible ({exc})")
+
+
+def sweep() -> None:
+    print("Budget-maximal instances at the 128-bit target")
+    print(f"{'N':<6} {'max dnum':>9}   best (dnum, L, min-bound)")
+    for log_n in (15, 16, 17, 18):
+        n = 1 << log_n
+        top = max_dnum(n)
+        best = None
+        for dnum in range(1, min(top, 8) + 1):
+            params = instance_for(n, dnum)
+            try:
+                t = min_bound_tmult_a_slot(params).tmult_a_slot
+            except ValueError:
+                continue
+            if best is None or t < best[2]:
+                best = (dnum, params.l, t)
+        if best:
+            print(f"2^{log_n:<4} {top:>9}   dnum={best[0]}, L={best[1]}, "
+                  f"{best[2] * 1e9:.1f} ns/slot")
+        else:
+            print(f"2^{log_n:<4} {top:>9}   (no bootstrappable instance)")
+    print("\nThe paper's takeaway: target N >= 2^17 with low dnum "
+          "(Section 3.4); BTS picks the three N = 2^17 instances of "
+          "Table 4.")
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if len(args) == 2:
+        describe(int(args[0]), int(args[1]))
+    else:
+        sweep()
+        for dnum in (1, 2, 3):
+            describe(17, dnum)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Quickstart: encrypted arithmetic with the functional CKKS library.
+
+Runs at a reduced ring degree (N = 2^10) so everything executes in a few
+seconds; the same API drives the paper-scale instances symbolically in
+the accelerator model (see examples/accelerator_simulation.py).
+
+Usage:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.encoder import Encoder
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.params import CkksParams, RingContext
+
+
+def main() -> None:
+    # 1. Parameters: N=1024, 8 levels, dnum=2 (not a secure size --
+    #    functional demos only; security needs N >= 2^14, Section 3.2).
+    params = CkksParams.functional(n=1 << 10, l=8, dnum=2)
+    print(f"ring degree N = {params.n}, levels L = {params.l}, "
+          f"dnum = {params.dnum}, k = {params.k} special primes")
+
+    # 2. Ring machinery, keys, evaluator.
+    ring = RingContext(params)
+    keygen = KeyGenerator(ring, seed=42)
+    encoder = Encoder(ring)
+    evaluator = Evaluator(
+        ring,
+        relin_key=keygen.gen_relinearization_key(),
+        rotation_keys={1: keygen.gen_rotation_key(1),
+                       4: keygen.gen_rotation_key(4)},
+        conjugation_key=keygen.gen_conjugation_key())
+
+    # 3. Encrypt two messages (up to N/2 = 512 complex slots each).
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=8)
+    y = rng.normal(size=8)
+    scale = 2.0 ** 40
+    ct_x = keygen.encrypt_symmetric(encoder.encode(x + 0j, scale).poly,
+                                    scale, len(x))
+    ct_y = keygen.encrypt_symmetric(encoder.encode(y + 0j, scale).poly,
+                                    scale, len(y))
+    print(f"\nx = {np.round(x, 4)}")
+    print(f"y = {np.round(y, 4)}")
+
+    # 4. Compute on ciphertexts.
+    ct_sum = evaluator.add(ct_x, ct_y)
+    ct_prod = evaluator.multiply(ct_x, ct_y)          # HMult + rescale
+    ct_rot = evaluator.rotate(ct_x, 1)                # slot shift
+    ct_poly = evaluator.add_scalar(
+        evaluator.multiply_scalar(ct_prod, 2.0, rescale=True), 1.0)
+
+    # 5. Decrypt and verify.
+    def show(label: str, ct, want: np.ndarray) -> None:
+        got = evaluator.decrypt_to_message(ct, keygen.secret).real
+        err = float(np.max(np.abs(got - want)))
+        print(f"{label:<14} level={ct.level}  max err={err:.2e}")
+        assert err < 1e-4
+
+    show("x + y", ct_sum, x + y)
+    show("x * y", ct_prod, x * y)
+    show("rotate(x, 1)", ct_rot, np.roll(x, -1))
+    show("2xy + 1", ct_poly, 2 * x * y + 1)
+    print("\nall encrypted results match plaintext computation")
+
+
+if __name__ == "__main__":
+    main()

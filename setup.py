@@ -1,0 +1,5 @@
+"""Setup shim for legacy editable installs (no `wheel` in this environment)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""repro: reproduction of BTS (ISCA 2022), a bootstrappable FHE accelerator.
+
+Three layers:
+
+* :mod:`repro.ckks` - a functional Full-RNS CKKS library (the math the
+  accelerator executes), correct at small ring degrees.
+* :mod:`repro.core` - the BTS accelerator model: cycle-level simulator,
+  PE/NTTU/BConvU pipelines, scratchpad, NoCs and the area/power model.
+* :mod:`repro.analysis`, :mod:`repro.baselines`, :mod:`repro.workloads` -
+  the Section 3 parameter study, reconstructed CPU/GPU/ASIC baselines,
+  and the paper's application workloads as HE-op traces.
+"""
+
+__version__ = "1.0.0"
+
+from repro.ckks.params import CkksParams
+
+__all__ = ["CkksParams", "__version__"]

@@ -1,0 +1,33 @@
+"""Section 3 of the paper: technology-driven parameter selection.
+
+Security-level estimation (lambda as a function of N / log PQ), the
+L / dnum / evk-size interplay of Fig. 1, the minimum-bound amortized-mult
+model of Fig. 2 / Section 3.3, the minNTTU sizing equation (Eq. 10), and
+the HMult computational-complexity breakdown of Fig. 3(b).
+"""
+
+from repro.analysis.security import (
+    security_level,
+    max_log_pq,
+    log_pq_budget,
+)
+from repro.analysis.parameters import (
+    instance_for,
+    max_level_for,
+    max_dnum,
+)
+from repro.analysis.bounds import min_bound_tmult_a_slot, min_nttu
+from repro.analysis.complexity import hmult_complexity, complexity_breakdown
+
+__all__ = [
+    "security_level",
+    "max_log_pq",
+    "log_pq_budget",
+    "instance_for",
+    "max_level_for",
+    "max_dnum",
+    "min_bound_tmult_a_slot",
+    "min_nttu",
+    "hmult_complexity",
+    "complexity_breakdown",
+]

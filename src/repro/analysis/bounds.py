@@ -1,0 +1,107 @@
+"""Section 3.3: the realistic minimum bound of HE-accelerator time.
+
+Even with infinite compute and a scratchpad that always hits, every
+HMult/HRot must stream its evk from off-chip memory, so the evk load time
+lower-bounds the op and Eq. 8 lower-bounds the amortized mult time.
+Eq. 10 then sizes the NTTU array so compute never outruns that floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckks.params import CkksParams
+from repro.workloads.bootstrap_trace import BootstrapPhases, \
+    BootstrapTraceBuilder
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class MinBoundResult:
+    """Eq. 8 evaluated on evk-load times alone."""
+
+    params_name: str
+    boot_seconds: float
+    mult_chain_seconds: float
+    usable_levels: int
+    tmult_a_slot: float
+
+
+def evk_load_seconds(params: CkksParams, level: int,
+                     bandwidth: float = 1e12) -> float:
+    """Streaming time of one evk at ``level`` (the HMult/HRot floor)."""
+    return params.evk_bytes(level) / bandwidth
+
+
+def feasible_phases(params: CkksParams) -> BootstrapPhases:
+    """A bootstrapping level budget that fits the instance.
+
+    Deep instances (the N = 2^17 points) run the paper's 19-level
+    pipeline; shallow ones (small N / small dnum in the Fig. 2 sweep)
+    fall back to a compact 12-level variant - which is why Fig. 1a draws
+    its dotted feasibility line near L = 11.  Raises if even the compact
+    pipeline cannot fit.
+    """
+    default = BootstrapPhases()
+    if default.total_levels < params.l:
+        return default
+    compact = BootstrapPhases(cts_levels=2, stc_levels=2, sine_degree=15,
+                              double_angles=1, margin_levels=0)
+    if compact.total_levels < params.l:
+        return compact
+    raise ValueError(
+        f"{params.name}: L={params.l} cannot fit even compact "
+        f"bootstrapping ({compact.total_levels} levels)")
+
+
+def min_bound_tmult_a_slot(params: CkksParams,
+                           bandwidth: float = 1e12,
+                           phases: BootstrapPhases | None = None
+                           ) -> MinBoundResult:
+    """The Fig. 2 minimum-bound T_mult,a/slot for one CKKS instance.
+
+    Assumes all ciphertexts stay on-chip (Section 3.4's simplifying
+    assumptions): only key-switching evk traffic is charged, summed over
+    the bootstrapping trace plus the usable-level HMult chain.  Shallow
+    instances automatically use the compact pipeline of
+    :func:`feasible_phases`.
+    """
+    if phases is None:
+        phases = feasible_phases(params)
+    builder = BootstrapTraceBuilder(params, phases)
+    trace = Trace(name="min-bound")
+    ct = builder.emit(trace, trace.new_ct())
+    boot_seconds = sum(
+        evk_load_seconds(params, op.level, bandwidth)
+        for op in trace.ops if op.kind.needs_evk)
+    usable = params.l - builder.boot_levels
+    if usable < 1:
+        raise ValueError("instance cannot bootstrap: no usable levels")
+    mult_chain = sum(evk_load_seconds(params, level, bandwidth)
+                     for level in range(1, usable + 1))
+    per_mult = (boot_seconds + mult_chain) / usable
+    del ct
+    return MinBoundResult(
+        params_name=params.name,
+        boot_seconds=boot_seconds,
+        mult_chain_seconds=mult_chain,
+        usable_levels=usable,
+        tmult_a_slot=per_mult * 2.0 / params.n)
+
+
+def min_nttu(params: CkksParams, level: int | None = None,
+             frequency: float = 1.2e9, bandwidth: float = 1e12) -> float:
+    """Eq. 10: NTTUs needed to hide HMult compute under the evk load.
+
+    ``(dnum+2)(k+l+1) * (N/2) log N / f`` butterflies of work against
+    ``2 dnum (k+l+1) N * 8B / BW`` of streaming; dnum = 1 maximizes it
+    (1,328 for N = 2^17 at 1.2GHz and 1TB/s).
+    """
+    level = params.l if level is None else level
+    n = params.n
+    log_n = n.bit_length() - 1
+    butterflies = ((params.dnum + 2) * (params.k + level + 1)
+                   * (n // 2) * log_n)
+    compute_seconds = butterflies / frequency
+    load_seconds = params.evk_bytes(level) / bandwidth
+    return compute_seconds / load_seconds

@@ -1,0 +1,118 @@
+"""Computational complexity of HMult's key-switching (Fig. 3b).
+
+Exact modular-operation counts for the Fig. 3(a) dataflow at a given
+level, split into the paper's four categories: NTT, iNTT, BConv and
+"others" (element-wise work: the tensor product, the evk products, and
+the SSA fusion).  The qualitative claims of Section 4.2 fall out of the
+model: BConv's share grows steeply as dnum shrinks (the MMAU motivation)
+while (i)NTT dominates at dnum = max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckks.params import CkksParams
+
+
+@dataclass(frozen=True)
+class HMultComplexity:
+    """Modular-multiplication counts of one HMult at one level."""
+
+    ntt_mults: int
+    intt_mults: int
+    bconv_mults: int
+    other_mults: int
+
+    @property
+    def total(self) -> int:
+        return (self.ntt_mults + self.intt_mults + self.bconv_mults
+                + self.other_mults)
+
+    def shares(self) -> dict[str, float]:
+        total = self.total
+        return {
+            "NTT": self.ntt_mults / total,
+            "iNTT": self.intt_mults / total,
+            "BConv": self.bconv_mults / total,
+            "Others": self.other_mults / total,
+        }
+
+
+def _slice_shapes(params: CkksParams, level: int) -> list[tuple[int, int]]:
+    """(src, dst) limb counts of each ModUp decomposition slice."""
+    alpha = params.alpha
+    working = params.k + level + 1
+    shapes = []
+    start = 0
+    while start <= level:
+        src = min(alpha, level + 1 - start)
+        shapes.append((src, working - src))
+        start += src
+    return shapes
+
+
+def hmult_complexity(params: CkksParams,
+                     level: int | None = None) -> HMultComplexity:
+    """Exact mult counts for HMult at ``level`` (default: max level L)."""
+    level = params.l if level is None else level
+    n = params.n
+    butterfly_mults = (n // 2) * (n.bit_length() - 1)  # 1 mult / butterfly
+    k = params.k
+    q_limbs = level + 1
+    working = k + q_limbs
+
+    slices = _slice_shapes(params, level)
+    # iNTT: every ModUp slice (sum of srcs = level+1) plus the two
+    # ModDown P-parts.
+    intt_limbs = q_limbs + 2 * k
+    # NTT: the converted complement of every slice plus the two ModDown
+    # Q-part transforms.
+    ntt_limbs = sum(dst for _, dst in slices) + 2 * q_limbs
+    ntt_mults = ntt_limbs * butterfly_mults
+    intt_mults = intt_limbs * butterfly_mults
+
+    # BConv: part 1 is one mult per source residue; part 2 is src x dst
+    # MACs, for each ModUp slice and both ModDown conversions (k -> Q).
+    bconv = 0
+    for src, dst in slices:
+        bconv += src * n + src * dst * n
+    bconv += 2 * (k * n + k * q_limbs * n)
+
+    # Others: tensor product (4 mults over level+1 limbs), the two evk
+    # products per slice (2 mults over the working base), the SSA scaling
+    # (1 mult per residue, both halves), and rescale-ready adds folded in
+    # as one more op per residue.
+    others = 4 * q_limbs * n
+    others += sum(2 * working * n for _ in slices)
+    others += 2 * q_limbs * n
+    others += q_limbs * n
+
+    return HMultComplexity(ntt_mults=ntt_mults, intt_mults=intt_mults,
+                           bconv_mults=bconv, other_mults=others)
+
+
+def complexity_breakdown(n: int = 1 << 17,
+                         dnum_values: tuple[int, ...] | None = None,
+                         target_lambda: float = 128.0
+                         ) -> list[dict[str, float | int | str]]:
+    """Fig. 3(b): relative complexity vs dnum at fixed N and security.
+
+    Each dnum gets its own budget-maximal instance (as the paper's caption
+    specifies: same N and lambda, different dnum).
+    """
+    from repro.analysis.parameters import instance_for, max_dnum
+
+    top = max_dnum(n, target_lambda)
+    values = dnum_values or (1, 3, 6, 14, top)
+    rows = []
+    for dnum in values:
+        dnum_eff = min(dnum, top)
+        params = instance_for(n, dnum_eff, target_lambda)
+        shares = hmult_complexity(params).shares()
+        rows.append({
+            "dnum": "max" if dnum == top else dnum,
+            "L": params.l,
+            **{key: round(100.0 * val, 1) for key, val in shares.items()},
+        })
+    return rows

@@ -1,0 +1,96 @@
+"""rPLP vs CLP: the parallelization study behind Section 4.3.
+
+Prior accelerators (F1, HEAX) parallelize HE ops across *residue
+polynomials* (rPLP): PE i owns prime q_i.  BTS parallelizes across
+*coefficients* (CLP): PE i owns a fixed set of coefficient indices.  The
+paper's argument for CLP has two parts, both modeled here:
+
+1. **Load balance.**  The number of live residue polynomials is
+   ``level + 1`` and *fluctuates* as an application rescales down and
+   bootstrapping raises back up; with ``n_pe`` processing elements, rPLP
+   utilization at level ``l`` is ``(l+1) / (ceil((l+1)/n_pe) * n_pe)``,
+   which collapses when ``l + 1 < n_pe``.  CLP distributes the fixed N
+   coefficients, so its utilization is level-independent.
+
+2. **Data exchange.**  For the key-switching sequence
+   ``iNTT -> BConv -> NTT``, CLP pays inter-PE exchange for the (i)NTT
+   steps and rPLP pays it for BConv; the per-op exchanged volume is the
+   same ``(k + l + 1) * N`` words either way (the paper's observation
+   that there is "no clear winner" on traffic - the win comes from the
+   balance and the fixed communication pattern).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ckks.params import CkksParams
+from repro.workloads.trace import Trace
+
+
+def rplp_utilization(level: int, n_pe: int) -> float:
+    """PE utilization of residue-polynomial-level parallelism."""
+    live = level + 1
+    rounds = math.ceil(live / n_pe)
+    return live / (rounds * n_pe)
+
+
+def clp_utilization(n: int, n_pe: int) -> float:
+    """PE utilization of coefficient-level parallelism (level-free)."""
+    rounds = math.ceil(n / n_pe)
+    return n / (rounds * n_pe)
+
+
+def exchange_words_per_keyswitch(params: CkksParams,
+                                 level: int | None = None) -> int:
+    """Words exchanged between PEs for iNTT/BConv/NTT, either scheme."""
+    level = params.l if level is None else level
+    return (params.k + level + 1) * params.n
+
+
+@dataclass(frozen=True)
+class ParallelismComparison:
+    """Utilization of both schemes averaged over a workload trace."""
+
+    params: CkksParams
+    n_pe: int
+    rplp_mean: float
+    rplp_worst: float
+    clp: float
+
+    @property
+    def clp_advantage(self) -> float:
+        return self.clp / self.rplp_mean
+
+
+def compare_over_trace(params: CkksParams, trace: Trace,
+                       n_pe: int = 64) -> ParallelismComparison:
+    """Average rPLP utilization over the levels a real trace visits.
+
+    ``n_pe`` defaults to 64 (an rPLP design sized for the max level
+    region, F1-style); BTS's 2,048 PEs under rPLP would be absurdly
+    imbalanced, which is the point.
+    """
+    utils = [rplp_utilization(op.level, n_pe) for op in trace.ops]
+    if not utils:
+        raise ValueError("empty trace")
+    return ParallelismComparison(
+        params=params,
+        n_pe=n_pe,
+        rplp_mean=sum(utils) / len(utils),
+        rplp_worst=min(utils),
+        clp=clp_utilization(params.n, n_pe),
+    )
+
+
+def ntt_split_exchange_rounds(split_dims: int) -> int:
+    """Inter-PE exchange rounds for a ``split_dims``-dimensional NTT.
+
+    Section 4.3: BTS's 3D split needs exactly two transpose rounds;
+    finer splits add a round per extra dimension (more energy), which is
+    why 3D is the sweet spot for 2,048 PEs at N = 2^17.
+    """
+    if split_dims < 1:
+        raise ValueError("need at least one dimension")
+    return split_dims - 1

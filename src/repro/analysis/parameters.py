@@ -1,0 +1,126 @@
+"""Parameter interplay: L vs dnum vs evk size (Fig. 1, Table 4).
+
+Given a ring degree and a decomposition number, the maximum level L is
+whatever fits the security budget: with a ``q0_bits``-bit base prime,
+``scale_bits``-bit rescaling primes and ``p_bits``-bit special primes,
+
+    log PQ = q0_bits + L * scale_bits + ceil((L+1)/dnum) * p_bits
+
+must stay below :func:`repro.analysis.security.log_pq_budget`.  A larger
+dnum shrinks the special base (k = ceil((L+1)/dnum)), freeing budget for
+more levels - at the cost of a linearly larger evk (Section 2.5's points
+i-iii).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.security import log_pq_budget, security_level
+from repro.ckks.params import CkksParams
+
+#: Prime sizing used throughout the paper's instances (Section 3.2).
+DEFAULT_SCALE_BITS = 50
+DEFAULT_Q0_BITS = 60
+DEFAULT_P_BITS = 60
+
+
+def log_pq_of(l: int, dnum: int, scale_bits: int = DEFAULT_SCALE_BITS,
+              q0_bits: int = DEFAULT_Q0_BITS,
+              p_bits: int = DEFAULT_P_BITS) -> int:
+    """log2(PQ) of an (L, dnum) choice under the default prime sizing."""
+    k = -(-(l + 1) // dnum)
+    return q0_bits + l * scale_bits + k * p_bits
+
+
+def max_level_for(n: int, dnum: int, target_lambda: float = 128.0,
+                  scale_bits: int = DEFAULT_SCALE_BITS,
+                  q0_bits: int = DEFAULT_Q0_BITS,
+                  p_bits: int = DEFAULT_P_BITS) -> int:
+    """Largest L satisfying the security budget for (n, dnum)."""
+    budget = log_pq_budget(n, target_lambda)
+    level = 0
+    while log_pq_of(level + 1, dnum, scale_bits, q0_bits, p_bits) <= budget:
+        level += 1
+    if level == 0:
+        raise ValueError(f"no feasible level for N={n}, dnum={dnum}")
+    return level
+
+
+def max_dnum(n: int, target_lambda: float = 128.0) -> int:
+    """Largest useful dnum: L + 1 at the single-special-prime point.
+
+    Reproduces the table embedded in Fig. 1: 14 / 29 / 60 / 121 for
+    N = 2^15 .. 2^18.
+    """
+    budget = log_pq_budget(n, target_lambda)
+    # k = 1: budget = q0 + 50 L + 60  =>  L = (budget - 120) / 50.
+    level = int((budget - DEFAULT_Q0_BITS - DEFAULT_P_BITS)
+                // DEFAULT_SCALE_BITS)
+    return level + 1
+
+
+def instance_for(n: int, dnum: int, target_lambda: float = 128.0,
+                 name: str | None = None) -> CkksParams:
+    """A budget-maximal CkksParams for (n, dnum) at the security target."""
+    level = max_level_for(n, dnum, target_lambda)
+    return CkksParams(
+        n=n, l=level, dnum=dnum,
+        scale_bits=DEFAULT_SCALE_BITS, q0_bits=DEFAULT_Q0_BITS,
+        p_bits=DEFAULT_P_BITS,
+        name=name or f"N=2^{n.bit_length() - 1},dnum={dnum}")
+
+
+@dataclass(frozen=True)
+class DnumSweepPoint:
+    """One point of the Fig. 1 curves."""
+
+    n: int
+    dnum: int
+    normalized_dnum: float
+    max_level: int
+    evk_bytes: int
+    log_pq: int
+    security: float
+
+
+def dnum_sweep(n: int, target_lambda: float = 128.0
+               ) -> list[DnumSweepPoint]:
+    """L and evk size across every integer dnum for one ring degree."""
+    top = max_dnum(n, target_lambda)
+    points = []
+    for dnum in range(1, top + 1):
+        try:
+            level = max_level_for(n, dnum, target_lambda)
+        except ValueError:
+            continue
+        if dnum > level + 1:
+            break
+        params = CkksParams(n=n, l=level, dnum=dnum,
+                            scale_bits=DEFAULT_SCALE_BITS,
+                            q0_bits=DEFAULT_Q0_BITS,
+                            p_bits=DEFAULT_P_BITS)
+        log_pq = log_pq_of(level, dnum)
+        points.append(DnumSweepPoint(
+            n=n, dnum=dnum, normalized_dnum=dnum / top,
+            max_level=level, evk_bytes=params.evk_bytes_full(),
+            log_pq=log_pq, security=security_level(n, log_pq)))
+    return points
+
+
+def table4_rows() -> list[dict[str, float | int | str]]:
+    """Recompute Table 4's columns for INS-1/2/3 from first principles."""
+    rows = []
+    for params in CkksParams.paper_instances():
+        rows.append({
+            "instance": params.name,
+            "N": params.n,
+            "L": params.l,
+            "dnum": params.dnum,
+            "k": params.k,
+            "log_pq": params.log_pq,
+            "lambda": round(security_level(params.n, params.log_pq), 1),
+            "evk_mib": round(params.evk_mib, 1),
+            "ct_mib": round(params.ct_mib, 1),
+        })
+    return rows

@@ -1,0 +1,15 @@
+"""Reconstructed baseline performance models (Table 1 / Fig. 6 systems).
+
+The BTS paper compares against Lattigo on a Xeon CPU, the 100x GPU
+implementation, and the F1 ASIC (plus F1+, an area-scaled projection).
+None of those artifacts are runnable here, so each is modeled the way the
+paper itself treats them: Lattigo structurally (an op-count model with a
+calibrated effective modular-multiplication rate, so parameter sweeps
+remain meaningful) and 100x / F1 from their published anchor numbers.
+"""
+
+from repro.baselines.cpu_lattigo import LattigoCpuModel
+from repro.baselines.gpu_100x import Gpu100xModel
+from repro.baselines.f1 import F1Model
+
+__all__ = ["LattigoCpuModel", "Gpu100xModel", "F1Model"]

@@ -1,0 +1,76 @@
+"""Structural CPU (Lattigo) performance model.
+
+Lattigo [35] runs Full-RNS CKKS with the same algorithmic structure we
+simulate; on a Xeon Platinum 8160 the paper measures a T_mult,a/slot of
+~101.8 us (2,237x slower than BTS's 45.5 ns) on the 128-bit preset with
+N = 2^16.  We model each HE op's cost as its exact modular-multiplication
+count (:mod:`repro.analysis.complexity`) divided by one calibrated
+*effective* mult rate that folds in SIMD width, cores, and memory stalls.
+
+The calibration constant is chosen so the Eq. 8 microbenchmark on the
+Lattigo-shaped instance reproduces the paper's 2,237x gap, and it lands
+at a physically sensible ~0.9 x 10^9 effective 64-bit modmuls/s for an
+AVX-512 Xeon once memory stalls are folded in - the sanity check that
+the model extrapolates meaningfully to HELR / ResNet / sorting op mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.complexity import hmult_complexity
+from repro.ckks.params import CkksParams
+from repro.workloads.trace import HEOp, OpKind, Trace
+
+#: Effective modular mults/second, calibrated against Lattigo's measured
+#: T_mult,a/slot of ~101.8 us on the N=2^16 bootstrapping preset.
+LATTIGO_EFFECTIVE_MODMUL_RATE = 0.647e9
+
+#: The paper's reported CPU anchor numbers (for cross-checks/reports).
+REPORTED_TMULT_A_SLOT = 101.8e-6       # = 2237 x 45.5 ns
+REPORTED_HELR_MS_PER_ITER = 37_050.0   # Table 5
+REPORTED_RESNET_SECONDS = 10_602.0     # Table 6 ([59]'s measurement)
+REPORTED_SORTING_SECONDS = 23_066.0    # Table 6 ([42]'s measurement)
+
+
+@dataclass
+class LattigoCpuModel:
+    """Op-count CPU timing over a CKKS instance."""
+
+    params: CkksParams = field(
+        default_factory=CkksParams.lattigo_like)
+    modmul_rate: float = LATTIGO_EFFECTIVE_MODMUL_RATE
+
+    def keyswitch_seconds(self, level: int) -> float:
+        """HMult/HRot cost: the full Fig. 3a pipeline's mult count."""
+        return hmult_complexity(self.params, level).total / self.modmul_rate
+
+    def op_seconds(self, op: HEOp) -> float:
+        n = self.params.n
+        q_limbs = op.level + 1
+        if op.kind.needs_evk:
+            return self.keyswitch_seconds(op.level)
+        if op.kind is OpKind.HRESCALE:
+            # 2 halves x (1 iNTT + level NTTs worth of work + EW fixup).
+            butterfly = (n // 2) * (n.bit_length() - 1)
+            mults = 2 * (butterfly * (op.level + 1) + 2 * op.level * n)
+            return mults / self.modmul_rate
+        if op.kind in (OpKind.PMULT, OpKind.CMULT):
+            return 2 * q_limbs * n / self.modmul_rate
+        if op.kind is OpKind.MODRAISE:
+            butterfly = (n // 2) * (n.bit_length() - 1)
+            return 2 * q_limbs * (n + butterfly) / self.modmul_rate
+        # additions: charge one op per residue at the mult rate (adds are
+        # cheaper but memory-bound on CPU; one-rate folding is standard).
+        return 2 * q_limbs * n / self.modmul_rate
+
+    def run(self, trace: Trace) -> float:
+        """Serial execution time of a trace (seconds)."""
+        return sum(self.op_seconds(op) for op in trace.ops)
+
+    def tmult_a_slot(self) -> float:
+        """Eq. 8 on this CPU model with its native instance."""
+        from repro.workloads.microbench import amortized_mult_workload
+
+        workload = amortized_mult_workload(self.params)
+        return workload.tmult_a_slot(self.run(workload.trace))

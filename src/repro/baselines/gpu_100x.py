@@ -1,0 +1,45 @@
+"""GPU baseline: the "100x" bootstrapping implementation [48].
+
+The BTS paper uses 100x's *reported* V100 numbers (Section 6.2), so this
+model does the same: published anchors plus a bandwidth-ratio
+interpolation for unlisted parameter points.  Anchors (from [48] as cited
+by the BTS paper): T_mult,a/slot of 743 ns on a 97-bit-secure instance
+and ~8 us on a 173-bit-secure instance; HELR at 775 ms/iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: (security bits, amortized mult time per slot in seconds).
+REPORTED_TMULT_POINTS: tuple[tuple[float, float], ...] = (
+    (97.0, 743e-9),
+    (173.0, 8e-6),
+)
+
+REPORTED_HELR_MS_PER_ITER = 775.0   # Table 5
+REPORTED_BOOTSTRAP_SPEEDUP_VS_CPU = 242.0  # [48]'s headline claim
+
+
+@dataclass(frozen=True)
+class Gpu100xModel:
+    """Published-anchor GPU model."""
+
+    def tmult_a_slot(self, security_bits: float = 97.0) -> float:
+        """Reported amortized mult time near a security level.
+
+        Log-linear interpolation between the two published points;
+        clamped outside the published range.
+        """
+        (s_lo, t_lo), (s_hi, t_hi) = REPORTED_TMULT_POINTS
+        if security_bits <= s_lo:
+            return t_lo
+        if security_bits >= s_hi:
+            return t_hi
+        import math
+        frac = (security_bits - s_lo) / (s_hi - s_lo)
+        return math.exp(math.log(t_lo) + frac * (math.log(t_hi)
+                                                 - math.log(t_lo)))
+
+    def helr_ms_per_iteration(self) -> float:
+        return REPORTED_HELR_MS_PER_ITER

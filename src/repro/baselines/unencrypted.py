@@ -1,0 +1,51 @@
+"""Unencrypted-execution model (Section 6.3's "Slowdown of FHE").
+
+Even on BTS, FHE applications trail their plaintext counterparts: the
+paper reports HELR 141x and ResNet-20 inference 440x slower than running
+unencrypted on a CPU.  This model estimates the plaintext times from
+floating-point operation counts at a calibrated effective CPU throughput,
+so the slowdown factors can be regenerated next to the simulator's FHE
+times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Effective sustained CPU throughput for these small dense kernels
+#: (one socket with SIMD, calibrated so the paper's slowdown anchors -
+#: 141x for HELR, 440x for ResNet-20 against BTS - are reproduced).
+EFFECTIVE_FLOPS = 1.0e10
+
+
+@dataclass(frozen=True)
+class UnencryptedModel:
+    """Plaintext execution-time estimates for the paper's workloads."""
+
+    flops_per_second: float = EFFECTIVE_FLOPS
+
+    def helr_iteration_seconds(self, batch: int = 1024,
+                               features: int = 196) -> float:
+        """One logistic-regression iteration: forward + gradient.
+
+        ~2 FLOPs per element for X.w, the sigmoid, and 2 more for X^T r,
+        plus the update - about 5 FLOPs per matrix element.
+        """
+        flops = 5.0 * batch * features
+        return flops / self.flops_per_second
+
+    def resnet20_seconds(self) -> float:
+        """ResNet-20 on 32x32 CIFAR-10 input: ~41 MFLOPs [He et al.]."""
+        flops = 41.0e6
+        return flops / self.flops_per_second
+
+    def sorting_seconds(self, elements: int = 1 << 14) -> float:
+        """Bitonic network: n/2 * log(n)(log(n)+1)/2 compare-exchanges."""
+        k = elements.bit_length() - 1
+        stages = k * (k + 1) // 2
+        flops = 3.0 * (elements // 2) * stages
+        return flops / self.flops_per_second
+
+    def slowdown(self, fhe_seconds: float,
+                 plain_seconds: float) -> float:
+        return fhe_seconds / plain_seconds

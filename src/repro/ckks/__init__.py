@@ -1,0 +1,39 @@
+"""Functional Full-RNS CKKS substrate.
+
+This subpackage implements the homomorphic-encryption scheme that the BTS
+accelerator executes: Full-RNS CKKS [Cheon et al., SAC'18] with generalized
+(``dnum``) key-switching [Han-Ki, CT-RSA'20] and full bootstrapping
+(ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff).
+
+The implementation is *functional*: it computes on real residues and is
+meant for correctness at small-to-moderate ring degrees (N = 2^8 .. 2^13).
+Performance at the paper's N = 2^17 scale is modeled by :mod:`repro.core`,
+which consumes the same :class:`~repro.ckks.params.CkksParams` descriptions.
+"""
+
+from repro.ckks.params import CkksParams, RingContext
+from repro.ckks.encoder import Encoder
+from repro.ckks.encryptor import Encryptor
+from repro.ckks.keys import KeyGenerator, SecretKey, PublicKey, EvaluationKey
+from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.noise import NoiseEstimate, NoiseEstimator
+from repro.ckks.bootstrap import Bootstrapper, BootstrapConfig
+
+__all__ = [
+    "CkksParams",
+    "RingContext",
+    "Encoder",
+    "Encryptor",
+    "KeyGenerator",
+    "SecretKey",
+    "PublicKey",
+    "EvaluationKey",
+    "Ciphertext",
+    "Plaintext",
+    "Evaluator",
+    "NoiseEstimate",
+    "NoiseEstimator",
+    "Bootstrapper",
+    "BootstrapConfig",
+]

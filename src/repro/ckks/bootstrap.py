@@ -1,0 +1,258 @@
+"""CKKS bootstrapping: ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff.
+
+This is the operation that makes the scheme *fully* homomorphic
+(Section 2.4): a level-0 ciphertext is reinterpreted modulo the full
+chain Q_L, which changes the underlying plaintext to ``m + q0 * I(X)``
+for a small integer polynomial I; the pipeline below then removes the
+``q0 * I`` term homomorphically:
+
+1. **ModRaise** - exact RNS lift of the q0 residues to all L+1 primes.
+2. **SubSum** (sparse packing only) - log2(N / 2n) rotations project the
+   raised polynomial onto the order-2n subring.
+3. **CoeffToSlot** - two BSGS linear transforms (A z + B conj(z)) move the
+   polynomial's coefficients into slots so modular reduction can act
+   slot-wise.
+4. **EvalMod** - split into real/imaginary parts, evaluate the scaled
+   sine of :mod:`repro.ckks.sine` on each, and recombine (the x -> i*x
+   recombination is a free negacyclic monomial shift by N/2).
+5. **SlotToCoeff** - the inverse transforms, with the final
+   ``q0 / (2*pi*Delta)`` amplitude correction folded into the matrix
+   constants so it costs no extra level.
+
+The linear-transform matrices come straight from the canonical-embedding
+algebra in :mod:`repro.ckks.encoder`; see ``_build_transforms``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.linear_transform import LinearTransform, bsgs_rotations
+from repro.ckks.params import RingContext
+from repro.ckks.rns import RnsPolynomial, exact_residue_transfer
+from repro.ckks.sine import SineConfig, SineEvaluator
+
+
+@dataclass(frozen=True)
+class BootstrapConfig:
+    """Shape of a bootstrapping instance."""
+
+    n_slots: int                 #: packed slots (N/2 = full packing)
+    sine: SineConfig = field(default_factory=SineConfig)
+
+    def levels_consumed(self) -> int:
+        """L_boot: CtS (1) + normalize (1) + sine + StC (1)."""
+        return 3 + self.sine.depth
+
+
+def _embedding_matrix(sub_degree: int, n_slots: int) -> np.ndarray:
+    """U with z = U c for the order-``sub_degree`` subring (n x 2n)."""
+    m = sub_degree
+    zeta = np.exp(1j * np.pi / m)
+    e = np.empty(n_slots, dtype=np.int64)
+    val = 1
+    for j in range(n_slots):
+        e[j] = val
+        val = (val * 5) % (2 * m)
+    k = np.arange(m)
+    return zeta ** (e[:, None] * k[None, :])
+
+
+class Bootstrapper:
+    """Bootstraps ciphertexts for one ring / slot configuration.
+
+    Parameters
+    ----------
+    evaluator:
+        Must carry the relinearization key, the conjugation key and every
+        rotation key in :meth:`required_rotations`.
+    config:
+        Packing and sine-approximation shape.
+    """
+
+    def __init__(self, evaluator: Evaluator, config: BootstrapConfig) -> None:
+        self.evaluator = evaluator
+        self.ring = evaluator.ring
+        self.config = config
+        n = self.ring.n
+        if config.n_slots < 1 or config.n_slots > n // 2 \
+                or config.n_slots & (config.n_slots - 1):
+            raise ValueError("n_slots must be a power of two <= N/2")
+        if config.levels_consumed() >= self.ring.max_level:
+            raise ValueError(
+                f"bootstrapping needs {config.levels_consumed()} levels but "
+                f"L={self.ring.max_level}")
+        self._transforms_cache: tuple | None = None
+
+    # ----- static requirements --------------------------------------------------
+
+    @staticmethod
+    def required_rotations(n: int, n_slots: int) -> set[int]:
+        """Every rotation amount bootstrapping will ask keys for."""
+        amounts = set(bsgs_rotations(n_slots, n_slots))
+        replicas = (n // 2) // n_slots
+        step = n_slots
+        while step * 2 <= replicas * n_slots:
+            amounts.add(step)
+            step *= 2
+        return amounts
+
+    def generate_keys(self, keygen: KeyGenerator) -> None:
+        """Populate the evaluator with every key bootstrapping needs."""
+        ev = self.evaluator
+        if ev.relin_key is None:
+            ev.relin_key = keygen.gen_relinearization_key()
+        if ev.conjugation_key is None:
+            ev.conjugation_key = keygen.gen_conjugation_key()
+        for amount in sorted(self.required_rotations(self.ring.n,
+                                                     self.config.n_slots)):
+            if amount not in ev.rotation_keys:
+                ev.rotation_keys[amount] = keygen.gen_rotation_key(amount)
+
+    # ----- transform construction -------------------------------------------------
+
+    def _build_transforms(self) -> tuple[LinearTransform, LinearTransform]:
+        """CtS and StC matrices as BSGS diagonals.
+
+        With U the subring embedding (z = U c) and the packing
+        ``w = c_low + i c_high``, the algebra collapses to *single*
+        matrices: because ``zeta^(e_j * n) = i`` and ``e_j = 1 (mod 4)``,
+        the conjugate-part matrices ``S conj(U)^H`` and
+        ``(U_L + i U_R)/2`` vanish identically, leaving
+
+            CtS:  w_l = (2/M) * sum_j conj(zeta^(e_j * l)) * z_j
+            StC:  z_j = sum_l zeta^(e_j * l) * w_l.
+
+        The CtS matrix also absorbs 1/replicas (undoing SubSum's
+        amplification); the StC matrix absorbs q0/(2*pi*Delta), the sine
+        amplitude correction, so neither costs an extra level.
+        """
+        if self._transforms_cache is not None:
+            return self._transforms_cache
+        n_slots = self.config.n_slots
+        m = 2 * n_slots
+        u_left = _embedding_matrix(m, n_slots)[:, :n_slots]
+        replicas = (self.ring.n // 2) // n_slots
+        cts_mat = (2.0 / m / replicas) * u_left.conj().T
+        q0 = float(self.ring.q_primes[0].value)
+        delta = 2.0 ** self.ring.params.scale_bits
+        amplitude = q0 / (2.0 * np.pi * delta)
+        stc_mat = u_left * amplitude
+        self._transforms_cache = (LinearTransform.from_matrix(cts_mat),
+                                  LinearTransform.from_matrix(stc_mat))
+        return self._transforms_cache
+
+    # ----- pipeline stages -----------------------------------------------------------
+
+    def mod_raise(self, ct: Ciphertext) -> Ciphertext:
+        """Lift a level-0 ciphertext to the full chain (plaintext gains q0*I)."""
+        ev = self.evaluator
+        low = ev.drop_to_level(ct, 0).from_ntt()
+        q0 = self.ring.q_primes[0]
+        full_base = self.ring.base_q(self.ring.max_level)
+
+        def raise_poly(poly: RnsPolynomial) -> RnsPolynomial:
+            return exact_residue_transfer(poly.residues[0], q0,
+                                          full_base).to_ntt()
+
+        return Ciphertext(raise_poly(low.b), raise_poly(low.a),
+                          ct.scale, ct.n_slots)
+
+    def sub_sum(self, ct: Ciphertext) -> Ciphertext:
+        """Project onto the packing subring (amplifies by #replicas)."""
+        ev = self.evaluator
+        replicas = (self.ring.n // 2) // self.config.n_slots
+        step = self.config.n_slots
+        result = ct
+        for _ in range(int(math.log2(replicas))):
+            rotated = self._rotate_galois_power(result, step)
+            result = ev.add(result, rotated)
+            step *= 2
+        return result
+
+    def _rotate_galois_power(self, ct: Ciphertext, amount: int) -> Ciphertext:
+        """HRot by an amount that may exceed n_slots (SubSum steps)."""
+        ev = self.evaluator
+        if amount not in ev.rotation_keys:
+            raise ValueError(f"no rotation key for amount {amount}")
+        galois_elt = pow(5, amount, 2 * self.ring.n)
+        return ev._apply_galois(ct, galois_elt, ev.rotation_keys[amount])
+
+    def coeff_to_slot(self, ct: Ciphertext) -> Ciphertext:
+        """Coefficients -> slots; output packs c_low + i * c_high."""
+        cts, _ = self._build_transforms()
+        return cts.apply(self.evaluator, ct)
+
+    def _mul_by_i(self, ct: Ciphertext) -> Ciphertext:
+        """Multiply every slot by i: the monomial shift c(X) -> c(X)*X^(N/2)."""
+        half = self.ring.n // 2
+
+        def shift(poly: RnsPolynomial) -> RnsPolynomial:
+            coeff = poly.from_ntt()
+            for i, prime in enumerate(coeff.base):
+                rolled = np.roll(coeff.residues[i], half)
+                # Wrapped-around coefficients pick up the negacyclic sign.
+                rolled[:half] = np.where(
+                    rolled[:half] == 0, rolled[:half],
+                    np.uint64(prime.value) - rolled[:half])
+                coeff.residues[i] = rolled
+            return coeff.to_ntt()
+
+        return Ciphertext(shift(ct.b), shift(ct.a), ct.scale, ct.n_slots)
+
+    def eval_mod(self, ct: Ciphertext) -> Ciphertext:
+        """Slot-wise approximate reduction mod q0 (on c_low + i c_high)."""
+        ev = self.evaluator
+        sine_cfg = self.config.sine
+        q0 = float(self.ring.q_primes[0].value)
+        # Split into real and imaginary parts.
+        ct_conj = ev.conjugate(ct)
+        two_real = ev.add(ct, ct_conj)
+        two_imag_i = ev.sub(ct, ct_conj)  # == 2i * imag
+        two_imag = self._mul_by_i(ev.negate(two_imag_i))  # -i * (2i*imag)
+
+        # Normalize: u = value * Delta/(q0 * K); the extra 1/2 folds away
+        # the doubling from the conjugate sum.  The multiply also snaps
+        # the tracked scale to exactly 2^scale_bits: any residual drift
+        # would double per level through the Chebyshev tree below.
+        norm = ct.scale / (q0 * sine_cfg.k_range) / 2.0
+        nominal = 2.0 ** self.ring.params.scale_bits
+        sine = SineEvaluator(sine_cfg)
+        outputs = []
+        for part in (two_real, two_imag):
+            u_ct = ev.multiply_scalar(part, norm, rescale=True,
+                                      target_scale=nominal)
+            outputs.append(sine.evaluate(ev, u_ct))
+        real_out, imag_out = outputs
+        return ev.add(real_out, self._mul_by_i(imag_out))
+
+    def slot_to_coeff(self, ct: Ciphertext) -> Ciphertext:
+        """Slots -> coefficients (amplitude correction already folded in)."""
+        _, stc = self._build_transforms()
+        return stc.apply(self.evaluator, ct)
+
+    # ----- full pipeline ---------------------------------------------------------------
+
+    def bootstrap(self, ct: Ciphertext) -> Ciphertext:
+        """Refresh ``ct`` to a high level (Section 2.4's bootstrapping op)."""
+        if ct.n_slots != self.config.n_slots:
+            raise ValueError(
+                f"bootstrapper is configured for {self.config.n_slots} slots")
+        raised = self.mod_raise(ct)
+        if self.config.n_slots < self.ring.n // 2:
+            raised = self.sub_sum(raised)
+        slotted = self.coeff_to_slot(raised)
+        reduced = self.eval_mod(slotted)
+        refreshed = self.slot_to_coeff(reduced)
+        # The StC amplitude correction was built with the nominal scale
+        # 2^scale_bits; fold the input ciphertext's actual (drifted) scale
+        # into the tracked scale so the refreshed values are exact.
+        refreshed.scale *= ct.scale / (2.0 ** self.ring.params.scale_bits)
+        return refreshed

@@ -1,0 +1,77 @@
+"""Plaintext and ciphertext value types.
+
+A ciphertext is the pair ``(b, a)`` of Section 2.2 with
+``b = a*s + m + e``; decryption computes ``b - a*s`` (we keep the sign
+convention ``b - a*s`` so HMult's cross terms stay positive).  The current
+multiplicative level is implicit in the length of the RNS base; the scale
+is tracked per ciphertext as a float (exact enough: primes sit within
+2^-20 of their nominal power of two, and the evaluator folds actual prime
+values into every rescale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.ckks.rns import RnsPolynomial
+
+_ct_ids = count()
+
+
+@dataclass
+class Plaintext:
+    """An encoded message: one RNS polynomial plus its scale."""
+
+    poly: RnsPolynomial
+    scale: float
+
+    @property
+    def level(self) -> int:
+        return len(self.poly.base) - 1
+
+    @property
+    def n(self) -> int:
+        return self.poly.n
+
+
+@dataclass
+class Ciphertext:
+    """An RLWE ciphertext ``(b, a)`` with scale and slot metadata."""
+
+    b: RnsPolynomial
+    a: RnsPolynomial
+    scale: float
+    n_slots: int
+    ct_id: int = field(default_factory=lambda: next(_ct_ids))
+
+    def __post_init__(self) -> None:
+        if self.b.base != self.a.base:
+            raise ValueError("ciphertext components have different bases")
+        if self.b.is_ntt != self.a.is_ntt:
+            raise ValueError("ciphertext components in different domains")
+
+    @property
+    def level(self) -> int:
+        """Current multiplicative level: number of remaining rescales."""
+        return len(self.b.base) - 1
+
+    @property
+    def n(self) -> int:
+        return self.b.n
+
+    @property
+    def is_ntt(self) -> bool:
+        return self.b.is_ntt
+
+    def clone(self) -> "Ciphertext":
+        return Ciphertext(self.b.clone(), self.a.clone(), self.scale,
+                          self.n_slots)
+
+    def to_ntt(self) -> "Ciphertext":
+        return Ciphertext(self.b.to_ntt(), self.a.to_ntt(), self.scale,
+                          self.n_slots)
+
+    def from_ntt(self) -> "Ciphertext":
+        return Ciphertext(self.b.from_ntt(), self.a.from_ntt(), self.scale,
+                          self.n_slots)

@@ -1,0 +1,67 @@
+"""Public-key encryption (the asymmetric path of Section 2.2).
+
+``Encryptor`` produces ciphertexts from the public key alone, so data
+owners never hold the secret: ct = v * pk + (m + e0, e1) with a ternary
+ephemeral v - the standard RLWE public-key encryption CKKS uses.  The
+symmetric path (KeyGenerator.encrypt_symmetric) remains available for
+tests where key separation is irrelevant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.ckks.keys import PublicKey
+from repro.ckks.params import RingContext
+from repro.ckks.random_sampler import Sampler
+from repro.ckks.rns import RnsPolynomial
+
+
+@dataclass
+class Encryptor:
+    """Encrypts plaintexts under a public key."""
+
+    ring: RingContext
+    public_key: PublicKey
+    sampler: Sampler
+
+    @classmethod
+    def create(cls, ring: RingContext, public_key: PublicKey,
+               seed: int | None = None) -> "Encryptor":
+        return cls(ring=ring, public_key=public_key,
+                   sampler=Sampler(seed=seed, sigma=ring.params.sigma))
+
+    def encrypt(self, plaintext: Plaintext, n_slots: int) -> Ciphertext:
+        """ct = (v*pk_b + m + e0, v*pk_a + e1), level-matched to ``m``."""
+        base = plaintext.poly.base
+        n = self.ring.n
+        v = RnsPolynomial.from_signed_coeffs(
+            self.sampler.ternary_secret(n), base).to_ntt()
+        e0 = self.sampler.error_poly(base, n)
+        e1 = self.sampler.error_poly(base, n)
+        pk_b = self.public_key.b.restrict(base)
+        pk_a = self.public_key.a.restrict(base)
+        m = plaintext.poly if plaintext.poly.is_ntt \
+            else plaintext.poly.to_ntt()
+        b = v.mul(pk_b).add(m).add(e0)
+        a = v.mul(pk_a).add(e1)
+        return Ciphertext(b=b, a=a, scale=plaintext.scale, n_slots=n_slots)
+
+    def encrypt_zero(self, level: int, scale: float,
+                     n_slots: int) -> Ciphertext:
+        """A fresh encryption of zero (useful for re-randomization)."""
+        base = self.ring.base_q(level)
+        zero = Plaintext(
+            poly=RnsPolynomial.zeros(base, self.ring.n, is_ntt=True),
+            scale=scale)
+        return self.encrypt(zero, n_slots)
+
+
+def encrypt_message(encryptor: Encryptor, encoder, message: np.ndarray,
+                    scale: float = 2.0 ** 40) -> Ciphertext:
+    """Convenience: encode + public-key encrypt in one call."""
+    pt = encoder.encode(np.asarray(message, dtype=np.complex128), scale)
+    return encryptor.encrypt(pt, len(message))

@@ -1,0 +1,263 @@
+"""The CKKS evaluator: every primitive HE op of Section 2.3.
+
+Sign convention: a ciphertext ``(b, a)`` decrypts as ``m = b - a*s``.
+All ciphertexts are kept in the NTT domain between operations (as BTS
+does, Section 4.1); only rescaling, automorphisms and base conversions
+drop to the coefficient domain, mirroring the hardware's
+``iNTT -> BConv/perm -> NTT`` pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.ckks.encoder import Encoder
+from repro.ckks.keys import EvaluationKey, SecretKey
+from repro.ckks.keyswitch import key_switch
+from repro.ckks.modmath import inv_mod
+from repro.ckks.params import RingContext
+from repro.ckks.rns import RnsPolynomial, exact_residue_transfer
+
+#: Relative scale mismatch tolerated by additions.  Rescaling primes sit
+#: within ~2^-25 of their nominal power of two at functional ring sizes,
+#: and the drift compounds through deep evaluation trees (roughly
+#: doubling per multiplicative level) - which is why bootstrapping
+#: re-normalizes the scale exactly at EvalMod entry (see
+#: ``Evaluator.multiply_scalar``'s ``target_scale``).  What remains stays
+#: parts-in-1e4; tolerating it injects relative message error of the
+#: same magnitude, far below the noise floor.
+SCALE_RTOL = 1e-3
+
+
+class Evaluator:
+    """Homomorphic operations over one ring, with optional key material."""
+
+    def __init__(self, ring: RingContext,
+                 relin_key: EvaluationKey | None = None,
+                 rotation_keys: dict[int, EvaluationKey] | None = None,
+                 conjugation_key: EvaluationKey | None = None) -> None:
+        self.ring = ring
+        self.encoder = Encoder(ring)
+        self.relin_key = relin_key
+        self.rotation_keys = dict(rotation_keys or {})
+        self.conjugation_key = conjugation_key
+
+    # ----- level & scale management -------------------------------------------
+
+    def drop_to_level(self, ct: Ciphertext, level: int) -> Ciphertext:
+        """Discard limbs above ``level`` (plaintext and scale unchanged)."""
+        if level > ct.level:
+            raise ValueError(f"cannot raise level {ct.level} -> {level}")
+        if level == ct.level:
+            return ct.clone()
+        base = self.ring.base_q(level)
+        return Ciphertext(ct.b.restrict(base), ct.a.restrict(base),
+                          ct.scale, ct.n_slots)
+
+    def align_pair(self, ct0: Ciphertext, ct1: Ciphertext
+                   ) -> tuple[Ciphertext, Ciphertext]:
+        """Bring two ciphertexts to the lower of their two levels."""
+        level = min(ct0.level, ct1.level)
+        return self.drop_to_level(ct0, level), self.drop_to_level(ct1, level)
+
+    def _check_scales(self, s0: float, s1: float) -> None:
+        if abs(s0 - s1) > SCALE_RTOL * max(s0, s1):
+            raise ValueError(f"scale mismatch: {s0} vs {s1}")
+
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """HRescale: divide by the last prime and drop its limb."""
+        if ct.level == 0:
+            raise ValueError("cannot rescale below level 0")
+        last = ct.b.base[-1]
+        new_base = self.ring.base_q(ct.level - 1)
+        inv_scalars = {p.value: inv_mod(last.value, p.value)
+                       for p in new_base}
+
+        def down(poly: RnsPolynomial) -> RnsPolynomial:
+            last_limb = last.ntt.inverse(poly.residues[-1])
+            transfer = exact_residue_transfer(last_limb, last,
+                                              new_base).to_ntt()
+            kept = RnsPolynomial(new_base, poly.residues[:-1].copy(), True)
+            return kept.sub(transfer).mul_scalar(inv_scalars)
+
+        return Ciphertext(down(ct.b), down(ct.a),
+                          ct.scale / float(last.value), ct.n_slots)
+
+    # ----- additive ops ----------------------------------------------------------
+
+    def add(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
+        ct0, ct1 = self.align_pair(ct0, ct1)
+        self._check_scales(ct0.scale, ct1.scale)
+        return Ciphertext(ct0.b.add(ct1.b), ct0.a.add(ct1.a),
+                          ct0.scale, ct0.n_slots)
+
+    def sub(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
+        ct0, ct1 = self.align_pair(ct0, ct1)
+        self._check_scales(ct0.scale, ct1.scale)
+        return Ciphertext(ct0.b.sub(ct1.b), ct0.a.sub(ct1.a),
+                          ct0.scale, ct0.n_slots)
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        return Ciphertext(ct.b.neg(), ct.a.neg(), ct.scale, ct.n_slots)
+
+    def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """PAdd/CAdd: add an encoded polynomial to the b component."""
+        self._check_scales(ct.scale, pt.scale)
+        poly = pt.poly
+        if pt.level != ct.level:
+            poly = poly.restrict(self.ring.base_q(ct.level))
+        return Ciphertext(ct.b.add(poly), ct.a.clone(), ct.scale, ct.n_slots)
+
+    def add_scalar(self, ct: Ciphertext, value: complex) -> Ciphertext:
+        pt = self.encoder.encode_scalar(value, ct.scale,
+                                        self.ring.base_q(ct.level))
+        return self.add_plain(ct, pt)
+
+    # ----- multiplicative ops ------------------------------------------------------
+
+    def multiply(self, ct0: Ciphertext, ct1: Ciphertext,
+                 rescale: bool = True) -> Ciphertext:
+        """HMult (Eq. 3/4): tensor product + key-switching of d2."""
+        if self.relin_key is None:
+            raise ValueError("relinearization key not available")
+        ct0, ct1 = self.align_pair(ct0, ct1)
+        d0 = ct0.b.mul(ct1.b)
+        d1 = ct0.a.mul(ct1.b).add(ct1.a.mul(ct0.b))
+        d2 = ct0.a.mul(ct1.a)
+        ks_b, ks_a = key_switch(d2, self.relin_key, ct0.level, self.ring)
+        out = Ciphertext(d0.add(ks_b), d1.add(ks_a),
+                         ct0.scale * ct1.scale, ct0.n_slots)
+        return self.rescale(out) if rescale else out
+
+    def square(self, ct: Ciphertext, rescale: bool = True) -> Ciphertext:
+        return self.multiply(ct, ct, rescale=rescale)
+
+    def multiply_plain(self, ct: Ciphertext, pt: Plaintext,
+                       rescale: bool = False) -> Ciphertext:
+        """PMult: multiply by an encoded (unencrypted) polynomial."""
+        poly = pt.poly
+        if pt.level < ct.level:
+            ct = self.drop_to_level(ct, pt.level)
+        elif pt.level > ct.level:
+            poly = poly.restrict(self.ring.base_q(ct.level))
+        out = Ciphertext(ct.b.mul(poly), ct.a.mul(poly),
+                         ct.scale * pt.scale, ct.n_slots)
+        return self.rescale(out) if rescale else out
+
+    def multiply_scalar(self, ct: Ciphertext, value: complex,
+                        scale: float | None = None,
+                        rescale: bool = False,
+                        target_scale: float | None = None) -> Ciphertext:
+        """CMult: multiply by one scalar encoded at ``scale``.
+
+        Real scalars take the cheap constant-polynomial path; complex
+        scalars encode a full replicated message.
+
+        ``target_scale`` (requires ``rescale=True``) picks the encoding
+        scale so the *output* scale is exactly the requested value:
+        ``enc_scale = target_scale * q_top / ct.scale``.  This is the
+        standard exact scale-renormalization trick - bootstrapping uses
+        it at EvalMod entry, because any input scale drift would
+        otherwise be amplified exponentially through the deep Chebyshev
+        evaluation tree (it roughly doubles per multiplicative level).
+        """
+        if target_scale is not None:
+            if not rescale:
+                raise ValueError("target_scale requires rescale=True")
+            q_top = float(self.ring.q_primes[ct.level].value)
+            scale = target_scale * q_top / ct.scale
+        elif scale is None:
+            scale = float(self.ring.q_primes[ct.level].value)
+        pt = self.encoder.encode_scalar(value, scale,
+                                        self.ring.base_q(ct.level))
+        out = self.multiply_plain(ct, pt, rescale=rescale)
+        if target_scale is not None:
+            out.scale = target_scale  # exact by construction
+        return out
+
+    def multiply_integer(self, ct: Ciphertext, value: int) -> Ciphertext:
+        """Multiply by a small exact integer (no scale change, no rescale)."""
+        return Ciphertext(ct.b.mul_int(value), ct.a.mul_int(value),
+                          ct.scale, ct.n_slots)
+
+    # ----- rotations ----------------------------------------------------------------
+
+    def _apply_galois(self, ct: Ciphertext, galois_elt: int,
+                      evk: EvaluationKey) -> Ciphertext:
+        b_rot = ct.b.from_ntt().galois(galois_elt).to_ntt()
+        a_rot = ct.a.from_ntt().galois(galois_elt).to_ntt()
+        ks_b, ks_a = key_switch(a_rot, evk, ct.level, self.ring)
+        # (b', a') decrypts under s(X^g); fold the key-switch so the result
+        # decrypts under s:  b_out - a_out*s = b' - (ks_b - ks_a*s) = m(X^g).
+        return Ciphertext(b_rot.sub(ks_b), ks_a.neg(), ct.scale, ct.n_slots)
+
+    def rotate(self, ct: Ciphertext, amount: int) -> Ciphertext:
+        """HRot: cyclically shift message slots by ``amount``."""
+        amount = amount % ct.n_slots
+        if amount == 0:
+            return ct.clone()
+        if amount not in self.rotation_keys:
+            raise ValueError(f"no rotation key for amount {amount}")
+        galois_elt = pow(5, amount, 2 * self.ring.n)
+        return self._apply_galois(ct, galois_elt,
+                                  self.rotation_keys[amount])
+
+    def rotate_hoisted(self, ct: Ciphertext,
+                       amounts: list[int]) -> dict[int, Ciphertext]:
+        """Many rotations of one ciphertext, sharing a single ModUp.
+
+        The hoisting optimization of [12] (also used by Lattigo): the
+        expensive decompose-and-raise step runs once on ``ct.a``, and
+        each rotation then only permutes the raised slices (the
+        automorphism commutes with the coefficient-wise ModUp),
+        multiplies with its own evk and mods down.  Functionally
+        identical to calling :meth:`rotate` per amount.
+        """
+        from repro.ckks.keyswitch import key_switch_raised, \
+            raise_decomposition
+
+        unique = sorted({a % ct.n_slots for a in amounts})
+        out: dict[int, Ciphertext] = {}
+        pending = []
+        for amount in unique:
+            if amount == 0:
+                out[0] = ct.clone()
+            elif amount not in self.rotation_keys:
+                raise ValueError(f"no rotation key for amount {amount}")
+            else:
+                pending.append(amount)
+        if not pending:
+            return out
+        raised = raise_decomposition(ct.a, ct.level, self.ring)
+        raised_coeff = [r.from_ntt() for r in raised]
+        b_coeff = ct.b.from_ntt()
+        for amount in pending:
+            galois_elt = pow(5, amount, 2 * self.ring.n)
+            rot_slices = [r.galois(galois_elt).to_ntt()
+                          for r in raised_coeff]
+            ks_b, ks_a = key_switch_raised(
+                rot_slices, self.rotation_keys[amount], ct.level,
+                self.ring)
+            b_rot = b_coeff.galois(galois_elt).to_ntt()
+            out[amount] = Ciphertext(b_rot.sub(ks_b), ks_a.neg(),
+                                     ct.scale, ct.n_slots)
+        return out
+
+    def conjugate(self, ct: Ciphertext) -> Ciphertext:
+        """HConj: complex-conjugate every slot (galois element 2N-1)."""
+        if self.conjugation_key is None:
+            raise ValueError("conjugation key not available")
+        return self._apply_galois(ct, 2 * self.ring.n - 1,
+                                  self.conjugation_key)
+
+    # ----- encryption / decryption (pk optional, sk for tests) ----------------------
+
+    def decrypt(self, ct: Ciphertext, secret: SecretKey) -> Plaintext:
+        s = secret.restricted(ct.b.base)
+        m = ct.b.sub(ct.a.mul(s))
+        return Plaintext(poly=m, scale=ct.scale)
+
+    def decrypt_to_message(self, ct: Ciphertext, secret: SecretKey
+                           ) -> np.ndarray:
+        return self.encoder.decode(self.decrypt(ct, secret), ct.n_slots)

@@ -1,0 +1,147 @@
+"""Key generation: secret, public, and generalized-dnum evaluation keys.
+
+The evaluation key for a target key ``t`` (``s^2`` for HMult, ``s(X^5^r)``
+for HRot) follows the generalized key-switching of [Han-Ki, CT-RSA'20]
+summarized in Section 2.5: the ciphertext modulus Q factors into ``dnum``
+modulus factors Q_j (Eq. 7), and slice ``j`` of the evk encrypts
+``P * Q_hat_j * [Q_hat_j^{-1}]_{Q_j} * t`` under the enlarged modulus PQ.
+In RNS this gadget factor is simply ``P mod q_i`` on the primes inside
+block j and zero elsewhere - which is how :func:`_gadget_scalars` builds
+it without any big-integer polynomial arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.params import PrimeContext, RingContext
+from repro.ckks.random_sampler import Sampler
+from repro.ckks.rns import RnsPolynomial
+
+
+@dataclass
+class SecretKey:
+    """Ternary secret over the full base (q primes then p primes), NTT."""
+
+    poly: RnsPolynomial  # over base_q(L) + base_p
+
+    def restricted(self, base: tuple[PrimeContext, ...]) -> RnsPolynomial:
+        return self.poly.restrict(base)
+
+
+@dataclass
+class PublicKey:
+    """Encryption key: (b, a) with b = a*s + e over C_L."""
+
+    b: RnsPolynomial
+    a: RnsPolynomial
+
+
+@dataclass
+class EvaluationKey:
+    """dnum slices of (b_j, a_j) over the full base C_L + B (NTT domain)."""
+
+    slices: tuple[tuple[RnsPolynomial, RnsPolynomial], ...]
+
+    @property
+    def dnum(self) -> int:
+        return len(self.slices)
+
+
+class KeyGenerator:
+    """Generates all key material for one :class:`RingContext`."""
+
+    def __init__(self, ring: RingContext, seed: int | None = None) -> None:
+        self.ring = ring
+        self.sampler = Sampler(seed=seed, sigma=ring.params.sigma)
+        full_base = ring.base_qp(ring.max_level)
+        secret_coeffs = self.sampler.ternary_secret(ring.n,
+                                                    h=ring.params.h)
+        self._secret_coeffs = secret_coeffs
+        self.secret = SecretKey(
+            RnsPolynomial.from_signed_coeffs(secret_coeffs,
+                                             full_base).to_ntt())
+
+    # ----- public / encryption ------------------------------------------------
+
+    def gen_public_key(self) -> PublicKey:
+        base = self.ring.base_q(self.ring.max_level)
+        a = self.sampler.uniform_poly(base, self.ring.n, is_ntt=True)
+        e = self.sampler.error_poly(base, self.ring.n)
+        s = self.secret.restricted(base)
+        b = a.mul(s).add(e)
+        return PublicKey(b=b, a=a)
+
+    # ----- evaluation keys ------------------------------------------------------
+
+    def _gadget_scalars(self, block: tuple[int, int]) -> dict[int, int]:
+        """[P * Q_tilde_j]_prime for every prime in the C_L + B base.
+
+        Q_tilde_j is 1 mod the block's primes and 0 mod the other q primes;
+        P vanishes on every special prime.  So the scalar is ``P mod q_i``
+        inside the block and 0 everywhere else.
+        """
+        start, stop = block
+        p_product = self.ring.p_product
+        scalars: dict[int, int] = {}
+        for i, prime in enumerate(self.ring.base_q(self.ring.max_level)):
+            inside = start <= i < stop
+            scalars[prime.value] = p_product % prime.value if inside else 0
+        for prime in self.ring.base_p:
+            scalars[prime.value] = 0
+        return scalars
+
+    def gen_switching_key(self, target: RnsPolynomial) -> EvaluationKey:
+        """evk that re-linearizes a component decryptable under ``target``.
+
+        ``target`` must be an NTT-domain polynomial over the full
+        C_L + B base (e.g. s^2 or an automorphism image of s).
+        """
+        ring = self.ring
+        full_base = ring.base_qp(ring.max_level)
+        if target.base != full_base:
+            raise ValueError("target key must live on the full C_L + B base")
+        s = self.secret.poly
+        slices = []
+        for block in ring.decomposition_blocks(ring.max_level):
+            a_j = self.sampler.uniform_poly(full_base, ring.n, is_ntt=True)
+            e_j = self.sampler.error_poly(full_base, ring.n)
+            gadget = self._gadget_scalars(block)
+            key_term = target.mul_scalar(gadget)
+            # b_j = a_j * s + e_j + P*Q_tilde_j * target  (decrypts as b - a*s)
+            b_j = a_j.mul(s).add(e_j).add(key_term)
+            slices.append((b_j, a_j))
+        return EvaluationKey(slices=tuple(slices))
+
+    def gen_relinearization_key(self) -> EvaluationKey:
+        """evk_mult: switches the s^2 component of a tensor product."""
+        s = self.secret.poly
+        return self.gen_switching_key(s.mul(s))
+
+    def gen_rotation_key(self, amount: int) -> EvaluationKey:
+        """evk_rot^(r): switches s(X^(5^r)) back to s."""
+        galois_elt = pow(5, amount, 2 * self.ring.n)
+        return self.gen_galois_key(galois_elt)
+
+    def gen_conjugation_key(self) -> EvaluationKey:
+        """evk for complex conjugation (galois element 2N-1)."""
+        return self.gen_galois_key(2 * self.ring.n - 1)
+
+    def gen_galois_key(self, galois_elt: int) -> EvaluationKey:
+        target = (self.secret.poly.from_ntt()
+                  .galois(galois_elt)
+                  .to_ntt())
+        return self.gen_switching_key(target)
+
+    # ----- direct (secret-key) encryption, used by tests -------------------------
+
+    def encrypt_symmetric(self, plaintext_poly: RnsPolynomial, scale: float,
+                          n_slots: int) -> Ciphertext:
+        base = plaintext_poly.base
+        a = self.sampler.uniform_poly(base, self.ring.n, is_ntt=True)
+        e = self.sampler.error_poly(base, self.ring.n)
+        s = self.secret.restricted(base)
+        m = plaintext_poly if plaintext_poly.is_ntt else plaintext_poly.to_ntt()
+        b = a.mul(s).add(e).add(m)
+        return Ciphertext(b=b, a=a, scale=scale, n_slots=n_slots)

@@ -1,0 +1,113 @@
+"""Generalized key-switching: ModUp, evk multiply-accumulate, ModDown.
+
+This is the computational core that Fig. 3(a) of the paper diagrams: the
+polynomial to switch (``d2`` for HMult, the rotated ``a`` for HRot) is cut
+into ``beta`` decomposition slices; each slice is iNTT'd, base-converted
+to the enlarged base C_ell + B (ModUp), NTT'd back, multiplied with the
+matching evk slice and accumulated; the accumulator is finally divided by
+P (ModDown), which performs the mirrored iNTT -> BConv -> NTT on the
+special-prime part followed by the fused subtract-scale-add (SSA).
+"""
+
+from __future__ import annotations
+
+from repro.ckks.keys import EvaluationKey
+from repro.ckks.modmath import inv_mod
+from repro.ckks.params import PrimeContext, RingContext
+from repro.ckks.rns import RnsPolynomial, base_convert
+
+import numpy as np
+
+
+def mod_up(slice_poly: RnsPolynomial, level: int,
+           ring: RingContext) -> RnsPolynomial:
+    """Raise one decomposition slice to the working base C_level + B.
+
+    ``slice_poly`` is NTT-domain over a contiguous block of q primes.  The
+    block's own limbs are reused as-is; only the converted limbs (the other
+    q primes and all special primes) pay the iNTT -> BConv -> NTT cost.
+    """
+    target_base = ring.base_qp(level)
+    block_values = {p.value for p in slice_poly.base}
+    complement = tuple(p for p in target_base
+                       if p.value not in block_values)
+    converted = base_convert(slice_poly.from_ntt(), complement).to_ntt()
+    out = RnsPolynomial.zeros(target_base, slice_poly.n, is_ntt=True)
+    conv_index = {p.value: i for i, p in enumerate(complement)}
+    slice_index = {p.value: i for i, p in enumerate(slice_poly.base)}
+    for i, prime in enumerate(target_base):
+        if prime.value in slice_index:
+            out.residues[i] = slice_poly.residues[slice_index[prime.value]]
+        else:
+            out.residues[i] = converted.residues[conv_index[prime.value]]
+    return out
+
+
+def mod_down(poly: RnsPolynomial, level: int,
+             ring: RingContext) -> RnsPolynomial:
+    """Divide an NTT-domain polynomial over C_level + B by P.
+
+    Computes ``(poly - BConv_B->C(poly mod P)) * P^-1`` limb-wise on the q
+    part - the subtract / (1/P)-scale / add fusion the paper maps onto the
+    MMAU (Section 5.2).
+    """
+    base_q = ring.base_q(level)
+    p_part = poly.restrict(ring.base_p)
+    q_part = poly.restrict(base_q)
+    correction = base_convert(p_part.from_ntt(), base_q).to_ntt()
+    p_product = ring.p_product
+    inv_scalars = {prime.value: inv_mod(p_product % prime.value, prime.value)
+                   for prime in base_q}
+    return q_part.sub(correction).mul_scalar(inv_scalars)
+
+
+def raise_decomposition(poly: RnsPolynomial, level: int,
+                        ring: RingContext) -> list[RnsPolynomial]:
+    """ModUp every decomposition slice of ``poly`` (NTT, base C_level).
+
+    This is the expensive, rotation-independent half of key-switching;
+    :func:`key_switch_raised` consumes the result.  Hoisting [12] computes
+    it once and shares it across many rotations, because the automorphism
+    commutes with the coefficient-wise ModUp.
+    """
+    if not poly.is_ntt:
+        raise ValueError("raise_decomposition expects an NTT polynomial")
+    raised = []
+    for start, stop in ring.decomposition_blocks(level):
+        slice_base = ring.base_q(level)[start:stop]
+        raised.append(mod_up(poly.restrict(slice_base), level, ring))
+    return raised
+
+
+def key_switch_raised(raised: list[RnsPolynomial], evk: EvaluationKey,
+                      level: int, ring: RingContext
+                      ) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """Finish key-switching from pre-raised slices (x evk, ModDown)."""
+    if len(raised) > evk.dnum:
+        raise ValueError("evk has fewer slices than the decomposition")
+    working_base = ring.base_qp(level)
+    keep_values = {p.value for p in working_base}
+    acc_b = RnsPolynomial.zeros(working_base, raised[0].n, is_ntt=True)
+    acc_a = RnsPolynomial.zeros(working_base, raised[0].n, is_ntt=True)
+    for j, slice_poly in enumerate(raised):
+        evk_b, evk_a = evk.slices[j]
+        evk_b_lvl = evk_b.restrict(
+            tuple(p for p in evk_b.base if p.value in keep_values))
+        evk_a_lvl = evk_a.restrict(
+            tuple(p for p in evk_a.base if p.value in keep_values))
+        acc_b = acc_b.add(slice_poly.mul(evk_b_lvl))
+        acc_a = acc_a.add(slice_poly.mul(evk_a_lvl))
+    return (mod_down(acc_b, level, ring), mod_down(acc_a, level, ring))
+
+
+def key_switch(poly: RnsPolynomial, evk: EvaluationKey, level: int,
+               ring: RingContext) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """Switch ``poly`` (NTT, base C_level) to the canonical key.
+
+    Returns the ``(b, a)`` contribution pair over C_level; callers add it
+    to the rest of the ciphertext (Eq. 4 / Eq. 6).
+    """
+    if not poly.is_ntt:
+        raise ValueError("key_switch expects an NTT-domain polynomial")
+    raised = raise_decomposition(poly, level, ring)
+    return key_switch_raised(raised, evk, level, ring)

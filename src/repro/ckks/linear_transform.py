@@ -1,0 +1,123 @@
+"""Homomorphic linear transforms via baby-step/giant-step (BSGS).
+
+Bootstrapping's CoeffToSlot and SlotToCoeff are (dense) n x n matrix-vector
+products over the slot space.  Evaluating them homomorphically uses the
+diagonal decomposition ``M z = sum_d diag_d(M) * rot_d(z)`` with the BSGS
+grouping of [Halevi-Shoup / GAZELLE]: about ``2*sqrt(n)`` HRots and ``n``
+PMults per matrix, consuming a single multiplicative level.  This is the
+"long sequence of HRots with different r" that makes bootstrapping stream
+dozens of distinct rotation evks (Section 3.3 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.evaluator import Evaluator
+
+_ZERO_TOL = 1e-12
+
+
+def matrix_diagonals(matrix: np.ndarray) -> dict[int, np.ndarray]:
+    """Generalized diagonals ``diag_d[j] = M[j, (j+d) mod n]`` (nonzero only)."""
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ValueError("matrix must be square")
+    out: dict[int, np.ndarray] = {}
+    rows = np.arange(n)
+    for d in range(n):
+        diag = matrix[rows, (rows + d) % n]
+        if np.max(np.abs(diag)) > _ZERO_TOL:
+            out[d] = diag
+    return out
+
+
+def bsgs_split(n: int) -> int:
+    """Baby-step count: the power of two nearest to sqrt(n) from above."""
+    return 1 << math.ceil(math.log2(max(1.0, math.sqrt(n))))
+
+
+def bsgs_rotations(diagonals: dict[int, np.ndarray] | int, n: int
+                   ) -> set[int]:
+    """Rotation amounts a BSGS evaluation of these diagonals will need."""
+    g = bsgs_split(n)
+    if isinstance(diagonals, int):
+        present = set(range(diagonals))
+    else:
+        present = set(diagonals)
+    amounts: set[int] = set()
+    for d in present:
+        baby = d % g
+        giant = d - baby
+        if baby:
+            amounts.add(baby)
+        if giant:
+            amounts.add(giant % n)
+    return {a for a in amounts if a % n != 0}
+
+
+@dataclass
+class LinearTransform:
+    """A plaintext matrix ready for homomorphic application."""
+
+    diagonals: dict[int, np.ndarray]
+    n_slots: int
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray) -> "LinearTransform":
+        return cls(matrix_diagonals(matrix), matrix.shape[0])
+
+    def required_rotations(self) -> set[int]:
+        return bsgs_rotations(self.diagonals, self.n_slots)
+
+    def apply(self, evaluator: Evaluator, ct: Ciphertext) -> Ciphertext:
+        """Homomorphic ``M z`` (one level consumed; output rescaled)."""
+        n = self.n_slots
+        if ct.n_slots != n:
+            raise ValueError(
+                f"transform is {n}-slot but ciphertext has {ct.n_slots}")
+        g = bsgs_split(n)
+        # Baby steps: rot_b(ct) for every live baby index.
+        baby_needed = sorted({d % g for d in self.diagonals})
+        babies: dict[int, Ciphertext] = {}
+        for b in baby_needed:
+            babies[b] = ct.clone() if b == 0 else evaluator.rotate(ct, b)
+
+        # Giant steps: group diagonals by their giant offset.
+        groups: dict[int, list[int]] = {}
+        for d in self.diagonals:
+            groups.setdefault(d - d % g, []).append(d)
+
+        level = ct.level
+        pmult_scale = float(evaluator.ring.q_primes[level].value)
+        acc: Ciphertext | None = None
+        for giant in sorted(groups):
+            inner: Ciphertext | None = None
+            for d in groups[giant]:
+                # Pre-rotate the plaintext diagonal so one giant HRot at the
+                # end covers the whole group: rot_{giant}(x * rot_b(z)) ==
+                # diag_d * rot_d(z) when x = roll(diag_d, giant).
+                vec = np.roll(self.diagonals[d], giant)
+                pt = evaluator.encoder.encode(vec, pmult_scale, level=level)
+                term = evaluator.multiply_plain(babies[d % g], pt)
+                inner = term if inner is None else evaluator.add(inner, term)
+            assert inner is not None
+            if giant % n:
+                inner = evaluator.rotate(inner, giant % n)
+            acc = inner if acc is None else evaluator.add(acc, inner)
+        if acc is None:
+            raise ValueError("transform has no nonzero diagonals")
+        return evaluator.rescale(acc)
+
+
+def apply_matrix_pair(evaluator: Evaluator, ct: Ciphertext,
+                      left: LinearTransform, conj: LinearTransform
+                      ) -> Ciphertext:
+    """Evaluate ``A z + B conj(z)`` (the shape of CoeffToSlot/SlotToCoeff)."""
+    ct_conj = evaluator.conjugate(ct)
+    return evaluator.add(left.apply(evaluator, ct),
+                         conj.apply(evaluator, ct_conj))

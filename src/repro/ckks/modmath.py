@@ -1,0 +1,210 @@
+"""Vectorized 64-bit modular arithmetic on NumPy ``uint64`` arrays.
+
+BTS uses a 64-bit machine word and Barrett reduction to bring 128-bit
+products back to word size (Section 5 of the paper).  NumPy has no native
+128-bit integer, so this module implements the 128-bit intermediate
+arithmetic explicitly with 32-bit limb decomposition, then reduces with a
+two-word Barrett constant.  Fixed multiplicands (NTT twiddle factors, BConv
+tables) additionally get Shoup precomputation, which replaces the general
+Barrett reduction with a single high-half multiply.
+
+All moduli must satisfy ``3 <= m < 2**62`` so that every intermediate value
+below fits in a ``uint64`` (see the bound comments in each function).  The
+whole module is validated against Python big-int ground truth by hypothesis
+tests in ``tests/ckks/test_modmath.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Largest supported modulus (exclusive).  Barrett leaves remainders in
+#: [0, 3m) before correction, so we need 3m < 2**64.
+MODULUS_LIMIT = 1 << 62
+
+_MASK32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+
+U64 = np.uint64
+
+
+def _as_u64(a: np.ndarray | int) -> np.ndarray:
+    """Coerce ``a`` to a ``uint64`` ndarray without copying when possible."""
+    return np.asarray(a, dtype=np.uint64)
+
+
+def mul128(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Full 128-bit product of two ``uint64`` arrays as a ``(hi, lo)`` pair.
+
+    Uses 32-bit limb decomposition; every partial product and the carry sum
+    fit in a ``uint64`` ((2^32-1)^2 + 3*(2^32-1) < 2^64).
+    """
+    a = _as_u64(a)
+    b = _as_u64(b)
+    a0 = a & _MASK32
+    a1 = a >> _SHIFT32
+    b0 = b & _MASK32
+    b1 = b >> _SHIFT32
+    p00 = a0 * b0
+    p01 = a0 * b1
+    p10 = a1 * b0
+    p11 = a1 * b1
+    mid = (p00 >> _SHIFT32) + (p01 & _MASK32) + (p10 & _MASK32)
+    lo = a * b  # wrapping multiply == low 64 bits
+    hi = p11 + (p01 >> _SHIFT32) + (p10 >> _SHIFT32) + (mid >> _SHIFT32)
+    return hi, lo
+
+
+def mulhi64(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """High 64 bits of the 128-bit product ``a * b``."""
+    hi, _lo = mul128(a, b)
+    return hi
+
+
+@dataclass(frozen=True)
+class Modulus:
+    """A prime (or odd) modulus with its precomputed Barrett constant.
+
+    ``mu = floor(2**128 / value)`` stored as two 64-bit words; with
+    ``value < 2**62`` the quotient estimate derived from ``mu`` is off by at
+    most 2, so two conditional subtractions finish the reduction.
+    """
+
+    value: int
+    mu_hi: np.uint64 = field(repr=False, default=U64(0))
+    mu_lo: np.uint64 = field(repr=False, default=U64(0))
+
+    def __post_init__(self) -> None:
+        if not 3 <= self.value < MODULUS_LIMIT:
+            raise ValueError(f"modulus {self.value} outside [3, 2^62)")
+        mu = (1 << 128) // self.value
+        object.__setattr__(self, "mu_hi", U64(mu >> 64))
+        object.__setattr__(self, "mu_lo", U64(mu & 0xFFFFFFFFFFFFFFFF))
+
+    @property
+    def u64(self) -> np.uint64:
+        return U64(self.value)
+
+    def __int__(self) -> int:
+        return self.value
+
+
+def barrett_reduce128(hi: np.ndarray, lo: np.ndarray, m: Modulus) -> np.ndarray:
+    """Reduce the 128-bit value ``hi * 2**64 + lo`` modulo ``m``.
+
+    Requires the input to be < ``m.value ** 2`` (guaranteed when it is a
+    product of two canonical residues), which bounds the corrected
+    remainder below ``3 * m < 2**64``.
+    """
+    # q_hat = floor(x * mu / 2**128) computed exactly with word arithmetic:
+    #   x * mu = (hi*mu_hi + h1 + h2) * 2^128 + (l1 + l2 + h3) * 2^64 + low.
+    h1, l1 = mul128(hi, np.broadcast_to(m.mu_lo, hi.shape))
+    h2, l2 = mul128(lo, np.broadcast_to(m.mu_hi, lo.shape))
+    h3 = mulhi64(lo, np.broadcast_to(m.mu_lo, lo.shape))
+    s = l1 + l2
+    carry = (s < l1).astype(np.uint64)
+    s2 = s + h3
+    carry += (s2 < s).astype(np.uint64)
+    q_hat = hi * m.mu_hi + h1 + h2 + carry
+    # r = x - q_hat * m fits in one word because r < 3m < 2**64; wrapping
+    # subtraction of the low words is therefore exact.
+    r = lo - q_hat * m.u64
+    mv = m.u64
+    r = np.where(r >= mv, r - mv, r)
+    r = np.where(r >= mv, r - mv, r)
+    return r
+
+
+def mul_mod(a: np.ndarray, b: np.ndarray, m: Modulus) -> np.ndarray:
+    """Element-wise ``(a * b) mod m`` for canonical residues ``a, b < m``."""
+    hi, lo = mul128(_as_u64(a), _as_u64(b))
+    return barrett_reduce128(hi, lo, m)
+
+
+def add_mod(a: np.ndarray, b: np.ndarray, m: Modulus) -> np.ndarray:
+    """Element-wise ``(a + b) mod m``; inputs must be canonical residues."""
+    s = _as_u64(a) + _as_u64(b)  # < 2m < 2**63: no wrap
+    mv = m.u64
+    return np.where(s >= mv, s - mv, s)
+
+
+def sub_mod(a: np.ndarray, b: np.ndarray, m: Modulus) -> np.ndarray:
+    """Element-wise ``(a - b) mod m``; inputs must be canonical residues."""
+    s = _as_u64(a) + (m.u64 - _as_u64(b))  # both terms < m: no wrap
+    mv = m.u64
+    return np.where(s >= mv, s - mv, s)
+
+
+def neg_mod(a: np.ndarray, m: Modulus) -> np.ndarray:
+    """Element-wise ``(-a) mod m``."""
+    a = _as_u64(a)
+    return np.where(a == 0, a, m.u64 - a)
+
+
+def shoup_precompute(w: np.ndarray | int, m: Modulus) -> np.ndarray:
+    """Shoup constant ``floor(w * 2**64 / m)`` for fixed multiplicand(s).
+
+    Computed with Python big ints (done once per table, off the hot path).
+    """
+    w_arr = np.atleast_1d(_as_u64(w))
+    out = np.array([(int(x) << 64) // m.value for x in w_arr.ravel()],
+                   dtype=np.uint64).reshape(w_arr.shape)
+    return out
+
+
+def mul_mod_shoup(a: np.ndarray, w: np.ndarray, w_shoup: np.ndarray,
+                  m: Modulus) -> np.ndarray:
+    """``(a * w) mod m`` where ``w`` has a precomputed Shoup constant.
+
+    One high-half multiply plus two wrapping low multiplies; the remainder
+    before correction is < 2m.
+    """
+    q = mulhi64(_as_u64(a), _as_u64(w_shoup))
+    r = _as_u64(a) * _as_u64(w) - q * m.u64  # wrapping; true r < 2m
+    mv = m.u64
+    return np.where(r >= mv, r - mv, r)
+
+
+def pow_mod(base: int, exp: int, m: int | Modulus) -> int:
+    """Scalar modular exponentiation (Python big ints)."""
+    return pow(base, exp, int(m))
+
+
+def inv_mod(a: int, m: int | Modulus) -> int:
+    """Scalar modular inverse; raises ``ValueError`` if not invertible."""
+    a = int(a) % int(m)
+    try:
+        return pow(a, -1, int(m))
+    except ValueError as exc:  # pragma: no cover - message normalization
+        raise ValueError(f"{a} is not invertible modulo {int(m)}") from exc
+
+
+def to_signed(a: np.ndarray, m: Modulus) -> np.ndarray:
+    """Map canonical residues to the centered interval (-m/2, m/2].
+
+    Returns ``int64`` when the modulus fits, else ``object`` (Python ints).
+    """
+    a = _as_u64(a)
+    half = m.value // 2
+    if m.value < (1 << 62):
+        signed = a.astype(np.int64)
+        return np.where(a > half, signed - np.int64(m.value), signed)
+    lifted = a.astype(object)
+    return np.where(a > half, lifted - m.value, lifted)
+
+
+def from_signed(a: np.ndarray, m: Modulus) -> np.ndarray:
+    """Map signed integers (any magnitude) to canonical residues mod m."""
+    arr = np.asarray(a)
+    if arr.dtype == object:
+        return np.array([int(x) % m.value for x in arr.ravel()],
+                        dtype=np.uint64).reshape(arr.shape)
+    return np.mod(arr.astype(np.int64), np.int64(m.value)).astype(np.uint64)
+
+
+def random_residues(rng: np.random.Generator, m: Modulus,
+                    shape: tuple[int, ...]) -> np.ndarray:
+    """Uniform residues in ``[0, m)`` as ``uint64``."""
+    return rng.integers(0, m.value, size=shape, dtype=np.uint64)

@@ -1,0 +1,135 @@
+"""Noise-budget estimation for CKKS ciphertexts.
+
+CKKS is approximate: every operation adds (or amplifies) noise, and the
+effective message precision is ``log2(scale / noise)`` bits.  This module
+provides (a) *a-priori* estimates propagated through operation sequences
+with the standard canonical-embedding heuristics, and (b) an *a-posteriori*
+measurement that decrypts with the secret key and reports the true error -
+used by tests to validate the estimator and by users to audit parameter
+choices (the paper's Section 2.4 level/noise discussion in code form).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import SecretKey
+from repro.ckks.params import CkksParams
+
+
+@dataclass(frozen=True)
+class NoiseEstimate:
+    """Tracked noise state of a ciphertext (canonical-embedding norm)."""
+
+    noise: float        #: estimated |error| in the embedding
+    scale: float
+    level: int
+
+    @property
+    def precision_bits(self) -> float:
+        """Meaningful message bits remaining: log2(scale / noise)."""
+        if self.noise <= 0:
+            return float("inf")
+        return math.log2(self.scale / self.noise)
+
+
+class NoiseEstimator:
+    """Propagates a-priori noise bounds through HE ops.
+
+    Heuristics follow the usual average-case CKKS analysis: fresh noise
+    ~ sigma * sqrt(N); additions add noises; multiplication scales each
+    operand's noise by the other's message magnitude and multiplies
+    scales; rescaling divides noise by the dropped prime and adds the
+    rounding term ~ sqrt(N/12) * (h+1)^(1/2); key-switching adds a
+    P-suppressed gadget term.
+    """
+
+    def __init__(self, params: CkksParams,
+                 message_bound: float = 1.0) -> None:
+        self.params = params
+        self.message_bound = message_bound
+
+    # ----- constructors ---------------------------------------------------------
+
+    def fresh(self, scale: float, level: int | None = None) -> NoiseEstimate:
+        level = self.params.l if level is None else level
+        sigma = self.params.sigma
+        n = self.params.n
+        h = self.params.h or n // 2
+        # e0 + v*e? terms: ~ sigma * sqrt(N) * (1 + sqrt(h)) in embedding
+        noise = sigma * math.sqrt(n) * (1.0 + math.sqrt(h))
+        return NoiseEstimate(noise=noise, scale=scale, level=level)
+
+    # ----- op propagation ---------------------------------------------------------
+
+    def add(self, a: NoiseEstimate, b: NoiseEstimate) -> NoiseEstimate:
+        level = min(a.level, b.level)
+        return NoiseEstimate(noise=a.noise + b.noise,
+                             scale=max(a.scale, b.scale), level=level)
+
+    def multiply(self, a: NoiseEstimate, b: NoiseEstimate
+                 ) -> NoiseEstimate:
+        level = min(a.level, b.level)
+        m_a = self.message_bound * a.scale
+        m_b = self.message_bound * b.scale
+        cross = a.noise * m_b + b.noise * m_a + a.noise * b.noise
+        total = cross + self.keyswitch_noise(level)
+        return NoiseEstimate(noise=total, scale=a.scale * b.scale,
+                             level=level)
+
+    def multiply_plain(self, a: NoiseEstimate,
+                       plain_scale: float) -> NoiseEstimate:
+        noise = a.noise * self.message_bound * plain_scale
+        return NoiseEstimate(noise=noise, scale=a.scale * plain_scale,
+                             level=a.level)
+
+    def rotate(self, a: NoiseEstimate) -> NoiseEstimate:
+        return replace(a, noise=a.noise + self.keyswitch_noise(a.level))
+
+    def rescale(self, a: NoiseEstimate) -> NoiseEstimate:
+        if a.level == 0:
+            raise ValueError("cannot rescale at level 0")
+        q_drop = 2.0 ** self.params.scale_bits
+        n = self.params.n
+        h = self.params.h or n // 2
+        rounding = math.sqrt(n / 12.0) * (1.0 + math.sqrt(h))
+        return NoiseEstimate(noise=a.noise / q_drop + rounding,
+                             scale=a.scale / q_drop, level=a.level - 1)
+
+    def keyswitch_noise(self, level: int) -> float:
+        """Gadget noise after ModDown: ~ sqrt(N * alpha) * sigma * q_max/P
+        plus the BConv rounding term."""
+        n = self.params.n
+        sigma = self.params.sigma
+        alpha = self.params.alpha
+        # each slice contributes N * sigma * |raised| / P ~ suppressed to
+        # around the rounding scale; the additive floor dominates:
+        bconv_round = math.sqrt(n / 12.0) * alpha
+        gadget = sigma * math.sqrt(n * alpha) * self.params.dnum
+        return bconv_round + gadget
+
+    # ----- a-posteriori measurement -------------------------------------------------
+
+    @staticmethod
+    def measured_error(evaluator: Evaluator, ct: Ciphertext,
+                       secret: SecretKey,
+                       reference: np.ndarray) -> float:
+        """True max slot error of ``ct`` against a plaintext reference."""
+        got = evaluator.decrypt_to_message(ct, secret)
+        return float(np.max(np.abs(got - reference[:ct.n_slots])))
+
+    @staticmethod
+    def measured_precision_bits(evaluator: Evaluator, ct: Ciphertext,
+                                secret: SecretKey,
+                                reference: np.ndarray) -> float:
+        """Measured precision: -log2 of the max error (message ~ O(1))."""
+        err = NoiseEstimator.measured_error(evaluator, ct, secret,
+                                            reference)
+        if err == 0:
+            return float("inf")
+        return -math.log2(err)

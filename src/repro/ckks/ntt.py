@@ -1,0 +1,157 @@
+"""Negacyclic Number Theoretic Transform over Z_q[X]/(X^N + 1).
+
+This is the functional counterpart of the BTS NTTU (Section 5.1): the
+accelerator decomposes the same transform into a 3D schedule across 2,048
+processing elements; here we run the textbook iterative algorithm,
+vectorized per stage with NumPy.
+
+Forward transform: Cooley-Tukey butterflies, natural-order input,
+bit-reversed output.  Inverse: Gentleman-Sande, bit-reversed input,
+natural-order output.  Because forward/inverse orderings cancel and the
+scheme only ever multiplies point-wise in the NTT domain, no explicit
+bit-reversal permutation is needed (the standard Longa-Naehrig trick).
+Twiddle factors merge the 2N-th root ``psi`` so the transform is natively
+negacyclic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.modmath import (
+    Modulus,
+    add_mod,
+    inv_mod,
+    mul_mod_shoup,
+    shoup_precompute,
+    sub_mod,
+)
+from repro.ckks.primes import primitive_root_2n
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Bit-reversal permutation of ``range(n)`` (n must be a power of two)."""
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros_like(idx)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx >>= 1
+    return rev
+
+
+@dataclass(frozen=True)
+class NttContext:
+    """Precomputed twiddle tables for one ``(q, N)`` pair."""
+
+    modulus: Modulus
+    n: int
+    psi: int
+    psi_rev: np.ndarray
+    psi_rev_shoup: np.ndarray
+    psi_inv_rev: np.ndarray
+    psi_inv_rev_shoup: np.ndarray
+    n_inv: np.uint64
+    n_inv_shoup: np.uint64
+
+    @classmethod
+    def create(cls, q: int, n: int, psi: int | None = None) -> "NttContext":
+        """Build tables; ``psi`` may be supplied for reproducibility."""
+        if n & (n - 1) != 0 or n < 2:
+            raise ValueError(f"N must be a power of two >= 2, got {n}")
+        modulus = Modulus(q)
+        if psi is None:
+            psi = primitive_root_2n(q, n)
+        if pow(psi, n, q) != q - 1:
+            raise ValueError(f"psi={psi} is not a primitive 2N-th root mod {q}")
+        psi_inv = inv_mod(psi, q)
+        rev = bit_reverse_indices(n)
+        powers = np.empty(n, dtype=np.uint64)
+        powers_inv = np.empty(n, dtype=np.uint64)
+        acc = 1
+        acc_inv = 1
+        plain = np.empty(n, dtype=object)
+        plain_inv = np.empty(n, dtype=object)
+        for i in range(n):
+            plain[i] = acc
+            plain_inv[i] = acc_inv
+            acc = (acc * psi) % q
+            acc_inv = (acc_inv * psi_inv) % q
+        powers[rev] = plain.astype(np.uint64)
+        powers_inv[rev] = plain_inv.astype(np.uint64)
+        n_inv = inv_mod(n, q)
+        return cls(
+            modulus=modulus,
+            n=n,
+            psi=psi,
+            psi_rev=powers,
+            psi_rev_shoup=shoup_precompute(powers, modulus),
+            psi_inv_rev=powers_inv,
+            psi_inv_rev_shoup=shoup_precompute(powers_inv, modulus),
+            n_inv=np.uint64(n_inv),
+            n_inv_shoup=shoup_precompute(n_inv, modulus)[0],
+        )
+
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        """Negacyclic NTT; returns a new array in bit-reversed order."""
+        m = self.modulus
+        n = self.n
+        a = np.array(a, dtype=np.uint64, copy=True)
+        if a.shape != (n,):
+            raise ValueError(f"expected shape ({n},), got {a.shape}")
+        blocks = 1
+        half = n // 2
+        while half >= 1:
+            view = a.reshape(blocks, 2, half)
+            s = self.psi_rev[blocks:2 * blocks].reshape(blocks, 1)
+            s_sh = self.psi_rev_shoup[blocks:2 * blocks].reshape(blocks, 1)
+            u = view[:, 0, :].copy()
+            v = mul_mod_shoup(view[:, 1, :], s, s_sh, m)
+            view[:, 0, :] = add_mod(u, v, m)
+            view[:, 1, :] = sub_mod(u, v, m)
+            blocks *= 2
+            half //= 2
+        return a
+
+    def inverse(self, a: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT; input bit-reversed, output natural order."""
+        m = self.modulus
+        n = self.n
+        a = np.array(a, dtype=np.uint64, copy=True)
+        if a.shape != (n,):
+            raise ValueError(f"expected shape ({n},), got {a.shape}")
+        blocks = n // 2
+        half = 1
+        while blocks >= 1:
+            view = a.reshape(blocks, 2, half)
+            s = self.psi_inv_rev[blocks:2 * blocks].reshape(blocks, 1)
+            s_sh = self.psi_inv_rev_shoup[blocks:2 * blocks].reshape(blocks, 1)
+            u = view[:, 0, :].copy()
+            v = view[:, 1, :]
+            view[:, 0, :] = add_mod(u, v, m)
+            view[:, 1, :] = mul_mod_shoup(sub_mod(u, v, m), s, s_sh, m)
+            blocks //= 2
+            half *= 2
+        n_inv = np.broadcast_to(self.n_inv, a.shape)
+        n_inv_shoup = np.broadcast_to(self.n_inv_shoup, a.shape)
+        return mul_mod_shoup(a, n_inv, n_inv_shoup, m)
+
+
+def negacyclic_convolution_reference(a: np.ndarray, b: np.ndarray,
+                                     q: int) -> np.ndarray:
+    """O(N^2) schoolbook negacyclic product, for testing NTT correctness."""
+    n = len(a)
+    out = [0] * n
+    for i, ai in enumerate(int(x) for x in a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(int(x) for x in b):
+            k = i + j
+            term = ai * bj
+            if k >= n:
+                out[k - n] = (out[k - n] - term) % q
+            else:
+                out[k] = (out[k] + term) % q
+    return np.array(out, dtype=np.uint64)

@@ -1,0 +1,91 @@
+"""NTT-friendly prime generation for RNS moduli chains.
+
+Full-RNS CKKS needs word-sized primes ``q`` with ``q = 1 (mod 2N)`` so that
+the ring Z_q[X]/(X^N + 1) has a primitive 2N-th root of unity (required by
+the negacyclic NTT).  The paper sizes the ordinary moduli around 2^40..2^60
+and the special moduli near 2^60 (Section 2.4); our functional layer uses
+the same machinery at smaller N.
+"""
+
+from __future__ import annotations
+
+_MILLER_RABIN_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for ``n < 3.3e24`` (covers all 64-bit)."""
+    if n < 2:
+        return False
+    for p in _MILLER_RABIN_WITNESSES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MILLER_RABIN_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def ntt_friendly_primes(bit_size: int, count: int, n: int,
+                        exclude: set[int] | frozenset[int] = frozenset(),
+                        ) -> list[int]:
+    """``count`` primes of ~``bit_size`` bits with ``p = 1 (mod 2n)``.
+
+    Candidates alternate above/below ``2**bit_size`` so the product stays
+    close to ``2**(bit_size * count)``; this mirrors how SEAL/Lattigo pick
+    rescaling primes so that dividing by ``q_i`` approximates dividing by
+    the scale.
+    """
+    if count <= 0:
+        return []
+    step = 2 * n
+    center = 1 << bit_size
+    # First candidates congruent to 1 mod 2n on each side of the center.
+    above = center - (center % step) + step + 1
+    below = center - (center % step) + 1
+    found: list[int] = []
+    taken = set(exclude)
+    while len(found) < count:
+        for candidate in (above, below):
+            if len(found) >= count:
+                break
+            if candidate > 2 and candidate not in taken and is_prime(candidate):
+                found.append(candidate)
+                taken.add(candidate)
+        above += step
+        below -= step
+        if below < 3 and above >= (1 << 63):
+            raise ValueError(
+                f"could not find {count} NTT-friendly primes of "
+                f"{bit_size} bits for n={n}")
+    return found
+
+
+def primitive_root_2n(q: int, n: int) -> int:
+    """A primitive 2n-th root of unity modulo the prime ``q``.
+
+    Requires ``q = 1 (mod 2n)``.  Draws candidates ``x^((q-1)/2n)`` and
+    keeps the first whose n-th power is -1 (which certifies order exactly
+    2n since n is a power of two).
+    """
+    if (q - 1) % (2 * n) != 0:
+        raise ValueError(f"q={q} is not 1 mod 2n (n={n})")
+    exponent = (q - 1) // (2 * n)
+    for x in range(2, 10_000):
+        candidate = pow(x, exponent, q)
+        if candidate in (0, 1):
+            continue
+        if pow(candidate, n, q) == q - 1:
+            return candidate
+    raise ValueError(f"no primitive 2n-th root found for q={q}")  # pragma: no cover

@@ -1,0 +1,60 @@
+"""Randomness for CKKS: secrets, errors and uniform polynomials.
+
+The paper's instances use a sparse ternary secret (Hamming weight h, cited
+security analysis [21]) and the standard discrete-Gaussian error with
+sigma = 3.2 from the HE standard [5].  Sparse secrets also bound the
+``I(X)`` term that bootstrapping's EvalMod must absorb (Section 2.4),
+which is why ``h = 64`` is the default for bootstrappable parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.params import PrimeContext
+from repro.ckks.rns import RnsPolynomial
+
+
+class Sampler:
+    """Seeded source of key/error/uniform polynomials over RNS bases."""
+
+    def __init__(self, seed: int | None = None, sigma: float = 3.2) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.sigma = sigma
+
+    def ternary_secret(self, n: int, h: int = 0) -> np.ndarray:
+        """Signed ternary secret; ``h > 0`` fixes the Hamming weight."""
+        if h:
+            if h > n:
+                raise ValueError(f"h={h} exceeds N={n}")
+            coeffs = np.zeros(n, dtype=np.int64)
+            support = self.rng.choice(n, size=h, replace=False)
+            coeffs[support] = self.rng.choice(
+                np.array([-1, 1], dtype=np.int64), size=h)
+            return coeffs
+        return self.rng.integers(-1, 2, size=n, dtype=np.int64)
+
+    def gaussian_error(self, n: int) -> np.ndarray:
+        """Rounded Gaussian error with std ``sigma`` (clipped at 6 sigma)."""
+        raw = self.rng.normal(0.0, self.sigma, size=n)
+        bound = 6.0 * self.sigma
+        return np.rint(np.clip(raw, -bound, bound)).astype(np.int64)
+
+    def uniform_poly(self, base: tuple[PrimeContext, ...], n: int,
+                     is_ntt: bool = True) -> RnsPolynomial:
+        """Uniformly random polynomial over ``base``.
+
+        A uniform sample is uniform in either domain, so it is generated
+        directly in the requested one.
+        """
+        residues = np.empty((len(base), n), dtype=np.uint64)
+        for i, prime in enumerate(base):
+            residues[i] = self.rng.integers(0, prime.value, size=n,
+                                            dtype=np.uint64)
+        return RnsPolynomial(base, residues, is_ntt=is_ntt)
+
+    def error_poly(self, base: tuple[PrimeContext, ...], n: int,
+                   to_ntt: bool = True) -> RnsPolynomial:
+        """Gaussian error spread over ``base`` (optionally NTT'd)."""
+        err = RnsPolynomial.from_signed_coeffs(self.gaussian_error(n), base)
+        return err.to_ntt() if to_ntt else err

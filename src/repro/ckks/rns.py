@@ -1,0 +1,297 @@
+"""RNS (double-CRT) polynomials and fast base conversion.
+
+A polynomial in R_Q is held as an ``(num_limbs, N)`` matrix of residues
+(one row per RNS prime), exactly the layout in Fig. 4 of the paper.  The
+polynomial can be in the coefficient ("RNS") domain or the NTT domain;
+element-wise multiplication requires the NTT domain while base conversion
+(BConv, Eq. 9) requires the coefficient domain - which is precisely why the
+``iNTT -> BConv -> NTT`` sequence dominates key-switching.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.ckks.modmath import (
+    Modulus,
+    add_mod,
+    inv_mod,
+    mul_mod,
+    mul_mod_shoup,
+    neg_mod,
+    shoup_precompute,
+    sub_mod,
+)
+from repro.ckks.params import PrimeContext
+
+
+@dataclass
+class RnsPolynomial:
+    """A polynomial over a prime base, stored limb-wise.
+
+    ``base`` is a tuple of :class:`PrimeContext`; ``residues[i]`` holds the
+    coefficients (or NTT values) modulo ``base[i]``.
+    """
+
+    base: tuple[PrimeContext, ...]
+    residues: np.ndarray
+    is_ntt: bool
+
+    def __post_init__(self) -> None:
+        expected = (len(self.base), self.n)
+        if self.residues.shape != expected:
+            raise ValueError(
+                f"residue matrix shape {self.residues.shape} != {expected}")
+        if self.residues.dtype != np.uint64:
+            raise ValueError("residues must be uint64")
+
+    # ----- construction ------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, base: tuple[PrimeContext, ...], n: int,
+              is_ntt: bool = True) -> "RnsPolynomial":
+        return cls(base, np.zeros((len(base), n), dtype=np.uint64), is_ntt)
+
+    @classmethod
+    def from_signed_coeffs(cls, coeffs: np.ndarray,
+                           base: tuple[PrimeContext, ...]) -> "RnsPolynomial":
+        """Spread signed integer coefficients over the base (coeff domain).
+
+        ``coeffs`` may be int64 or object (Python big ints) for values that
+        exceed 64 bits.
+        """
+        n = len(coeffs)
+        residues = np.empty((len(base), n), dtype=np.uint64)
+        use_object = coeffs.dtype == object
+        for i, prime in enumerate(base):
+            q = prime.value
+            if use_object:
+                residues[i] = np.array([int(c) % q for c in coeffs],
+                                       dtype=np.uint64)
+            else:
+                residues[i] = np.mod(coeffs.astype(np.int64),
+                                     np.int64(q)).astype(np.uint64)
+        return cls(base, residues, is_ntt=False)
+
+    @property
+    def n(self) -> int:
+        return self.residues.shape[1]
+
+    @property
+    def num_limbs(self) -> int:
+        return len(self.base)
+
+    def clone(self) -> "RnsPolynomial":
+        return RnsPolynomial(self.base, self.residues.copy(), self.is_ntt)
+
+    # ----- domain transforms --------------------------------------------------
+
+    def to_ntt(self) -> "RnsPolynomial":
+        """Per-limb forward negacyclic NTT (no-op if already there)."""
+        if self.is_ntt:
+            return self.clone()
+        out = np.empty_like(self.residues)
+        for i, prime in enumerate(self.base):
+            out[i] = prime.ntt.forward(self.residues[i])
+        return RnsPolynomial(self.base, out, is_ntt=True)
+
+    def from_ntt(self) -> "RnsPolynomial":
+        """Per-limb inverse NTT back to coefficient domain."""
+        if not self.is_ntt:
+            return self.clone()
+        out = np.empty_like(self.residues)
+        for i, prime in enumerate(self.base):
+            out[i] = prime.ntt.inverse(self.residues[i])
+        return RnsPolynomial(self.base, out, is_ntt=False)
+
+    # ----- arithmetic ---------------------------------------------------------
+
+    def _check_compatible(self, other: "RnsPolynomial") -> None:
+        if self.base != other.base:
+            raise ValueError("RNS bases differ")
+        if self.is_ntt != other.is_ntt:
+            raise ValueError("operands are in different domains")
+
+    def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        out = np.empty_like(self.residues)
+        for i, prime in enumerate(self.base):
+            out[i] = add_mod(self.residues[i], other.residues[i],
+                             prime.modulus)
+        return RnsPolynomial(self.base, out, self.is_ntt)
+
+    def sub(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        out = np.empty_like(self.residues)
+        for i, prime in enumerate(self.base):
+            out[i] = sub_mod(self.residues[i], other.residues[i],
+                             prime.modulus)
+        return RnsPolynomial(self.base, out, self.is_ntt)
+
+    def neg(self) -> "RnsPolynomial":
+        out = np.empty_like(self.residues)
+        for i, prime in enumerate(self.base):
+            out[i] = neg_mod(self.residues[i], prime.modulus)
+        return RnsPolynomial(self.base, out, self.is_ntt)
+
+    def mul(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Element-wise (ring) product; both operands must be in NTT form."""
+        self._check_compatible(other)
+        if not self.is_ntt:
+            raise ValueError("ring multiplication requires NTT domain")
+        out = np.empty_like(self.residues)
+        for i, prime in enumerate(self.base):
+            out[i] = mul_mod(self.residues[i], other.residues[i],
+                             prime.modulus)
+        return RnsPolynomial(self.base, out, True)
+
+    def mul_scalar(self, scalars: dict[int, int]) -> "RnsPolynomial":
+        """Multiply by a per-prime scalar table ``{prime_value: residue}``."""
+        out = np.empty_like(self.residues)
+        for i, prime in enumerate(self.base):
+            s = np.uint64(scalars[prime.value] % prime.value)
+            s_shoup = shoup_precompute(s, prime.modulus)
+            out[i] = mul_mod_shoup(self.residues[i],
+                                   np.broadcast_to(s, (self.n,)),
+                                   np.broadcast_to(s_shoup[()], (self.n,)),
+                                   prime.modulus)
+        return RnsPolynomial(self.base, out, self.is_ntt)
+
+    def mul_int(self, value: int) -> "RnsPolynomial":
+        """Multiply by one integer scalar (reduced per prime)."""
+        return self.mul_scalar({p.value: value % p.value for p in self.base})
+
+    # ----- base manipulation ----------------------------------------------------
+
+    def restrict(self, new_base: tuple[PrimeContext, ...]) -> "RnsPolynomial":
+        """Keep only the limbs of ``new_base`` (must be a subset, in order)."""
+        index = {p.value: i for i, p in enumerate(self.base)}
+        try:
+            rows = [index[p.value] for p in new_base]
+        except KeyError as exc:
+            raise ValueError(f"prime {exc} not present in base") from exc
+        return RnsPolynomial(new_base, self.residues[rows].copy(), self.is_ntt)
+
+    def galois(self, galois_elt: int) -> "RnsPolynomial":
+        """Apply the automorphism X -> X^galois_elt (Eq. 5 generalized).
+
+        Operates in the coefficient domain: coefficient i moves to index
+        ``i * g mod 2N`` with a sign flip when the destination wraps past N
+        (negacyclic ring).
+        """
+        if self.is_ntt:
+            raise ValueError("apply automorphism in the coefficient domain")
+        perm, sign_flip = _galois_permutation(self.n, galois_elt)
+        out = np.empty_like(self.residues)
+        for i, prime in enumerate(self.base):
+            vals = self.residues[i]
+            flipped = np.where(sign_flip, neg_mod(vals, prime.modulus), vals)
+            row = np.zeros(self.n, dtype=np.uint64)
+            row[perm] = flipped
+            out[i] = row
+        return RnsPolynomial(self.base, out, False)
+
+
+@lru_cache(maxsize=256)
+def _galois_permutation(n: int, galois_elt: int) -> tuple[np.ndarray, np.ndarray]:
+    """Destination indices and sign flips for X -> X^g over X^N + 1."""
+    if galois_elt % 2 == 0:
+        raise ValueError("galois element must be odd")
+    i = np.arange(n, dtype=np.int64)
+    dest = (i * galois_elt) % (2 * n)
+    sign_flip = dest >= n
+    return dest % n, sign_flip
+
+
+@lru_cache(maxsize=1024)
+def _bconv_table(src_values: tuple[int, ...], dst_values: tuple[int, ...]):
+    """Precomputed constants for BConv from ``src`` to ``dst`` (Eq. 9).
+
+    Returns ``(qhat_inv, qhat_inv_shoup, cross)`` where ``qhat_inv[j]`` is
+    ``[ (Q/q_j)^-1 ]_{q_j}`` and ``cross[j][i] = [Q/q_j]_{dst_i}``.
+    """
+    product = math.prod(src_values)
+    qhat = [product // q for q in src_values]
+    qhat_inv = np.array([inv_mod(qh, q) for qh, q in zip(qhat, src_values)],
+                        dtype=np.uint64)
+    qhat_inv_shoup = np.array(
+        [shoup_precompute(int(qi), Modulus(q))[()]
+         for qi, q in zip(qhat_inv, src_values)], dtype=np.uint64)
+    cross = np.array([[qh % p for p in dst_values] for qh in qhat],
+                     dtype=np.uint64)
+    return qhat_inv, qhat_inv_shoup, cross
+
+
+def base_convert(poly: RnsPolynomial,
+                 dst_base: tuple[PrimeContext, ...]) -> RnsPolynomial:
+    """Fast (approximate) base conversion of Eq. 9: src base -> dst base.
+
+    The result represents ``a + u * Q_src`` for a small integer polynomial
+    ``u`` (|u| <= len(src)/2), the standard HPS approximation absorbed by
+    the special-modulus product P in key-switching.  Input and output are
+    in the coefficient domain.
+    """
+    if poly.is_ntt:
+        raise ValueError("BConv operates in the coefficient domain")
+    src_values = tuple(p.value for p in poly.base)
+    dst_values = tuple(p.value for p in dst_base)
+    qhat_inv, qhat_inv_shoup, cross = _bconv_table(src_values, dst_values)
+
+    n = poly.n
+    # Part 1 (per-source ModMult in the BConvU): t_j = [a_j * qhat_j^-1]_{q_j}
+    terms = np.empty_like(poly.residues)
+    for j, prime in enumerate(poly.base):
+        terms[j] = mul_mod_shoup(
+            poly.residues[j],
+            np.broadcast_to(qhat_inv[j], (n,)),
+            np.broadcast_to(qhat_inv_shoup[j], (n,)),
+            prime.modulus)
+
+    # Part 2 (the MMAU): out_i = sum_j t_j * [qhat_j]_{p_i} mod p_i
+    out = np.zeros((len(dst_base), n), dtype=np.uint64)
+    for i, dst_prime in enumerate(dst_base):
+        acc = np.zeros(n, dtype=np.uint64)
+        m = dst_prime.modulus
+        for j in range(len(poly.base)):
+            term = mul_mod(terms[j], np.broadcast_to(cross[j, i], (n,)), m)
+            acc = add_mod(acc, term, m)
+        out[i] = acc
+    return RnsPolynomial(dst_base, out, is_ntt=False)
+
+
+def exact_residue_transfer(residue: np.ndarray, src: PrimeContext,
+                           dst_base: tuple[PrimeContext, ...]) -> RnsPolynomial:
+    """Exact transfer of one limb to other primes via centered lift.
+
+    Used by rescaling (HRescale) where the source base is a single prime:
+    lifting to the centered interval makes the conversion exact, unlike
+    the approximate multi-prime BConv.
+    """
+    q = src.value
+    half = q // 2
+    signed = residue.astype(np.int64)
+    signed = np.where(residue > half, signed - np.int64(q), signed)
+    out = np.empty((len(dst_base), len(residue)), dtype=np.uint64)
+    for i, prime in enumerate(dst_base):
+        out[i] = np.mod(signed, np.int64(prime.value)).astype(np.uint64)
+    return RnsPolynomial(dst_base, out, is_ntt=False)
+
+
+def crt_reconstruct(poly: RnsPolynomial) -> np.ndarray:
+    """Reconstruct centered big-int coefficients via the CRT (testing aid)."""
+    if poly.is_ntt:
+        raise ValueError("reconstruct from the coefficient domain")
+    values = [p.value for p in poly.base]
+    product = math.prod(values)
+    out = np.zeros(poly.n, dtype=object)
+    for j, q in enumerate(values):
+        qhat = product // q
+        factor = (qhat * inv_mod(qhat, q)) % product
+        row = poly.residues[j].astype(object)
+        out = (out + row * factor) % product
+    half = product // 2
+    return np.where(out > half, out - product, out)

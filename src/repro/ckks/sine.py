@@ -1,0 +1,199 @@
+"""Approximate modular reduction: Chebyshev sine evaluation + double-angle.
+
+Bootstrapping must evaluate ``t -> [t]_q0`` on ciphertext, which CKKS
+approximates with the scaled sine (Section 2.4, algorithm family of
+[Cheon et al. '18] / [Han-Ki '20]).  Following the double-angle variant:
+fit a Chebyshev polynomial to ``cos(2*pi*(t - 1/4) / 2^r)`` over
+``t in [-K, K]``, evaluate it with a Paterson-Stockmeyer / BSGS scheme
+(log-depth), then apply ``r`` double-angle identities so the result equals
+``cos(2*pi*t - pi/2) = sin(2*pi*t)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.polynomial import chebyshev as _cheb
+
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.evaluator import Evaluator
+
+_COEFF_TOL = 1e-13
+
+
+def chebyshev_fit(func, degree: int) -> np.ndarray:
+    """Chebyshev-basis coefficients interpolating ``func`` on [-1, 1]."""
+    return _cheb.chebinterpolate(func, degree)
+
+
+def cheby_divmod(coeffs: np.ndarray, s: int) -> tuple[np.ndarray, np.ndarray]:
+    """Divide a Chebyshev-basis polynomial by ``T_s``.
+
+    Returns ``(q, r)`` (both Chebyshev basis) with ``p = q * T_s + r`` and
+    ``deg(r) < s``, using ``T_i = 2*T_s*T_{i-s} - T_{|2s-i|}`` for i > s.
+    """
+    work = np.array(coeffs, dtype=np.float64)
+    d = len(work) - 1
+    if d < s:
+        return np.zeros(1), work
+    q = np.zeros(d - s + 1)
+    for i in range(d, s, -1):
+        a_i = work[i]
+        if a_i == 0.0:
+            continue
+        q[i - s] += 2.0 * a_i
+        work[abs(2 * s - i)] -= a_i
+        work[i] = 0.0
+    q[0] += work[s]
+    work[s] = 0.0
+    r = work[:s]
+    return q, r
+
+
+def _degree(coeffs: np.ndarray) -> int:
+    nz = np.nonzero(np.abs(coeffs) > _COEFF_TOL)[0]
+    return int(nz[-1]) if len(nz) else -1
+
+
+class ChebyshevEvaluator:
+    """Paterson-Stockmeyer evaluation of a Chebyshev expansion on ciphertext.
+
+    Builds baby powers ``T_1..T_g`` and giant powers ``T_{2g}, T_{4g}, ...``
+    with the recurrences ``T_{2k} = 2 T_k^2 - 1`` and
+    ``T_{a+b} = 2 T_a T_b - T_{a-b}``; total depth is about
+    ``ceil(log2(degree)) + 1`` levels.
+    """
+
+    def __init__(self, evaluator: Evaluator, ct_u: Ciphertext,
+                 degree: int) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.evaluator = evaluator
+        self.degree = degree
+        self.g = 1 << max(1, math.ceil(math.log2(math.sqrt(degree + 1))))
+        self.powers: dict[int, Ciphertext] = {1: ct_u}
+        for i in range(2, self.g + 1):
+            self._build_power(i)
+        giant = 2 * self.g
+        while giant <= degree:
+            self._build_power(giant)
+            giant *= 2
+
+    def _build_power(self, i: int) -> None:
+        ev = self.evaluator
+        if i in self.powers:
+            return
+        if i % 2 == 0:
+            half = i // 2
+            self._build_power(half)
+            self.powers[i] = double_angle(ev, self.powers[half])
+        else:
+            lo, hi = i // 2, i // 2 + 1
+            self._build_power(lo)
+            self._build_power(hi)
+            prod = ev.multiply(self.powers[hi], self.powers[lo])
+            two = ev.add(prod, prod)
+            diff = hi - lo  # == 1
+            self.powers[i] = ev.sub(two, self.powers[diff])
+
+    # ----- evaluation -----------------------------------------------------------
+
+    def evaluate(self, coeffs: np.ndarray) -> Ciphertext:
+        """Evaluate ``sum_j coeffs[j] T_j(u)`` homomorphically."""
+        result = self._eval_recursive(np.asarray(coeffs, dtype=np.float64))
+        if result is None:
+            raise ValueError("polynomial is numerically zero")
+        return result
+
+    def _eval_recursive(self, coeffs: np.ndarray) -> Ciphertext | None:
+        ev = self.evaluator
+        d = _degree(coeffs)
+        if d < 0:
+            return None
+        if d < self.g:
+            return self._eval_direct(coeffs[:d + 1])
+        split = self.g
+        while split * 2 <= d:
+            split *= 2
+        q, r = cheby_divmod(coeffs, split)
+        q_ct = self._eval_recursive(q)
+        r_ct = self._eval_recursive(r)
+        assert q_ct is not None  # leading coefficient lives in q
+        prod = ev.multiply(q_ct, self.powers[split])
+        if r_ct is None:
+            return prod
+        return ev.add(prod, r_ct)
+
+    def _eval_direct(self, coeffs: np.ndarray) -> Ciphertext | None:
+        """Leaf case: a linear combination of the baby powers."""
+        ev = self.evaluator
+        live = [j for j in range(1, len(coeffs))
+                if abs(coeffs[j]) > _COEFF_TOL]
+        if not live:
+            if abs(coeffs[0]) <= _COEFF_TOL:
+                return None
+            # Constant polynomial: fold into T_1's shape at its level/scale.
+            base = ev.multiply_scalar(self.powers[1], 0.0, rescale=True)
+            return ev.add_scalar(base, float(coeffs[0]))
+        level = min(self.powers[j].level for j in live)
+        acc: Ciphertext | None = None
+        for j in live:
+            term_in = ev.drop_to_level(self.powers[j], level)
+            term = ev.multiply_scalar(term_in, float(coeffs[j]),
+                                      rescale=False)
+            acc = term if acc is None else ev.add(acc, term)
+        assert acc is not None
+        acc = ev.rescale(acc)
+        if abs(coeffs[0]) > _COEFF_TOL:
+            acc = ev.add_scalar(acc, float(coeffs[0]))
+        return acc
+
+
+def double_angle(evaluator: Evaluator, ct: Ciphertext) -> Ciphertext:
+    """``y -> 2*y^2 - 1`` (turns cos(theta) into cos(2*theta))."""
+    sq = evaluator.square(ct)
+    doubled = evaluator.add(sq, sq)
+    return evaluator.add_scalar(doubled, -1.0)
+
+
+@dataclass(frozen=True)
+class SineConfig:
+    """Shape of the EvalMod approximation."""
+
+    k_range: int = 12        #: |I| + message headroom bound K
+    degree: int = 63         #: Chebyshev degree of the base cosine
+    double_angles: int = 2   #: r: halvings of the argument before doubling
+
+    def base_function(self):
+        """The function fitted on u in [-1, 1] (t = K * u)."""
+        k, r = self.k_range, self.double_angles
+        return lambda u: np.cos(2.0 * np.pi * (k * u - 0.25) / (2.0 ** r))
+
+    @property
+    def depth(self) -> int:
+        """Multiplicative levels consumed by the sine stage."""
+        return math.ceil(math.log2(self.degree + 1)) + 1 + self.double_angles
+
+
+@dataclass
+class SineEvaluator:
+    """Evaluates ``sin(2*pi*t)`` for ``t in [-K, K]`` on a ciphertext.
+
+    The input ciphertext must already hold ``u = t / K`` in its slots (the
+    1/K normalization is folded into the caller's preceding constant
+    multiplication to save a level).
+    """
+
+    config: SineConfig = field(default_factory=SineConfig)
+
+    def coefficients(self) -> np.ndarray:
+        return chebyshev_fit(self.config.base_function(), self.config.degree)
+
+    def evaluate(self, evaluator: Evaluator, ct_u: Ciphertext) -> Ciphertext:
+        cheb = ChebyshevEvaluator(evaluator, ct_u, self.config.degree)
+        result = cheb.evaluate(self.coefficients())
+        for _ in range(self.config.double_angles):
+            result = double_angle(evaluator, result)
+        return result

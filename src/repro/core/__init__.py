@@ -1,0 +1,16 @@
+"""The BTS accelerator model (the paper's primary contribution).
+
+A cycle-level (epoch-granular) performance model of the architecture in
+Sections 4-6: 2,048 processing elements in a 32 x 64 grid, each with an
+NTTU, a BConvU (ModMult + MMAU), element-wise modular units and a slice of
+the 512MB scratchpad; two HBM2e stacks at 1TB/s aggregate; and three
+dedicated NoCs.  The simulator executes HE-op traces
+(:mod:`repro.workloads`) against :class:`~repro.ckks.params.CkksParams`
+instances and reports latency, resource utilization, scratchpad behaviour
+and energy, reproducing the paper's evaluation figures.
+"""
+
+from repro.core.config import BtsConfig
+from repro.core.simulator import BtsSimulator, SimulationReport
+
+__all__ = ["BtsConfig", "BtsSimulator", "SimulationReport"]

@@ -1,0 +1,66 @@
+"""BConvU timing: the ModMult first part and the MMAU second part.
+
+Section 5.2: BConv (Eq. 9) splits into a per-source-limb modular multiply
+by ``[q_hat_j^{-1}]_{q_j}`` (one ModMult per PE, clocked lower) and the
+coefficient-wise multiply-accumulate against ``[q_hat_j]_{p_i}`` (the
+MMAU, ``l_sub`` lanes per PE).  Because the MMAU consumes iNTT output
+coefficient-wise, BTS overlaps it with the producing iNTT in groups of
+``l_sub`` residue polynomials (Eq. 11); the ablation of Fig. 9 turns this
+overlap off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BtsConfig
+
+
+@dataclass(frozen=True)
+class BconvUnitModel:
+    """Chip-wide base-conversion timing."""
+
+    config: BtsConfig
+    n: int
+
+    def macs(self, src_limbs: int, dst_limbs: int) -> int:
+        """MMAU multiply-accumulates: src x dst per coefficient."""
+        return src_limbs * dst_limbs * self.n
+
+    def mmau_time(self, src_limbs: int, dst_limbs: int) -> float:
+        """Second-part time on the MMAU array."""
+        return self.macs(src_limbs, dst_limbs) / \
+            self.config.mmau_macs_per_second()
+
+    def modmult_time(self, src_limbs: int) -> float:
+        """First-part time: one multiply per source residue."""
+        return src_limbs * self.n / self.config.bconv_modmult_per_second()
+
+    def overlap_start_offset(self, src_limbs: int,
+                             intt_epoch_seconds: float) -> float:
+        """How long after iNTT start the MMAU may begin (Eq. 11).
+
+        With overlap on, the MMAU starts once ``l_sub`` residue
+        polynomials have been inverse-transformed; otherwise it waits for
+        the whole iNTT.
+        """
+        if self.config.bconv_overlap:
+            ready = min(self.config.l_sub, src_limbs)
+        else:
+            ready = src_limbs
+        return ready * intt_epoch_seconds
+
+    def partial_sum_traffic_bytes(self, src_limbs: int,
+                                  dst_limbs: int) -> float:
+        """Scratchpad read+write volume of the running partial sums.
+
+        The k-limb partial sum is re-loaded and re-stored once per l_sub
+        source group (Section 5.3's bandwidth-pressure discussion).
+        """
+        groups = -(-src_limbs // self.config.l_sub)
+        words = dst_limbs * self.n
+        return 2.0 * groups * words * self.config.word_bytes
+
+    def ssa_time(self, limbs: int) -> float:
+        """Fused subtract-scale-add at key-switching's end (on the MMAU)."""
+        return limbs * self.n / self.config.mmau_macs_per_second() * 1.0

@@ -1,0 +1,304 @@
+"""HE op -> scheduled function pipeline (the Fig. 3a / Fig. 8 structure).
+
+This module turns one :class:`~repro.workloads.trace.HEOp` into a set of
+stage reservations on the shared :class:`~repro.core.scheduler.Machine`
+resources, reproducing the key-switching dataflow the paper diagrams:
+
+    tensor product -> [per slice: iNTT.d2 -> BConv.d2 -> NTT.d2 ->
+    (x evk.ax / evk.bx, accumulate)] -> per output half:
+    iNTT -> BConv -> NTT -> SSA
+
+with the evk streaming from HBM in bx.P / bx.Q / ax.P / ax.Q chunks,
+BConv's MMAU overlapping the producing iNTT in ``l_sub`` groups, and the
+whole thing bounded below by the evk load time (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ckks.params import CkksParams
+from repro.core.bconv_unit import BconvUnitModel
+from repro.core.config import BtsConfig
+from repro.core.hbm import HbmModel
+from repro.core.ntt_unit import NttUnitModel
+from repro.core.noc import PePeNocModel
+from repro.core.pe import ElementwiseModel
+from repro.core.scheduler import Machine
+from repro.workloads.trace import HEOp, OpKind
+
+
+@dataclass
+class OpExecution:
+    """Timing record of one executed HE op."""
+
+    op: HEOp
+    start: float
+    end: float
+    evk_bytes: float = 0.0
+    ct_load_bytes: float = 0.0
+    temp_peak_bytes: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class OpCostModel:
+    """All per-function timing for one (params, config) pair."""
+
+    params: CkksParams
+    config: BtsConfig
+    ntt: NttUnitModel = field(init=False)
+    bconv: BconvUnitModel = field(init=False)
+    ew: ElementwiseModel = field(init=False)
+    hbm: HbmModel = field(init=False)
+    noc: PePeNocModel = field(init=False)
+
+    def __post_init__(self) -> None:
+        n = self.params.n
+        self.ntt = NttUnitModel(self.config, n)
+        self.bconv = BconvUnitModel(self.config, n)
+        self.ew = ElementwiseModel(self.config, n)
+        self.hbm = HbmModel(self.config)
+        self.noc = PePeNocModel(self.config, n)
+
+    # ----- slice geometry -------------------------------------------------------
+
+    def slices(self, level: int) -> list[tuple[int, int]]:
+        """(src_limbs, dst_limbs) of each ModUp decomposition slice."""
+        alpha = self.params.alpha
+        working = self.params.k + level + 1
+        out = []
+        start = 0
+        while start <= level:
+            src = min(alpha, level + 1 - start)
+            out.append((src, working - src))
+            start += src
+        return out
+
+    def limb_bytes(self) -> int:
+        return self.params.n * self.config.word_bytes
+
+    def ct_bytes(self, level: int) -> int:
+        return self.params.ct_bytes(level)
+
+    def plain_bytes(self, level: int) -> int:
+        """Storage footprint of an encoded plaintext operand.
+
+        Plaintext polynomials (e.g. bootstrapping's linear-transform
+        diagonals) have coefficients below the scale, so they are stored
+        *compactly* - one machine word per coefficient - and expanded to
+        RNS/NTT form on-chip when consumed.  This keeps the diagonal
+        working set cacheable (the paper reports 93.7% PMult hit rates at
+        512MB, impossible with fully-expanded N x (level+1) operands).
+        """
+        del level  # footprint is level-independent in compact form
+        return self.params.n * self.config.word_bytes
+
+    # ----- temp-data model (Table 4's rightmost column) ---------------------------
+
+    def keyswitch_temp_bytes(self, level: int) -> float:
+        """Peak temporary data of one key-switch at ``level``.
+
+        Live set at the widest point of the Fig. 8 timeline: the ``beta``
+        raised decomposition slices in flight through the epoch pipeline
+        plus one working-base accumulator pair buffer (beta + 1 buffers of
+        k + level + 1 limbs), and d0/d1 plus one BConv output half
+        (3 x (level+1) limbs).  Reproduces Table 4's temp-data column to
+        within ~7% (196 / 300 / 375 MiB vs the paper's 183 / 304 / 365 MB
+        for INS-1/2/3) and, critically, its ordering.
+        """
+        limb = self.limb_bytes()
+        working = self.params.k + level + 1
+        beta = len(self.slices(level))
+        live_limbs = (beta + 1) * working + 3 * (level + 1)
+        return live_limbs * limb
+
+
+class OpScheduler:
+    """Schedules single HE ops onto a :class:`Machine`."""
+
+    def __init__(self, cost: OpCostModel, machine: Machine) -> None:
+        self.cost = cost
+        self.machine = machine
+
+    # ----- key-switching ops -----------------------------------------------------
+
+    def schedule_keyswitch(self, op: HEOp, data_ready: float,
+                           evk_request_time: float,
+                           ct_load_time: float = 0.0) -> OpExecution:
+        """HMult / HRot / HConj: the Fig. 3a pipeline.
+
+        ``data_ready`` is when input ciphertexts are on-chip;
+        ``evk_request_time`` is when the evk stream may enter the HBM
+        queue (earlier than ``data_ready`` models prefetch).
+        """
+        cost = self.cost
+        m = self.machine
+        level = op.level
+        params = cost.params
+        label = f"{op.kind.value}@{level}"
+
+        # evk streaming: four chunks in Fig. 8 order.
+        chunk_ready: dict[str, float] = {}
+        evk_bytes = 0.0
+        for chunk in cost.hbm.evk_chunks(params, level):
+            _, end = m.hbm.reserve(cost.hbm.transfer_time(chunk.nbytes),
+                                   earliest=evk_request_time,
+                                   label=f"load {chunk.label}",
+                                   payload_bytes=chunk.nbytes)
+            chunk_ready[chunk.label] = end
+            evk_bytes += chunk.nbytes
+
+        start_floor = data_ready
+        if op.kind is OpKind.HMULT:
+            # Tensor product: d0, d1, d2 (4 mults + 1 add per residue).
+            _, tensor_end = m.elementwise.reserve(
+                cost.ew.time(level + 1, ops_per_residue=5.0),
+                earliest=start_floor, label=f"tensor {label}")
+            switch_input_ready = tensor_end
+        else:
+            # Automorphism permutation through the PE-PE NoC (both halves).
+            _, auto_end = m.automorphism.reserve(
+                cost.noc.automorphism_time(2 * (level + 1)),
+                earliest=start_floor, label=f"autom {label}")
+            switch_input_ready = auto_end
+
+        op_start = start_floor
+
+        # ModUp per decomposition slice: iNTT -> BConv -> NTT, then the
+        # two evk products accumulate on the element-wise units.  The evk
+        # products stream: they begin once the first chunk has landed and
+        # the raised slice is in the NTT domain; the P-part products (all
+        # the downstream iNTT needs) complete once the .P chunks are in,
+        # while the Q-part products gate only the final SSA.
+        working = params.k + level + 1
+        epoch = cost.ntt.epoch_seconds
+        mult_done = switch_input_ready
+        slice_ready = switch_input_ready
+        for idx, (src, dst) in enumerate(cost.slices(level)):
+            intt_start, intt_end = m.ntt.reserve(
+                cost.ntt.transform_time(src), earliest=slice_ready,
+                label=f"iNTT.d2[{idx}]")
+            m.bconv_modmult.reserve(cost.bconv.modmult_time(src),
+                                    earliest=intt_start,
+                                    label=f"BConv1.d2[{idx}]")
+            bconv_earliest = intt_start + cost.bconv.overlap_start_offset(
+                src, epoch)
+            _, bconv_end = m.bconv.reserve(
+                cost.bconv.mmau_time(src, dst),
+                earliest=bconv_earliest if cost.config.bconv_overlap
+                else intt_end,
+                label=f"BConv2.d2[{idx}]")
+            _, ntt_end = m.ntt.reserve(
+                cost.ntt.transform_time(dst), earliest=bconv_end,
+                label=f"NTT.d2[{idx}]")
+            # d2' x evk.ax and x evk.bx + accumulation (2 muls + 2 adds),
+            # streamed against the arriving evk chunks.
+            operand_ready = max(ntt_end, chunk_ready["evk.bx.P"])
+            _, mult_end = m.elementwise.reserve(
+                cost.ew.time(working, ops_per_residue=4.0),
+                earliest=operand_ready, label=f"x evk[{idx}]")
+            mult_done = max(mult_done, mult_end)
+            slice_ready = intt_end  # next slice's iNTT pipelines behind
+
+        # ModDown for each output half: iNTT(P) -> BConv -> NTT(Q) -> SSA.
+        # The P-part iNTT needs only the .P products; the SSA additionally
+        # needs the Q-part products, i.e. the half's .Q chunk.
+        half_ends = []
+        half_ready = mult_done
+        for half in ("bx", "ax"):
+            p_ready = max(half_ready, chunk_ready[f"evk.{half}.P"])
+            _, intt_end = m.ntt.reserve(
+                cost.ntt.transform_time(params.k), earliest=p_ready,
+                label=f"iNTT.{half}")
+            m.bconv_modmult.reserve(cost.bconv.modmult_time(params.k),
+                                    earliest=p_ready,
+                                    label=f"BConv1.{half}")
+            bconv_earliest = (p_ready
+                              + cost.bconv.overlap_start_offset(params.k,
+                                                                epoch))
+            _, bconv_end = m.bconv.reserve(
+                cost.bconv.mmau_time(params.k, level + 1),
+                earliest=bconv_earliest if cost.config.bconv_overlap
+                else intt_end,
+                label=f"BConv2.{half}")
+            _, ntt_end = m.ntt.reserve(
+                cost.ntt.transform_time(level + 1), earliest=bconv_end,
+                label=f"NTT.{half}")
+            _, ssa_end = m.bconv.reserve(
+                cost.bconv.ssa_time(level + 1),
+                earliest=max(ntt_end, chunk_ready[f"evk.{half}.Q"]),
+                label=f"SSA.{half}")
+            half_ends.append(ssa_end)
+            half_ready = intt_end
+
+        end = max(half_ends)
+        return OpExecution(op=op, start=op_start, end=end,
+                           evk_bytes=evk_bytes,
+                           ct_load_bytes=0.0,
+                           temp_peak_bytes=self.cost.keyswitch_temp_bytes(
+                               level))
+
+    # ----- light ops ----------------------------------------------------------------
+
+    def schedule_elementwise(self, op: HEOp, data_ready: float,
+                             ops_per_residue: float, limbs: int
+                             ) -> OpExecution:
+        start, end = self.machine.elementwise.reserve(
+            self.cost.ew.time(limbs, ops_per_residue),
+            earliest=data_ready, label=f"{op.kind.value}@{op.level}")
+        return OpExecution(op=op, start=start, end=end)
+
+    def schedule_pmult(self, op: HEOp, data_ready: float) -> OpExecution:
+        """PMult with a compact plaintext operand.
+
+        The stored one-word-per-coefficient plaintext is spread over the
+        RNS base and NTT'd on-chip ((level+1) limb-epochs), then both
+        ciphertext halves are multiplied element-wise.
+        """
+        cost = self.cost
+        m = self.machine
+        level = op.level
+        _, expand_end = m.ntt.reserve(
+            cost.ntt.transform_time(level + 1), earliest=data_ready,
+            label=f"NTT.pt@{level}")
+        start, end = m.elementwise.reserve(
+            cost.ew.time(2 * (level + 1), ops_per_residue=1.0),
+            earliest=expand_end, label=f"PMult@{level}")
+        return OpExecution(op=op, start=data_ready, end=end)
+
+    def schedule_rescale(self, op: HEOp, data_ready: float) -> OpExecution:
+        """HRescale: iNTT the dropped limb, redistribute, NTT, scale.
+
+        Per ciphertext half: one limb iNTT, ``level`` limb NTTs of the
+        transferred polynomial, and ~2 element-wise ops per remaining
+        residue.
+        """
+        cost = self.cost
+        m = self.machine
+        level = op.level
+        _, intt_end = m.ntt.reserve(cost.ntt.transform_time(2),
+                                    earliest=data_ready,
+                                    label=f"iNTT.rescale@{level}")
+        _, ntt_end = m.ntt.reserve(cost.ntt.transform_time(2 * level),
+                                   earliest=intt_end,
+                                   label=f"NTT.rescale@{level}")
+        start, end = m.elementwise.reserve(
+            cost.ew.time(2 * level, ops_per_residue=2.0),
+            earliest=ntt_end, label=f"EW.rescale@{level}")
+        return OpExecution(op=op, start=data_ready, end=end)
+
+    def schedule_modraise(self, op: HEOp, data_ready: float) -> OpExecution:
+        """ModRaise: exact residue spread (element-wise over the chain)."""
+        cost = self.cost
+        limbs = 2 * (op.level + 1)
+        _, ntt_end = self.machine.ntt.reserve(
+            cost.ntt.transform_time(limbs), earliest=data_ready,
+            label=f"NTT.modraise@{op.level}")
+        start, end = self.machine.elementwise.reserve(
+            cost.ew.time(limbs, ops_per_residue=1.0),
+            earliest=data_ready, label=f"ModRaise@{op.level}")
+        return OpExecution(op=op, start=data_ready, end=max(end, ntt_end))

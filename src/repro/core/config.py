@@ -1,0 +1,94 @@
+"""BTS hardware configuration (Section 5 / Table 3 parameters)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+MIB = 1 << 20
+GIB = 1 << 30
+
+
+@dataclass(frozen=True)
+class BtsConfig:
+    """Machine description of a BTS-like accelerator.
+
+    Defaults reproduce the paper's BTS: 2,048 PEs in a 32 x 64 grid at
+    1.2GHz, 512MB of scratchpad at 38.4TB/s, two HBM2e stacks providing
+    1TB/s, a 3.6TB/s-bisection PE-PE NoC, and an MMAU with ``l_sub = 4``
+    lanes per PE.
+    """
+
+    n_pe: int = 2048
+    pe_rows: int = 32            #: nPEver (vertical crossbar size)
+    pe_cols: int = 64            #: nPEhor (horizontal crossbar size)
+    freq_hz: float = 1.2e9       #: NTTU / MMAU / NoC clock
+    ew_freq_hz: float = 0.6e9    #: element-wise ModMult / ModAdd clock
+    bconv_modmult_freq_hz: float = 0.3e9  #: BConvU first-part ModMult clock
+    l_sub: int = 4               #: MMAU lanes / iNTT-BConv overlap group
+
+    hbm_bandwidth: float = 1e12          #: aggregate off-chip B/s
+    hbm_stacks: int = 2
+    scratchpad_bytes: int = 512 * MIB
+    scratchpad_bandwidth: float = 38.4e12
+    noc_bisection_bandwidth: float = 3.6e12
+    word_bytes: int = 8
+
+    #: Overlap BConv's MMAU with the preceding iNTT in l_sub groups
+    #: (Section 5.2); switchable for the Fig. 9 ablation.
+    bconv_overlap: bool = True
+    #: evk streaming buffer as a fraction of one evk: the stream is
+    #: consumed limb-wise, so only ~a double-buffered chunk stays resident.
+    evk_buffer_fraction: float = 0.125
+
+    def __post_init__(self) -> None:
+        if self.pe_rows * self.pe_cols != self.n_pe:
+            raise ValueError(
+                f"PE grid {self.pe_rows}x{self.pe_cols} != n_pe={self.n_pe}")
+        if self.l_sub < 1:
+            raise ValueError("l_sub must be >= 1")
+        if self.scratchpad_bytes <= 0 or self.hbm_bandwidth <= 0:
+            raise ValueError("capacities/bandwidths must be positive")
+
+    # ----- derived quantities ---------------------------------------------------
+
+    def epoch_cycles(self, n: int) -> float:
+        """Cycles per (i)NTT epoch: N log N / (2 * n_PE) (Section 5.1)."""
+        log_n = n.bit_length() - 1
+        return n * log_n / (2 * self.n_pe)
+
+    def epoch_seconds(self, n: int) -> float:
+        """Wall time of one epoch (one residue-polynomial (i)NTT)."""
+        return self.epoch_cycles(n) / self.freq_hz
+
+    def mmau_macs_per_second(self) -> float:
+        """Chip-wide MMAU throughput: n_PE * l_sub MACs per cycle."""
+        return self.n_pe * self.l_sub * self.freq_hz
+
+    def ew_ops_per_second(self) -> float:
+        """Chip-wide element-wise modular-op throughput."""
+        return self.n_pe * self.ew_freq_hz
+
+    def bconv_modmult_per_second(self) -> float:
+        """Chip-wide BConvU first-part ModMult throughput."""
+        return self.n_pe * self.bconv_modmult_freq_hz
+
+    # ----- ablation variants (Fig. 9) ---------------------------------------------
+
+    def with_scratchpad(self, capacity_bytes: int) -> "BtsConfig":
+        return replace(self, scratchpad_bytes=capacity_bytes)
+
+    def with_hbm_bandwidth(self, bandwidth: float) -> "BtsConfig":
+        return replace(self, hbm_bandwidth=bandwidth)
+
+    def without_bconv_overlap(self) -> "BtsConfig":
+        return replace(self, bconv_overlap=False)
+
+    @classmethod
+    def paper(cls) -> "BtsConfig":
+        """The BTS configuration evaluated in the paper."""
+        return cls()
+
+    @classmethod
+    def small(cls, scratchpad_bytes: int) -> "BtsConfig":
+        """Fig. 9's 'small BTS': minimal scratchpad, no BConv overlap."""
+        return cls(scratchpad_bytes=scratchpad_bytes, bconv_overlap=False)

@@ -1,0 +1,58 @@
+"""Off-chip memory model: two HBM2e stacks, streaming transfers.
+
+Section 3.3's central observation: evks cannot live on-chip, so every
+HMult/HRot streams its evk from HBM, and that load time lower-bounds the
+op.  The model is a bandwidth server (the FIFO :class:`Resource` supplies
+the queueing); this module provides transfer-time math and the Fig. 8
+chunking of an evk into its bx.P / bx.Q / ax.P / ax.Q pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckks.params import CkksParams
+from repro.core.config import BtsConfig
+
+
+@dataclass(frozen=True)
+class EvkChunk:
+    """One streamed piece of an evaluation key."""
+
+    label: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class HbmModel:
+    """Transfer timing against the aggregate HBM bandwidth."""
+
+    config: BtsConfig
+
+    def transfer_time(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return nbytes / self.config.hbm_bandwidth
+
+    def evk_chunks(self, params: CkksParams, level: int) -> list[EvkChunk]:
+        """The four Fig. 8 load chunks of one evk at ``level``.
+
+        Each of the ``dnum`` slices is a pair of N x (k + level + 1)
+        matrices; grouped here by polynomial half (bx then ax) and base
+        part (P: k special limbs, Q: level+1 ciphertext limbs).
+        """
+        word = self.config.word_bytes
+        per_limb = params.n * word
+        k = params.k
+        q_limbs = level + 1
+        dnum = params.dnum
+        return [
+            EvkChunk("evk.bx.P", dnum * k * per_limb),
+            EvkChunk("evk.bx.Q", dnum * q_limbs * per_limb),
+            EvkChunk("evk.ax.P", dnum * k * per_limb),
+            EvkChunk("evk.ax.Q", dnum * q_limbs * per_limb),
+        ]
+
+    def evk_load_time(self, params: CkksParams, level: int) -> float:
+        """Total streaming time of one evk at ``level`` (Eq. 10's bound)."""
+        return self.transfer_time(params.evk_bytes(level))

@@ -1,0 +1,126 @@
+"""The three BTS NoCs (Section 5.4) and the automorphism data path.
+
+* **PE-PE NoC**: a logical 2D flattened butterfly realized as one shared
+  crossbar per row (xbar_h, 64x64) and per column (xbar_v, 32x32), used by
+  the 3D-NTT transpose steps and by HRot's automorphism permutation.
+* **PE-Mem NoC**: 32 regions of 64 PEs, each wired to one HBM
+  pseudo-channel (bandwidth is modeled by :mod:`repro.core.hbm`).
+* **BrU NoC**: a two-level broadcast tree (1 global + 128 local BrUs)
+  delivering twiddle/BConv constants; bandwidth-irrelevant to the op
+  timeline but its on-the-fly-twiddling storage math lives here.
+
+Section 5.5's key property is checked by :func:`automorphism_is_permutation`:
+under the (x, y, z) coefficient mapping, an automorphism moves all
+residues of one PE to a *single* destination PE, so the rotation traffic
+is a contention-free permutation the crossbars route in three steps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import BtsConfig
+
+
+def pe_of_coefficient(i: int, config: BtsConfig) -> tuple[int, int]:
+    """PE grid coordinate (x, y) holding coefficient index ``i``.
+
+    Section 5.1: ``i = x + Nx*y + Nx*Ny*z`` with Nx = n_PEhor and
+    Ny = n_PEver; the z extent stays inside one PE.
+    """
+    x = i % config.pe_cols
+    y = (i // config.pe_cols) % config.pe_rows
+    return x, y
+
+
+def automorphism_route(i: int, rotation: int, n: int,
+                       config: BtsConfig) -> tuple[tuple[int, int],
+                                                   tuple[int, int],
+                                                   tuple[int, int]]:
+    """The three-step route of coefficient ``i`` under sigma_r.
+
+    Section 5.5 decomposes the automorphism permutation into an intra-PE
+    z-axis step (no NoC), a vertical (column crossbar) step and a
+    horizontal (row crossbar) step.  Returns the PE coordinates after
+    each step: (source PE, after vertical move, destination PE).  The
+    vertical step changes only y; the horizontal step changes only x -
+    which is exactly what lets one xbar_v/xbar_h pair route it without
+    contention.
+    """
+    galois = pow(5, rotation, 2 * n)
+    j = (i * galois) % (2 * n) % n
+    src = pe_of_coefficient(i, config)
+    dst = pe_of_coefficient(j, config)
+    intermediate = (src[0], dst[1])  # vertical first: y moves, x fixed
+    return src, intermediate, dst
+
+
+def automorphism_is_permutation(n: int, rotation: int,
+                                config: BtsConfig) -> bool:
+    """Check that sigma_r maps each PE's residues to one destination PE."""
+    galois = pow(5, rotation, 2 * n)
+    nz = n // config.n_pe
+    for x in range(config.pe_cols):
+        for y in range(config.pe_rows):
+            dests = set()
+            for z in range(nz):
+                i = x + config.pe_cols * y + config.n_pe * z
+                j = (i * galois) % (2 * n) % n
+                dests.add(pe_of_coefficient(j, config))
+            if len(dests) != 1:
+                return False
+    return True
+
+
+@dataclass(frozen=True)
+class PePeNocModel:
+    """Crossbar timing for transposes (3D-NTT) and permutations (HRot)."""
+
+    config: BtsConfig
+    n: int
+
+    def transpose_time(self) -> float:
+        """One 3D-NTT exchange step: N words through the bisection."""
+        nbytes = self.n * self.config.word_bytes
+        return nbytes / self.config.noc_bisection_bandwidth
+
+    def automorphism_time(self, limbs: int) -> float:
+        """Permutation of ``limbs`` residue polynomials (3 NoC steps).
+
+        The intra-PE step is free; the vertical and horizontal permutation
+        steps each move up to N words per limb.
+        """
+        nbytes = 2.0 * limbs * self.n * self.config.word_bytes
+        return nbytes / self.config.noc_bisection_bandwidth
+
+    def exchange_fits_epoch(self) -> bool:
+        """Section 5.1 pipelining: a transpose must fit inside an epoch."""
+        return self.transpose_time() <= self.config.epoch_seconds(self.n)
+
+
+@dataclass(frozen=True)
+class BroadcastModel:
+    """BrU storage math, including on-the-fly twiddling (OT) [52].
+
+    OT replaces the N-entry twiddle table per prime with a high-digit
+    table (shared via the BrU) and an m-entry low-digit table per PE,
+    cutting on-chip twiddle storage to ~2/m of the naive layout.
+    """
+
+    config: BtsConfig
+    n: int
+
+    def naive_twiddle_bytes(self, num_primes: int) -> int:
+        return num_primes * self.n * self.config.word_bytes
+
+    def ot_twiddle_bytes(self, num_primes: int, m: int | None = None) -> int:
+        """Storage with OT decomposition (default m = sqrt(N))."""
+        m = int(math.sqrt(self.n)) if m is None else m
+        high = (self.n - 1) // m
+        low = m
+        return num_primes * (high + low) * self.config.word_bytes
+
+    def local_brus(self) -> int:
+        """128 local BrUs, each feeding 16 PEs (Section 5.4)."""
+        return self.config.n_pe // 16

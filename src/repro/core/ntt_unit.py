@@ -1,0 +1,90 @@
+"""NTTU timing and the 3D-NTT schedule of Section 5.1.
+
+Every PE holds ``N / n_PE`` residues of each residue polynomial, viewed as
+an ``(Nx, Ny, Nz) = (n_PEhor, n_PEver, N/n_PE)`` cube.  A full (i)NTT runs
+in five steps - NTTz, vertical transpose, NTTy, horizontal transpose,
+NTTx - and the three compute steps together take exactly one *epoch* of
+``N log N / (2 n_PE)`` cycles per residue polynomial, with the transpose
+steps hidden by the coarse-grained epoch pipeline.  This module exposes
+the step accounting (used by unit tests and the NoC model) and the
+epoch-level timing (used by the scheduler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BtsConfig
+
+
+@dataclass(frozen=True)
+class Ntt3dPlan:
+    """Dimension split and per-step butterfly counts for one ring size."""
+
+    n: int
+    nx: int
+    ny: int
+    nz: int
+
+    @classmethod
+    def for_ring(cls, n: int, config: BtsConfig) -> "Ntt3dPlan":
+        nz = n // config.n_pe
+        if nz < 1 or n % config.n_pe:
+            raise ValueError(
+                f"N={n} must be a multiple of n_PE={config.n_pe}")
+        return cls(n=n, nx=config.pe_cols, ny=config.pe_rows, nz=nz)
+
+    def __post_init__(self) -> None:
+        if self.nx * self.ny * self.nz != self.n:
+            raise ValueError("dimension split does not cover N")
+        for dim in (self.nx, self.ny, self.nz):
+            if dim & (dim - 1):
+                raise ValueError("3D-NTT dimensions must be powers of two")
+
+    def butterflies_per_step(self) -> dict[str, int]:
+        """Chip-wide butterfly counts for NTTz / NTTy / NTTx.
+
+        A D-point NTT performs (D/2) log D butterflies; each PE runs
+        ``N / (n_PE * D)`` independent D-point transforms per step, i.e.
+        the whole chip covers ``N/D`` of them.
+        """
+
+        def total(dim: int) -> int:
+            per_transform = (dim // 2) * (dim.bit_length() - 1)
+            return (self.n // dim) * per_transform
+
+        return {"z": total(self.nz), "y": total(self.ny), "x": total(self.nx)}
+
+    def butterflies_total(self) -> int:
+        """Must equal the flat transform's (N/2) log N."""
+        return sum(self.butterflies_per_step().values())
+
+    def exchange_bytes_per_step(self, word_bytes: int = 8) -> int:
+        """Bytes crossing the PE-PE NoC in each transpose step.
+
+        Both the vertical and horizontal transposes move (almost) every
+        residue to a different PE: N words chip-wide per step.
+        """
+        return self.n * word_bytes
+
+
+@dataclass(frozen=True)
+class NttUnitModel:
+    """Chip-wide NTTU timing: one residue-polynomial (i)NTT per epoch."""
+
+    config: BtsConfig
+    n: int
+
+    @property
+    def epoch_seconds(self) -> float:
+        return self.config.epoch_seconds(self.n)
+
+    def transform_time(self, limbs: int) -> float:
+        """Time for ``limbs`` residue-polynomial (i)NTTs, fully pipelined."""
+        if limbs < 0:
+            raise ValueError("limb count must be non-negative")
+        return limbs * self.epoch_seconds
+
+    def first_output_latency(self) -> float:
+        """Delay until the first transformed limb is available downstream."""
+        return self.epoch_seconds

@@ -1,0 +1,39 @@
+"""Processing-element composition and element-wise unit timing.
+
+A BTS PE (Fig. 5) bundles an NTTU, a BConvU (ModMult + MMAU), a
+general-purpose modular multiplier and adder for element-wise functions,
+register files and a scratchpad slice.  The element-wise units run at
+0.6GHz (Table 3); chip-wide throughput is what the scheduler cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BtsConfig
+
+
+@dataclass(frozen=True)
+class ElementwiseModel:
+    """Chip-wide timing of element-wise (CMult/PMult/HAdd-style) work."""
+
+    config: BtsConfig
+    n: int
+
+    def time(self, limbs: int, ops_per_residue: float = 1.0) -> float:
+        """Time to apply ``ops_per_residue`` modular ops over limbs x N."""
+        total_ops = limbs * self.n * ops_per_residue
+        return total_ops / self.config.ew_ops_per_second()
+
+
+@dataclass(frozen=True)
+class PeInventory:
+    """Static per-PE content (used by the power/area model and tests)."""
+
+    scratchpad_bytes_per_pe: int
+    rf_bytes_per_pe: int = 11 * 1024  #: ~22MB chip-wide / 2048 (Section 6.1)
+
+    @classmethod
+    def from_config(cls, config: BtsConfig) -> "PeInventory":
+        return cls(scratchpad_bytes_per_pe=config.scratchpad_bytes
+                   // config.n_pe)

@@ -1,0 +1,142 @@
+"""Area, power, energy and EDAP model (Table 3 of the paper).
+
+The per-component area/power constants are transcribed from Table 3 (the
+paper's ASAP7 synthesis + FinCACTI results, which are the only consumers
+of the RTL work in the evaluation).  The model composes them bottom-up
+into per-PE and chip totals, scales the scratchpad with capacity (for the
+Fig. 10 sweep), and integrates energy from simulator utilizations to
+produce the Energy-Delay-Area product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MIB, BtsConfig
+
+#: Table 3 (upper): per-PE components as (area um^2, peak power mW).
+PE_COMPONENTS: dict[str, tuple[float, float]] = {
+    "scratchpad_sram": (114_724.0, 9.86),
+    "register_files": (12_479.0, 2.29),
+    "nttu": (9_501.0, 12.17),
+    "bconv_modmult": (4_070.0, 0.56),
+    "mmau": (9_511.0, 8.42),
+    "exchange_unit": (421.0, 1.03),
+    "modmult": (3_833.0, 1.35),
+    "modadd": (325.0, 0.08),
+}
+
+#: Table 3 (lower): chip-level components as (area mm^2, peak power W).
+CHIP_COMPONENTS: dict[str, tuple[float, float]] = {
+    "inter_pe_noc": (3.06, 45.93),
+    "global_bru_noc": (0.42, 0.10),
+    "local_brus": (3.69, 0.04),
+    "hbm_noc": (0.10, 6.81),
+    "hbm_stacks": (29.6, 31.76),
+    "pcie": (19.6, 5.37),
+}
+
+#: Scratchpad capacity the Table 3 constants correspond to (512MB chip).
+BASELINE_SCRATCHPAD_BYTES = 512 * MIB
+
+#: Fraction of a component's peak power drawn while idle (leakage).
+IDLE_POWER_FRACTION = 0.15
+
+#: SRAM arrays leak proportionally to capacity whether or not they are
+#: being accessed; their idle floor is correspondingly higher, which is
+#: what eventually turns the EDAP curve of Fig. 10 back upward as the
+#: scratchpad grows.
+SRAM_IDLE_POWER_FRACTION = 0.40
+
+
+@dataclass(frozen=True)
+class AreaPowerModel:
+    """Composable area/power for a (possibly rescaled) BTS configuration."""
+
+    config: BtsConfig
+
+    def _scratchpad_scale(self) -> float:
+        return self.config.scratchpad_bytes / BASELINE_SCRATCHPAD_BYTES
+
+    def pe_component_table(self) -> dict[str, tuple[float, float]]:
+        """Per-PE components with the scratchpad scaled to capacity."""
+        scale = self._scratchpad_scale()
+        out = dict(PE_COMPONENTS)
+        area, power = out["scratchpad_sram"]
+        out["scratchpad_sram"] = (area * scale, power * scale)
+        return out
+
+    def pe_area_um2(self) -> float:
+        return sum(a for a, _ in self.pe_component_table().values())
+
+    def pe_power_mw(self) -> float:
+        return sum(p for _, p in self.pe_component_table().values())
+
+    def chip_area_mm2(self) -> float:
+        """Total die + HBM + PCIe area (373.6 mm^2 for the paper config)."""
+        pes = self.pe_area_um2() * self.config.n_pe / 1e6
+        return pes + sum(a for a, _ in CHIP_COMPONENTS.values())
+
+    def chip_peak_power_w(self) -> float:
+        """Peak power (163.2 W for the paper config)."""
+        pes = self.pe_power_mw() * self.config.n_pe / 1e3
+        return pes + sum(p for _, p in CHIP_COMPONENTS.values())
+
+    # ----- energy integration ------------------------------------------------------
+
+    def energy_joules(self, duration_s: float,
+                      utilization: dict[str, float]) -> float:
+        """Integrate energy from resource utilizations over a run.
+
+        Each architectural component follows the utilization of the
+        simulator resource that drives it; unutilized time draws
+        ``IDLE_POWER_FRACTION`` of peak (leakage + clocking).
+        """
+        pe_table = self.pe_component_table()
+        n_pe = self.config.n_pe
+
+        def pe_watts(name: str) -> float:
+            return pe_table[name][1] * n_pe / 1e3
+
+        ntt_u = utilization.get("NTTU", 0.0)
+        mmau_u = utilization.get("MMAU", 0.0)
+        bconv1_u = utilization.get("BConv-ModMult", 0.0)
+        ew_u = utilization.get("EW", 0.0)
+        hbm_u = utilization.get("HBM", 0.0)
+        noc_u = utilization.get("NoC-automorphism", 0.0)
+        sram_u = min(1.0, 0.5 * (ntt_u + mmau_u))  # scratchpad tracks compute
+
+        driven = {
+            "scratchpad_sram": sram_u,
+            "register_files": ntt_u,
+            "nttu": ntt_u,
+            "bconv_modmult": bconv1_u,
+            "mmau": mmau_u,
+            "exchange_unit": max(ntt_u, noc_u),
+            "modmult": ew_u,
+            "modadd": ew_u,
+        }
+        power = 0.0
+        for name, util in driven.items():
+            peak = pe_watts(name)
+            idle = SRAM_IDLE_POWER_FRACTION \
+                if name == "scratchpad_sram" else IDLE_POWER_FRACTION
+            power += peak * (util + idle * (1.0 - util))
+        chip_driven = {
+            "inter_pe_noc": max(ntt_u, noc_u),
+            "global_bru_noc": ntt_u,
+            "local_brus": ntt_u,
+            "hbm_noc": hbm_u,
+            "hbm_stacks": hbm_u,
+            "pcie": 0.0,
+        }
+        for name, util in chip_driven.items():
+            peak = CHIP_COMPONENTS[name][1]
+            power += peak * (util + IDLE_POWER_FRACTION * (1.0 - util))
+        return power * duration_s
+
+    def edap(self, duration_s: float,
+             utilization: dict[str, float]) -> float:
+        """Energy-Delay-Area product in J * s * mm^2 (Fig. 10's metric)."""
+        energy = self.energy_joules(duration_s, utilization)
+        return energy * duration_s * self.chip_area_mm2()

@@ -1,0 +1,130 @@
+"""Resource timeline scheduling for the BTS simulator.
+
+The paper's simulator "schedules functions and data loads in epoch
+granularity" (Section 6.2).  We model each shared hardware block - the
+chip-wide NTTU array, the BConvU array, the element-wise units, the HBM
+channels, the automorphism path through the PE-PE NoC - as a serializing
+:class:`Resource` with a running busy timeline.  Stages reserve a resource
+for a duration no earlier than their data dependencies allow; utilization
+and the Fig. 8 timeline fall out of the recorded intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One occupancy record on a resource's timeline."""
+
+    label: str
+    start: float
+    end: float
+    payload_bytes: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Resource:
+    """A serially-shared hardware block (FIFO service discipline)."""
+
+    def __init__(self, name: str, log_events: bool = False) -> None:
+        self.name = name
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.log_events = log_events
+        self.events: list[Interval] = []
+
+    def reserve(self, duration: float, earliest: float = 0.0,
+                label: str = "", payload_bytes: float = 0.0
+                ) -> tuple[float, float]:
+        """Occupy the resource for ``duration`` seconds, FIFO order.
+
+        Returns the (start, end) actually granted.  Zero-duration stages
+        still honour dependencies but do not advance the timeline.
+        """
+        if duration < 0:
+            raise ValueError(f"negative duration on {self.name}")
+        start = max(self.free_at, earliest)
+        end = start + duration
+        if duration > 0:
+            self.free_at = max(self.free_at, end)
+        self.busy_time += duration
+        if self.log_events and duration > 0:
+            self.events.append(Interval(label, start, end, payload_bytes))
+        return start, end
+
+    def utilization(self, window_start: float, window_end: float) -> float:
+        """Busy fraction over a window (aggregate, not per-interval)."""
+        span = window_end - window_start
+        return 0.0 if span <= 0 else min(1.0, self.busy_time / span)
+
+
+@dataclass
+class Machine:
+    """The set of shared resources one simulation schedules onto."""
+
+    ntt: Resource
+    bconv: Resource
+    bconv_modmult: Resource
+    elementwise: Resource
+    hbm: Resource
+    automorphism: Resource
+
+    @classmethod
+    def create(cls, log_events: bool = False) -> "Machine":
+        return cls(
+            ntt=Resource("NTTU", log_events),
+            bconv=Resource("MMAU", log_events),
+            bconv_modmult=Resource("BConv-ModMult", log_events),
+            elementwise=Resource("EW", log_events),
+            hbm=Resource("HBM", log_events),
+            automorphism=Resource("NoC-automorphism", log_events),
+        )
+
+    def all_resources(self) -> list[Resource]:
+        return [self.ntt, self.bconv, self.bconv_modmult,
+                self.elementwise, self.hbm, self.automorphism]
+
+    def utilizations(self, window_start: float, window_end: float
+                     ) -> dict[str, float]:
+        return {r.name: r.utilization(window_start, window_end)
+                for r in self.all_resources()}
+
+    @property
+    def horizon(self) -> float:
+        """Latest completion time across every resource."""
+        return max(r.free_at for r in self.all_resources())
+
+
+@dataclass
+class ScratchpadProfile:
+    """Piecewise-constant occupancy profile (Fig. 8 bottom panel)."""
+
+    deltas: list[tuple[float, float]] = field(default_factory=list)
+
+    def allocate(self, at: float, nbytes: float) -> None:
+        self.deltas.append((at, nbytes))
+
+    def release(self, at: float, nbytes: float) -> None:
+        self.deltas.append((at, -nbytes))
+
+    def peak(self) -> float:
+        level = 0.0
+        peak = 0.0
+        for _, delta in sorted(self.deltas, key=lambda d: d[0]):
+            level += delta
+            peak = max(peak, level)
+        return peak
+
+    def series(self) -> list[tuple[float, float]]:
+        """(time, occupancy) steps in chronological order."""
+        level = 0.0
+        out = []
+        for at, delta in sorted(self.deltas, key=lambda d: d[0]):
+            level += delta
+            out.append((at, level))
+        return out

@@ -1,0 +1,120 @@
+"""Scratchpad model: temporary data, evk prefetch buffer, and ct cache.
+
+Section 5.3 / 6.2: the 512MB scratchpad serves three masters, prioritized
+as (1) temporary data of the op in flight, (2) the prefetched evk stream,
+(3) a software-managed ciphertext cache with LRU replacement.  The cache
+is what turns the minimum-bound analysis of Section 3 into the measured
+curves of Fig. 7a / Fig. 10: when cts spill, every HE op pays HBM loads
+that compete with evk streaming.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, overall and per op kind."""
+
+    hits: int = 0
+    misses: int = 0
+    evicted_bytes: float = 0.0
+    by_kind: dict[str, list[int]] = field(default_factory=dict)
+
+    def record(self, kind: str, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        entry = self.by_kind.setdefault(kind, [0, 0])
+        entry[0 if hit else 1] += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return 1.0 if total == 0 else self.hits / total
+
+    def hit_rate_for(self, kind: str) -> float:
+        hit, miss = self.by_kind.get(kind, [0, 0])
+        total = hit + miss
+        return 1.0 if total == 0 else hit / total
+
+
+class CiphertextCache:
+    """LRU cache over ciphertext (and plaintext-operand) objects."""
+
+    def __init__(self, capacity_bytes: float) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = capacity_bytes
+        self._entries: OrderedDict[int, float] = OrderedDict()
+        self.stats = CacheStats()
+
+    @property
+    def used_bytes(self) -> float:
+        return sum(self._entries.values())
+
+    def __contains__(self, ct_id: int) -> bool:
+        return ct_id in self._entries
+
+    def access(self, ct_id: int, nbytes: float, kind: str) -> bool:
+        """Touch ``ct_id``; returns True on hit, False on miss.
+
+        A miss inserts the object (the caller is responsible for charging
+        the HBM load).  Objects larger than the whole cache bypass it.
+        """
+        if ct_id in self._entries:
+            self._entries.move_to_end(ct_id)
+            self.stats.record(kind, hit=True)
+            return True
+        self.stats.record(kind, hit=False)
+        self.insert(ct_id, nbytes)
+        return False
+
+    def insert(self, ct_id: int, nbytes: float) -> float:
+        """Add an object, evicting LRU entries; returns bytes evicted."""
+        if nbytes > self.capacity:
+            return 0.0  # bypass: does not fit at all
+        evicted = 0.0
+        while self._entries and self.used_bytes + nbytes > self.capacity:
+            _, size = self._entries.popitem(last=False)
+            evicted += size
+        self._entries[ct_id] = nbytes
+        self.stats.evicted_bytes += evicted
+        return evicted
+
+    def invalidate(self, ct_id: int) -> None:
+        self._entries.pop(ct_id, None)
+
+
+@dataclass(frozen=True)
+class ScratchpadPartition:
+    """Capacity split between temp data, evk buffering and the ct cache."""
+
+    capacity_bytes: float
+    temp_bytes: float
+    evk_buffer_bytes: float
+
+    @property
+    def cache_bytes(self) -> float:
+        return max(0.0, self.capacity_bytes - self.temp_bytes
+                   - self.evk_buffer_bytes)
+
+    @classmethod
+    def plan(cls, capacity_bytes: float, temp_peak_bytes: float,
+             evk_bytes: float, evk_buffer_fraction: float
+             ) -> "ScratchpadPartition":
+        """Apply Section 6.2's priority order.
+
+        Temporary data is carved out first; the evk stream then takes
+        ``evk_buffer_fraction`` of one evk (the stream is consumed limb by
+        limb, so a full evk never needs to be resident), bounded by what
+        remains; ciphertexts get the rest.
+        """
+        temp = min(capacity_bytes, temp_peak_bytes)
+        evk_want = evk_bytes * evk_buffer_fraction
+        evk = min(max(0.0, capacity_bytes - temp), evk_want)
+        return cls(capacity_bytes=capacity_bytes, temp_bytes=temp,
+                   evk_buffer_bytes=evk)

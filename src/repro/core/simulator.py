@@ -1,0 +1,224 @@
+"""The BTS trace simulator: executes HE-op traces, reports Fig. 6-10 data.
+
+Behaviour follows Section 6.2: ops issue in program order; evk streams are
+enqueued one op ahead (the prefetch the scratchpad reserves space for);
+the ciphertext cache is LRU over whatever capacity remains after
+temporary data and evk buffering; cache misses charge ciphertext loads on
+the same HBM server the evk streams use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ckks.params import CkksParams
+from repro.core.compute_graph import OpCostModel, OpExecution, OpScheduler
+from repro.core.config import BtsConfig
+from repro.core.scheduler import Machine, ScratchpadProfile
+from repro.core.scratchpad import (
+    CacheStats,
+    CiphertextCache,
+    ScratchpadPartition,
+)
+from repro.workloads.trace import HEOp, OpKind, Trace
+
+
+@dataclass
+class SimulationReport:
+    """Everything the benchmarks read out of one simulated trace."""
+
+    trace_name: str
+    total_seconds: float
+    op_seconds: dict[str, float]
+    op_counts: dict[str, int]
+    utilization: dict[str, float]
+    cache: CacheStats
+    partition: ScratchpadPartition
+    hbm_bytes: float
+    evk_bytes: float
+    executions: list[OpExecution] = field(default_factory=list)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    def seconds_for(self, *kinds: str) -> float:
+        return sum(self.op_seconds.get(k, 0.0) for k in kinds)
+
+    @property
+    def keyswitch_fraction(self) -> float:
+        ks = self.seconds_for(OpKind.HMULT.value, OpKind.HROT.value,
+                              OpKind.HCONJ.value)
+        return 0.0 if self.total_seconds == 0 else ks / self.total_seconds
+
+    def phase_fraction(self, phase_prefix: str) -> float:
+        """Fraction of attributed op time spent in phases with a prefix."""
+        total = sum(self.phase_seconds.values())
+        if total == 0:
+            return 0.0
+        hit = sum(v for k, v in self.phase_seconds.items()
+                  if k.startswith(phase_prefix))
+        return hit / total
+
+
+class BtsSimulator:
+    """Executes traces for one (CKKS instance, hardware config) pair."""
+
+    def __init__(self, params: CkksParams,
+                 config: BtsConfig | None = None) -> None:
+        self.params = params
+        self.config = config or BtsConfig.paper()
+        self.cost = OpCostModel(params, self.config)
+
+    # ----- scratchpad planning ------------------------------------------------------
+
+    def plan_partition(self) -> ScratchpadPartition:
+        """Capacity split using the worst-case (max level) op shapes."""
+        temp_peak = self.cost.keyswitch_temp_bytes(self.params.l)
+        evk = self.params.evk_bytes(self.params.l)
+        return ScratchpadPartition.plan(
+            float(self.config.scratchpad_bytes), temp_peak, evk,
+            self.config.evk_buffer_fraction)
+
+    # ----- main loop ------------------------------------------------------------------
+
+    def run(self, trace: Trace, log_events: bool = False
+            ) -> SimulationReport:
+        machine = Machine.create(log_events=log_events)
+        scheduler = OpScheduler(self.cost, machine)
+        partition = self.plan_partition()
+        cache = CiphertextCache(partition.cache_bytes)
+        # Software-managed caching exploits the deterministic dataflow
+        # (Section 5.3): dead ciphertexts are dropped at their last use so
+        # single-use temporaries never displace live values.
+        last_use: dict[int, int] = {}
+        for idx, op in enumerate(trace.ops):
+            for ct_id in op.inputs:
+                last_use[ct_id] = idx
+            if op.plain_operand >= 0:
+                last_use[op.plain_operand] = idx
+
+        op_seconds: dict[str, float] = {}
+        op_counts: dict[str, int] = {}
+        phase_seconds: dict[str, float] = {}
+        executions: list[OpExecution] = []
+        hbm_bytes = 0.0
+        evk_bytes_total = 0.0
+        ct_ready: dict[int, float] = {}
+        prev_op_start = 0.0
+
+        for op_index, op in enumerate(trace.ops):
+            data_ready, load_bytes = self._stage_inputs(op, cache, machine,
+                                                        ct_ready)
+            hbm_bytes += load_bytes
+            if op.kind.needs_evk:
+                execution = scheduler.schedule_keyswitch(
+                    op, data_ready, evk_request_time=prev_op_start)
+                execution.ct_load_bytes = load_bytes
+                hbm_bytes += execution.evk_bytes
+                evk_bytes_total += execution.evk_bytes
+            elif op.kind is OpKind.HRESCALE:
+                execution = scheduler.schedule_rescale(op, data_ready)
+            elif op.kind is OpKind.MODRAISE:
+                execution = scheduler.schedule_modraise(op, data_ready)
+            elif op.kind is OpKind.PMULT:
+                execution = scheduler.schedule_pmult(op, data_ready)
+            else:
+                ops_per_residue, limb_factor = _ELEMENTWISE_SHAPE[op.kind]
+                execution = scheduler.schedule_elementwise(
+                    op, data_ready, ops_per_residue,
+                    limbs=int(limb_factor * (op.level + 1)))
+            executions.append(execution)
+            prev_op_start = execution.start
+
+            out_bytes = self.cost.ct_bytes(op.level)
+            cache.insert(op.output, out_bytes)
+            ct_ready[op.output] = execution.end
+            # Drop inputs that are now dead (deterministic-flow SW cache).
+            for ct_id in op.inputs:
+                if last_use.get(ct_id) == op_index:
+                    cache.invalidate(ct_id)
+            if op.plain_operand >= 0 \
+                    and last_use.get(op.plain_operand) == op_index:
+                cache.invalidate(op.plain_operand)
+            if op.output not in last_use:
+                cache.invalidate(op.output)
+
+            kind = op.kind.value
+            op_seconds[kind] = op_seconds.get(kind, 0.0) + execution.duration
+            op_counts[kind] = op_counts.get(kind, 0) + 1
+            if op.phase:
+                phase_seconds[op.phase] = (phase_seconds.get(op.phase, 0.0)
+                                           + execution.duration)
+
+        total = machine.horizon
+        return SimulationReport(
+            trace_name=trace.name,
+            total_seconds=total,
+            op_seconds=op_seconds,
+            op_counts=op_counts,
+            utilization=machine.utilizations(0.0, total),
+            cache=cache.stats,
+            partition=partition,
+            hbm_bytes=hbm_bytes,
+            evk_bytes=evk_bytes_total,
+            executions=executions,
+            phase_seconds=phase_seconds,
+        )
+
+    def _stage_inputs(self, op: HEOp, cache: CiphertextCache,
+                      machine: Machine, ct_ready: dict[int, float]
+                      ) -> tuple[float, float]:
+        """Cache-check inputs; schedule HBM loads on misses.
+
+        Returns (time inputs are on-chip, bytes loaded from HBM).
+        """
+        ready = 0.0
+        loaded = 0.0
+        for ct_id in op.inputs:
+            nbytes = self.cost.ct_bytes(op.level)
+            hit = cache.access(ct_id, nbytes, op.kind.value)
+            if hit:
+                ready = max(ready, ct_ready.get(ct_id, 0.0))
+            else:
+                _, end = machine.hbm.reserve(
+                    self.cost.hbm.transfer_time(nbytes),
+                    earliest=ct_ready.get(ct_id, 0.0),
+                    label=f"load ct{ct_id}", payload_bytes=nbytes)
+                loaded += nbytes
+                ready = max(ready, end)
+        if op.plain_operand >= 0:
+            nbytes = self.cost.plain_bytes(op.level)
+            hit = cache.access(op.plain_operand, nbytes, "plain")
+            if not hit:
+                _, end = machine.hbm.reserve(
+                    self.cost.hbm.transfer_time(nbytes),
+                    label=f"load pt{op.plain_operand}", payload_bytes=nbytes)
+                loaded += nbytes
+                ready = max(ready, end)
+        return ready, loaded
+
+    # ----- derived metrics ---------------------------------------------------------------
+
+    def hmult_time(self, level: int | None = None,
+                   cached_inputs: bool = True) -> float:
+        """Latency of one steady-state HMult at ``level`` (Fig. 8's view).
+
+        Steady state means evk prefetch fully overlaps: the op is bounded
+        by max(compute pipeline, evk stream).
+        """
+        level = self.params.l if level is None else level
+        trace = Trace(name="hmult-probe")
+        a, b = trace.new_ct(), trace.new_ct()
+        warm = trace.hmult(a, b, level)
+        trace.hmult(warm, a, level)   # steady-state op (inputs cached)
+        report = self.run(trace)
+        return report.executions[-1].duration if report.executions else \
+            report.total_seconds / 2
+
+
+#: (modular ops per residue, limb multiplier) for pure element-wise ops.
+#: PMULT is absent: it has a dedicated scheduler (plaintext expansion).
+_ELEMENTWISE_SHAPE: dict[OpKind, tuple[float, float]] = {
+    OpKind.HADD: (1.0, 2.0),
+    OpKind.PADD: (1.0, 1.0),
+    OpKind.CADD: (1.0, 1.0),
+    OpKind.CMULT: (1.0, 2.0),
+}

@@ -1,0 +1,76 @@
+"""Reporting helpers: timelines and utilization series (Fig. 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scheduler import Interval, Machine, Resource
+
+
+@dataclass(frozen=True)
+class TimelineRow:
+    """One printable timeline entry."""
+
+    resource: str
+    label: str
+    start_ns: float
+    end_ns: float
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+def collect_timeline(machine: Machine) -> list[TimelineRow]:
+    """Flatten all resource event logs into one chronological table."""
+    rows = []
+    for resource in machine.all_resources():
+        for event in resource.events:
+            rows.append(TimelineRow(resource=resource.name,
+                                    label=event.label,
+                                    start_ns=event.start * 1e9,
+                                    end_ns=event.end * 1e9))
+    rows.sort(key=lambda r: (r.start_ns, r.resource))
+    return rows
+
+
+def utilization_series(resource: Resource, window: float,
+                       buckets: int = 50) -> list[tuple[float, float]]:
+    """Bucketed busy fraction over time for one resource.
+
+    Returns (bucket end time, utilization in that bucket) pairs - the
+    'scratchpad BW utilization' style series of Fig. 8's lower panel.
+    """
+    if window <= 0 or buckets <= 0:
+        return []
+    edges = [window * (i + 1) / buckets for i in range(buckets)]
+    busy = [0.0] * buckets
+    width = window / buckets
+    for event in resource.events:
+        first = max(0, min(buckets - 1, int(event.start / width)))
+        last = max(0, min(buckets - 1, int(max(event.start, min(event.end,
+                   window) - 1e-18) / width)))
+        for b in range(first, last + 1):
+            lo = b * width
+            hi = lo + width
+            overlap = max(0.0, min(event.end, hi) - max(event.start, lo))
+            busy[b] += overlap
+    return [(edges[i], min(1.0, busy[i] / width)) for i in range(buckets)]
+
+
+def busy_bytes(resource: Resource) -> float:
+    """Total payload moved through a resource (HBM traffic accounting)."""
+    return sum(e.payload_bytes for e in resource.events)
+
+
+def format_timeline(rows: list[TimelineRow], limit: int = 40) -> str:
+    """Human-readable Fig. 8-style table."""
+    lines = [f"{'resource':<16} {'stage':<24} {'start(ns)':>12} "
+             f"{'end(ns)':>12} {'dur(ns)':>10}"]
+    for row in rows[:limit]:
+        lines.append(f"{row.resource:<16} {row.label:<24} "
+                     f"{row.start_ns:>12.0f} {row.end_ns:>12.0f} "
+                     f"{row.duration_ns:>10.0f}")
+    if len(rows) > limit:
+        lines.append(f"... ({len(rows) - limit} more rows)")
+    return "\n".join(lines)

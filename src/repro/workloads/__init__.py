@@ -1,0 +1,21 @@
+"""Workload traces: the paper's applications as sequences of HE ops.
+
+The accelerator's behaviour depends only on the HE-op sequence (op kind,
+level, operand ciphertext ids, rotation amounts), not on data values, so
+each workload is a generator of :class:`~repro.workloads.trace.Trace`
+objects: the bootstrapping pipeline itself, the amortized-mult
+microbenchmark (Eq. 8), HELR logistic regression, ResNet-20 inference and
+k-way sorting (Tables 5/6, Figs. 6/7).
+"""
+
+from repro.workloads.trace import HEOp, OpKind, Trace
+from repro.workloads.bootstrap_trace import BootstrapTraceBuilder
+from repro.workloads.microbench import amortized_mult_workload
+
+__all__ = [
+    "HEOp",
+    "OpKind",
+    "Trace",
+    "BootstrapTraceBuilder",
+    "amortized_mult_workload",
+]

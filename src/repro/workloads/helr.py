@@ -1,0 +1,147 @@
+"""HELR: encrypted logistic-regression training [39] (Table 5).
+
+The paper's workload trains a binary classifier on MNIST for 30
+iterations, each over a batch of 1,024 images of 14 x 14 = 196 features.
+Packing follows [39]: features are padded to 256 columns, so the
+1024 x 256 batch matrix spans ``ceil(262144 / (N/2))`` ciphertexts
+(4 at N = 2^17).
+
+Per iteration (Nesterov-accelerated GD):
+
+1. inner products z = X * beta: one HMult per data ct plus a
+   log2(columns) rotate-and-add reduction,
+2. a degree-7 polynomial sigmoid (3 levels, evaluated once on the
+   aggregated z ciphertext),
+3. the gradient X^T * sigma: one HMult per data ct plus a log2(rows)
+   reduction,
+4. the Nesterov update of the weight and momentum ciphertexts.
+
+The iteration consumes ~6 levels; when the two state ciphertexts run
+out, both are bootstrapped - every iteration at INS-1's 8 usable levels,
+every ~3 iterations at INS-2's 20.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ckks.params import CkksParams
+from repro.workloads.bootstrap_trace import BootstrapPhases, \
+    BootstrapTraceBuilder
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class HelrConfig:
+    """Shape of the HELR training workload."""
+
+    iterations: int = 30
+    batch: int = 1024
+    features: int = 196
+    padded_features: int = 256
+    sigmoid_depth: int = 3      #: degree-7 polynomial
+    sigmoid_mults: int = 4
+
+
+@dataclass
+class HelrWorkload:
+    """Trace plus bookkeeping for one instance."""
+
+    trace: Trace
+    params: CkksParams
+    config: HelrConfig
+    bootstrap_count: int
+
+    def ms_per_iteration(self, total_seconds: float) -> float:
+        return total_seconds / self.config.iterations * 1e3
+
+
+def build_helr_trace(params: CkksParams,
+                     config: HelrConfig | None = None,
+                     phases: BootstrapPhases | None = None) -> HelrWorkload:
+    """The 30-iteration HELR trace for one CKKS instance."""
+    config = config or HelrConfig()
+    # HELR bootstraps the weight/momentum vectors, which occupy only
+    # ``padded_features`` slots: sparse packing makes those bootstraps
+    # much cheaper than fully-packed ones (paper footnote 2).
+    builder = BootstrapTraceBuilder(params, phases,
+                                    n_slots=config.padded_features)
+    usable = builder.output_level
+    iteration_depth = 1 + config.sigmoid_depth + 1 + 1
+    if usable < iteration_depth:
+        raise ValueError(
+            f"{params.name}: iteration needs {iteration_depth} levels, "
+            f"only {usable} usable")
+
+    trace = Trace(name=f"helr[{params.name}]")
+    data_cts = [trace.new_ct() for _ in range(
+        max(1, math.ceil(config.batch * config.padded_features
+                         / params.slots_max)))]
+    weights = trace.new_ct()
+    momentum = trace.new_ct()
+    col_steps = int(math.log2(config.padded_features))
+    row_steps = int(math.log2(config.batch))
+    # A freshly bootstrapped ct sits at L - L_boot; start from there.
+    level = builder.output_level
+    boots = 0
+
+    for _ in range(config.iterations):
+        if level - iteration_depth < 1:
+            weights = builder.emit(trace, weights)
+            momentum = builder.emit(trace, momentum)
+            level = builder.output_level
+            boots += 2
+        phase = "app.helr"
+        # 1. inner products: X_i * beta, then rotate-reduce over columns.
+        partials = []
+        for data in data_cts:
+            prod = trace.hmult(data, weights, level, phase=phase)
+            prod = trace.hrescale(prod, level, phase=phase)
+            acc = prod
+            for step in range(col_steps):
+                rot = trace.hrot(acc, 1 << step, level - 1, phase=phase)
+                acc = trace.hadd(acc, rot, level - 1, phase=phase)
+            partials.append(acc)
+        z = partials[0]
+        for part in partials[1:]:
+            z = trace.hadd(z, part, level - 1, phase=phase)
+        level -= 1
+        # 2. sigmoid polynomial (degree 7).
+        for depth in range(config.sigmoid_depth):
+            for _ in range(max(1, config.sigmoid_mults
+                               >> (config.sigmoid_depth - 1 - depth))):
+                z2 = trace.hmult(z, z, level, phase=phase)
+            z = trace.hrescale(z2, level, phase=phase)
+            level -= 1
+        # 3. gradient: sigma * X_i, rotate-reduce over rows.
+        grads = []
+        for data in data_cts:
+            g = trace.hmult(z, data, level, phase=phase)
+            g = trace.hrescale(g, level, phase=phase)
+            for step in range(row_steps):
+                amount = ((1 << step) * config.padded_features
+                          % params.slots_max)
+                if amount == 0:
+                    # the stride wrapped the whole ciphertext: lanes from
+                    # that distance live in another ct; handled by the
+                    # cross-ct adds below.
+                    continue
+                rot = trace.hrot(g, amount, level - 1, phase=phase)
+                g = trace.hadd(g, rot, level - 1, phase=phase)
+            grads.append(g)
+        grad = grads[0]
+        for g in grads[1:]:
+            grad = trace.hadd(grad, g, level - 1, phase=phase)
+        level -= 1
+        # 4. Nesterov update of weights and momentum.
+        step_ct = trace.cmult(grad, level, phase=phase)
+        step_ct = trace.hrescale(step_ct, level, phase=phase)
+        weights = trace.hadd(
+            trace.cmult(momentum, level - 1, phase=phase), step_ct,
+            level - 1, phase=phase)
+        momentum = trace.hadd(weights, step_ct, level - 1, phase=phase)
+        level -= 1
+
+    return HelrWorkload(trace=trace, params=params, config=config,
+                        bootstrap_count=boots)

@@ -1,0 +1,59 @@
+"""The amortized-mult-per-slot microbenchmark (Eq. 8 of the paper).
+
+T_mult,a/slot = (T_boot + sum_{l=1}^{L - L_boot} T_mult(l))
+                / (L - L_boot) * 2 / N
+
+i.e. one bootstrap plus a chain of HMults spending every usable level,
+averaged per mult and per slot.  The workload below is exactly that op
+sequence; the simulator's measured total divided out per Eq. 8 gives the
+metric plotted in Fig. 2 (minimum bound) and Fig. 6/7a (measured).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckks.params import CkksParams
+from repro.workloads.bootstrap_trace import BootstrapPhases, \
+    BootstrapTraceBuilder
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class AmortizedMultWorkload:
+    """The Eq. 8 trace plus the constants needed to evaluate the metric."""
+
+    trace: Trace
+    params: CkksParams
+    usable_levels: int
+
+    def tmult_a_slot(self, total_seconds: float) -> float:
+        """Apply Eq. 8 to a measured total execution time."""
+        per_mult = total_seconds / self.usable_levels
+        return per_mult * 2.0 / self.params.n
+
+
+def amortized_mult_workload(params: CkksParams,
+                            phases: BootstrapPhases | None = None,
+                            repeats: int = 1) -> AmortizedMultWorkload:
+    """Build the Eq. 8 workload: bootstrap + full-depth HMult chain.
+
+    ``repeats`` concatenates multiple bootstrap periods so steady-state
+    cache behaviour (diagonal plaintexts resident, evk prefetch warm)
+    dominates the measurement.
+    """
+    builder = BootstrapTraceBuilder(params, phases)
+    trace = Trace(name=f"tmult-a-slot[{params.name}]")
+    usable = params.l - builder.boot_levels
+    if usable < 1:
+        raise ValueError(
+            f"no usable levels: L={params.l}, L_boot={builder.boot_levels}")
+    ct = trace.new_ct()
+    other = trace.new_ct()
+    for _ in range(repeats):
+        for level in range(usable, 0, -1):
+            ct = trace.hmult(ct, other, level, phase="app.mult")
+            ct = trace.hrescale(ct, level, phase="app.mult")
+        ct = builder.emit(trace, ct)
+    return AmortizedMultWorkload(trace=trace, params=params,
+                                 usable_levels=usable * repeats)

@@ -1,0 +1,150 @@
+"""Trace IR: homomorphic-encryption operations as schedulable records.
+
+Each :class:`HEOp` carries exactly what the BTS simulator needs: the op
+kind, the multiplicative level it executes at, the ciphertext objects it
+reads/writes (for the scratchpad ct cache), the rotation amount (each
+distinct amount implies a distinct evk, Section 2.3), and whether a
+plaintext operand must stream in (PMult of large encoded matrices during
+bootstrapping).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class OpKind(str, Enum):
+    """Primitive CKKS ops of Section 2.3 (+ bootstrapping's ModRaise)."""
+
+    HMULT = "HMult"
+    HROT = "HRot"
+    HCONJ = "HConj"
+    HADD = "HAdd"
+    HRESCALE = "HRescale"
+    PMULT = "PMult"
+    PADD = "PAdd"
+    CMULT = "CMult"
+    CADD = "CAdd"
+    MODRAISE = "ModRaise"
+
+    @property
+    def needs_evk(self) -> bool:
+        return self in (OpKind.HMULT, OpKind.HROT, OpKind.HCONJ)
+
+
+@dataclass(frozen=True)
+class HEOp:
+    """One primitive HE operation instance."""
+
+    kind: OpKind
+    level: int
+    inputs: tuple[int, ...]        #: ciphertext ids read
+    output: int                    #: ciphertext id written
+    rotation: int = 0              #: HRot amount (identifies the evk)
+    plain_operand: int = -1        #: plaintext object id (-1: none/scalar)
+    phase: str = ""                #: workload phase label (for reporting)
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise ValueError(f"negative level on {self.kind}")
+        if self.kind is OpKind.HROT and self.rotation == 0:
+            raise ValueError("HRot requires a nonzero rotation amount")
+
+
+@dataclass
+class Trace:
+    """An ordered HE-op sequence plus naming helpers."""
+
+    name: str
+    ops: list[HEOp] = field(default_factory=list)
+    _ct_ids: itertools.count = field(default_factory=itertools.count,
+                                     repr=False)
+    _pt_ids: itertools.count = field(
+        default_factory=lambda: itertools.count(1_000_000), repr=False)
+
+    def new_ct(self) -> int:
+        return next(self._ct_ids)
+
+    def new_pt(self) -> int:
+        return next(self._pt_ids)
+
+    def append(self, op: HEOp) -> int:
+        self.ops.append(op)
+        return op.output
+
+    # ----- builder helpers ---------------------------------------------------
+
+    def hmult(self, a: int, b: int, level: int, phase: str = "") -> int:
+        out = self.new_ct()
+        self.append(HEOp(OpKind.HMULT, level, (a, b), out, phase=phase))
+        return out
+
+    def hrot(self, a: int, amount: int, level: int, phase: str = "") -> int:
+        out = self.new_ct()
+        self.append(HEOp(OpKind.HROT, level, (a,), out, rotation=amount,
+                         phase=phase))
+        return out
+
+    def hconj(self, a: int, level: int, phase: str = "") -> int:
+        out = self.new_ct()
+        self.append(HEOp(OpKind.HCONJ, level, (a,), out, phase=phase))
+        return out
+
+    def hadd(self, a: int, b: int, level: int, phase: str = "") -> int:
+        out = self.new_ct()
+        self.append(HEOp(OpKind.HADD, level, (a, b), out, phase=phase))
+        return out
+
+    def hrescale(self, a: int, level: int, phase: str = "") -> int:
+        out = self.new_ct()
+        self.append(HEOp(OpKind.HRESCALE, level, (a,), out, phase=phase))
+        return out
+
+    def pmult(self, a: int, level: int, phase: str = "",
+              plain: int | None = None) -> int:
+        out = self.new_ct()
+        plain_id = self.new_pt() if plain is None else plain
+        self.append(HEOp(OpKind.PMULT, level, (a,), out,
+                         plain_operand=plain_id, phase=phase))
+        return out
+
+    def cmult(self, a: int, level: int, phase: str = "") -> int:
+        out = self.new_ct()
+        self.append(HEOp(OpKind.CMULT, level, (a,), out, phase=phase))
+        return out
+
+    def cadd(self, a: int, level: int, phase: str = "") -> int:
+        out = self.new_ct()
+        self.append(HEOp(OpKind.CADD, level, (a,), out, phase=phase))
+        return out
+
+    def modraise(self, a: int, to_level: int, phase: str = "") -> int:
+        out = self.new_ct()
+        self.append(HEOp(OpKind.MODRAISE, to_level, (a,), out, phase=phase))
+        return out
+
+    def extend(self, other: "Trace") -> None:
+        """Concatenate another trace's ops (ids assumed pre-coordinated)."""
+        self.ops.extend(other.ops)
+
+    # ----- summaries -----------------------------------------------------------
+
+    def count(self, kind: OpKind) -> int:
+        return sum(1 for op in self.ops if op.kind is kind)
+
+    def keyswitch_count(self) -> int:
+        return sum(1 for op in self.ops if op.kind.needs_evk)
+
+    def distinct_rotations(self) -> set[int]:
+        return {op.rotation for op in self.ops if op.kind is OpKind.HROT}
+
+    def bootstrap_count(self) -> int:
+        return sum(1 for op in self.ops if op.kind is OpKind.MODRAISE)
+
+    def summary(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for op in self.ops:
+            out[op.kind.value] = out.get(op.kind.value, 0) + 1
+        return out

@@ -1,0 +1,74 @@
+"""Tests for the minimum-bound model (Fig. 2) and Eq. 10."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    evk_load_seconds,
+    min_bound_tmult_a_slot,
+    min_nttu,
+)
+from repro.ckks.params import CkksParams
+
+
+class TestEvkLoad:
+    def test_ins1_full_level(self):
+        """112 MiB / 1 TB/s ~ 117.4 us."""
+        t = evk_load_seconds(CkksParams.ins1(), 27)
+        assert t == pytest.approx(117.44e-6, rel=1e-3)
+
+    def test_scales_with_bandwidth(self):
+        p = CkksParams.ins1()
+        assert evk_load_seconds(p, 27, 2e12) == pytest.approx(
+            evk_load_seconds(p, 27, 1e12) / 2)
+
+
+class TestMinBound:
+    def test_paper_band(self):
+        """Min bounds within ~25% of the paper's 27.7/19.9/22.1 ns."""
+        paper = {"INS-1": 27.7e-9, "INS-2": 19.9e-9, "INS-3": 22.1e-9}
+        for params in CkksParams.paper_instances():
+            got = min_bound_tmult_a_slot(params).tmult_a_slot
+            want = paper[params.name]
+            assert abs(got - want) / want < 0.25
+
+    def test_ins2_is_best(self):
+        """The paper's key Fig. 2 takeaway: (39, 2) wins at N = 2^17."""
+        results = {p.name: min_bound_tmult_a_slot(p).tmult_a_slot
+                   for p in CkksParams.paper_instances()}
+        assert results["INS-2"] == min(results.values())
+
+    def test_bandwidth_halves_bound(self):
+        p = CkksParams.ins2()
+        slow = min_bound_tmult_a_slot(p, bandwidth=1e12).tmult_a_slot
+        fast = min_bound_tmult_a_slot(p, bandwidth=2e12).tmult_a_slot
+        assert fast == pytest.approx(slow / 2, rel=1e-6)
+
+    def test_boot_dominates(self):
+        """Bootstrapping is the bulk of the Eq. 8 numerator."""
+        r = min_bound_tmult_a_slot(CkksParams.ins1())
+        assert r.boot_seconds > 5 * r.mult_chain_seconds
+
+    def test_smaller_n_worse_per_slot(self):
+        """Section 3.4: T_mult,a/slot improves with N (given security)."""
+        from repro.analysis.parameters import instance_for
+        small = instance_for(1 << 16, 1)
+        large = instance_for(1 << 17, 1)
+        assert min_bound_tmult_a_slot(small).tmult_a_slot > \
+            min_bound_tmult_a_slot(large).tmult_a_slot
+
+
+class TestMinNttu:
+    def test_paper_value(self):
+        """Eq. 10 evaluates to 1,328 for INS-1."""
+        assert min_nttu(CkksParams.ins1()) == pytest.approx(1328, abs=2)
+
+    def test_dnum1_maximizes(self):
+        """Section 4.2: minNTTU is largest at dnum = 1."""
+        from repro.analysis.parameters import instance_for
+        values = [min_nttu(instance_for(1 << 17, d)) for d in (1, 2, 4)]
+        assert values[0] == max(values)
+
+    def test_bts_provisioning_sufficient(self):
+        """BTS's 2,048 NTTUs exceed every instance's requirement."""
+        for params in CkksParams.paper_instances():
+            assert min_nttu(params) <= 2048

@@ -1,0 +1,61 @@
+"""Tests for the HMult complexity model (Fig. 3b shape)."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    complexity_breakdown,
+    hmult_complexity,
+)
+from repro.ckks.params import CkksParams
+
+
+class TestHMultComplexity:
+    def test_shares_sum_to_one(self):
+        shares = hmult_complexity(CkksParams.ins1()).shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_ntt_limb_count_matches_eq10(self):
+        """(i)NTT limbs together equal (dnum+2)(k+l+1) (Eq. 10)."""
+        for params in CkksParams.paper_instances():
+            c = hmult_complexity(params)
+            butterfly = (params.n // 2) * 17
+            limbs = (c.ntt_mults + c.intt_mults) / butterfly
+            assert limbs == pytest.approx(
+                (params.dnum + 2) * (params.k + params.l + 1))
+
+    def test_lower_level_cheaper(self):
+        params = CkksParams.ins1()
+        assert hmult_complexity(params, 5).total < \
+            hmult_complexity(params, 27).total
+
+    def test_bconv_count_dnum1(self):
+        """Section 4.3: BConv MACs = 3 * (l+1) * k * N at dnum = 1."""
+        params = CkksParams.ins1()
+        c = hmult_complexity(params)
+        macs_only = 3 * 28 * 28 * params.n
+        first_part = (28 + 2 * 28) * params.n
+        assert c.bconv_mults == macs_only + first_part
+
+
+class TestBreakdown:
+    def test_bconv_share_rises_as_dnum_falls(self):
+        """The paper's motivation for the BConvU (Section 4.2)."""
+        rows = complexity_breakdown(dnum_values=(1, 3, 6, 14))
+        shares = [row["BConv"] for row in rows]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_ntt_dominates_at_max_dnum(self):
+        rows = complexity_breakdown()
+        max_row = rows[-1]
+        assert max_row["dnum"] == "max"
+        assert max_row["NTT"] > max_row["BConv"]
+
+    def test_bconv_small_at_max_dnum(self):
+        """Paper: ~12% at dnum = max; our raw-mult counting gives ~9%."""
+        rows = complexity_breakdown()
+        assert rows[-1]["BConv"] < 15.0
+
+    def test_rows_carry_levels(self):
+        rows = complexity_breakdown(dnum_values=(1, 2))
+        assert rows[0]["L"] == 27
+        assert rows[1]["L"] > rows[0]["L"]

@@ -1,0 +1,77 @@
+"""Tests for the rPLP-vs-CLP parallelization study (Section 4.3)."""
+
+import pytest
+
+from repro.analysis.parallelism import (
+    ParallelismComparison,
+    clp_utilization,
+    compare_over_trace,
+    exchange_words_per_keyswitch,
+    ntt_split_exchange_rounds,
+    rplp_utilization,
+)
+from repro.ckks.params import CkksParams
+from repro.workloads.microbench import amortized_mult_workload
+from repro.workloads.trace import Trace
+
+
+class TestRplpUtilization:
+    def test_perfect_when_divisible(self):
+        assert rplp_utilization(level=63, n_pe=64) == 1.0
+
+    def test_collapses_at_low_level(self):
+        """The paper's load-imbalance argument: few limbs, idle PEs."""
+        assert rplp_utilization(level=3, n_pe=64) == pytest.approx(4 / 64)
+
+    def test_sawtooth_above_pe_count(self):
+        # 65 live limbs on 64 PEs: two rounds, half idle
+        assert rplp_utilization(level=64, n_pe=64) == pytest.approx(
+            65 / 128)
+
+    def test_clp_level_independent(self):
+        n = 1 << 17
+        assert clp_utilization(n, 2048) == 1.0
+        assert clp_utilization(n, 2048) == clp_utilization(n, 2048)
+
+    def test_clp_remainder(self):
+        assert clp_utilization(100, 64) == pytest.approx(100 / 128)
+
+
+class TestExchangeVolume:
+    def test_matches_working_base(self):
+        params = CkksParams.ins1()
+        assert exchange_words_per_keyswitch(params) == 56 * params.n
+
+    def test_level_dependence(self):
+        params = CkksParams.ins2()
+        assert exchange_words_per_keyswitch(params, 5) < \
+            exchange_words_per_keyswitch(params, 30)
+
+
+class TestTraceComparison:
+    def test_clp_beats_rplp_on_real_workload(self):
+        """Bootstrapping sweeps levels high->low: rPLP pays for it."""
+        params = CkksParams.ins1()
+        wl = amortized_mult_workload(params)
+        cmp = compare_over_trace(params, wl.trace, n_pe=28)
+        assert isinstance(cmp, ParallelismComparison)
+        assert cmp.clp > cmp.rplp_mean
+        assert cmp.clp_advantage > 1.2
+        assert cmp.rplp_worst < 0.3  # low-level ops starve most PEs
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            compare_over_trace(CkksParams.ins1(), Trace(name="empty"))
+
+
+class TestNttSplit:
+    def test_3d_needs_two_rounds(self):
+        """Section 4.3: BTS's 3D-NTT uses exactly two exchange rounds."""
+        assert ntt_split_exchange_rounds(3) == 2
+
+    def test_finer_split_costs_more(self):
+        assert ntt_split_exchange_rounds(4) > ntt_split_exchange_rounds(3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ntt_split_exchange_rounds(0)

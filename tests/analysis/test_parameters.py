@@ -1,0 +1,91 @@
+"""Tests for the L/dnum/evk interplay (Fig. 1 / Table 4 machinery)."""
+
+import pytest
+
+from repro.analysis.parameters import (
+    dnum_sweep,
+    instance_for,
+    log_pq_of,
+    max_dnum,
+    max_level_for,
+    table4_rows,
+)
+
+
+class TestMaxDnum:
+    """The Fig. 1 table must reproduce exactly."""
+
+    @pytest.mark.parametrize("n,want", [
+        (1 << 15, 14), (1 << 16, 29), (1 << 17, 60), (1 << 18, 121)])
+    def test_fig1_table(self, n, want):
+        assert max_dnum(n) == want
+
+
+class TestMaxLevel:
+    def test_ins1_point(self):
+        """dnum = 1 at N = 2^17 yields L = 27 (INS-1)."""
+        assert max_level_for(1 << 17, 1) == 27
+
+    def test_level_increases_with_dnum(self):
+        levels = [max_level_for(1 << 17, d) for d in (1, 2, 4, 8, 16)]
+        assert levels == sorted(levels)
+        assert levels[-1] > levels[0]
+
+    def test_level_gain_saturates(self):
+        """Section 3.2: the L gain from dnum saturates quickly."""
+        l1 = max_level_for(1 << 17, 1)
+        l4 = max_level_for(1 << 17, 4)
+        l16 = max_level_for(1 << 17, 16)
+        assert (l4 - l1) > (l16 - l4)
+
+    def test_infeasible_ring(self):
+        with pytest.raises(ValueError):
+            max_level_for(1 << 10, 1)
+
+    def test_log_pq_of_matches_instance(self):
+        level = max_level_for(1 << 17, 2)
+        params = instance_for(1 << 17, 2)
+        assert params.log_pq == log_pq_of(level, 2)
+
+
+class TestDnumSweep:
+    def test_monotone_evk_growth(self):
+        points = dnum_sweep(1 << 16)
+        evks = [p.evk_bytes for p in points]
+        assert evks == sorted(evks)
+
+    def test_normalized_dnum_range(self):
+        points = dnum_sweep(1 << 16)
+        assert points[0].normalized_dnum == pytest.approx(
+            1 / max_dnum(1 << 16))
+        assert points[-1].normalized_dnum <= 1.0
+
+    def test_all_meet_security(self):
+        for p in dnum_sweep(1 << 16):
+            assert p.security >= 125.0  # small tolerance at the edge
+
+    def test_level_never_exceeds_bootstrap_floor(self):
+        """Fig. 1a's dotted line: L >= 11 needed for any bootstrapping."""
+        points = dnum_sweep(1 << 17)
+        assert all(p.max_level >= 11 for p in points)
+
+    def test_ins1_evk_on_curve(self):
+        points = {p.dnum: p for p in dnum_sweep(1 << 17)}
+        assert points[1].evk_bytes / (1 << 20) == pytest.approx(112.0,
+                                                                rel=0.01)
+
+
+class TestTable4:
+    def test_rows_complete(self):
+        rows = table4_rows()
+        assert [r["instance"] for r in rows] == ["INS-1", "INS-2", "INS-3"]
+
+    def test_log_pq_column(self):
+        rows = table4_rows()
+        assert [r["log_pq"] for r in rows] == [3090, 3210, 3160]
+
+    def test_lambda_column(self):
+        rows = table4_rows()
+        paper = [133.4, 128.7, 130.8]
+        for row, want in zip(rows, paper):
+            assert row["lambda"] == pytest.approx(want, abs=0.3)

@@ -1,0 +1,65 @@
+"""Tests for the security-level fit and budgets (Section 3 anchors)."""
+
+import pytest
+
+from repro.analysis.security import (
+    log_pq_budget,
+    max_log_pq,
+    meets_target,
+    security_level,
+)
+from repro.ckks.params import CkksParams
+
+
+class TestLambdaFit:
+    """The fit must reproduce Table 4's published lambdas closely."""
+
+    @pytest.mark.parametrize("log_pq,want", [
+        (3090, 133.4), (3210, 128.7), (3160, 130.8)])
+    def test_table4_anchors(self, log_pq, want):
+        got = security_level(1 << 17, log_pq)
+        assert got == pytest.approx(want, abs=0.25)
+
+    def test_monotone_decreasing_in_log_pq(self):
+        assert security_level(1 << 17, 3000) > security_level(1 << 17, 3500)
+
+    def test_monotone_increasing_in_n(self):
+        assert security_level(1 << 18, 3000) > security_level(1 << 17, 3000)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            security_level(1 << 17, 0)
+
+
+class TestMaxLogPq:
+    def test_inverse_of_fit(self):
+        bound = max_log_pq(1 << 17, 128.0)
+        assert security_level(1 << 17, bound) == pytest.approx(128.0)
+
+    def test_rejects_low_target(self):
+        with pytest.raises(ValueError):
+            max_log_pq(1 << 17, 5.0)
+
+
+class TestBudget:
+    @pytest.mark.parametrize("n,budget", [
+        (1 << 15, 775), (1 << 16, 1550), (1 << 17, 3100), (1 << 18, 6150)])
+    def test_anchored_budgets(self, n, budget):
+        assert log_pq_budget(n) == budget
+
+    def test_non_anchor_falls_back(self):
+        assert log_pq_budget(1 << 14) > 0
+
+    def test_other_target_scales(self):
+        strict = log_pq_budget(1 << 17, 150.0)
+        loose = log_pq_budget(1 << 17, 110.0)
+        assert strict < log_pq_budget(1 << 17) < loose
+
+
+class TestMeetsTarget:
+    def test_paper_instances_are_128b(self):
+        for params in CkksParams.paper_instances():
+            assert meets_target(params.n, params.log_pq, 128.0)
+
+    def test_oversized_modulus_fails(self):
+        assert not meets_target(1 << 17, 4000, 128.0)

@@ -1,0 +1,120 @@
+"""Tests for the reconstructed CPU / GPU / F1 baseline models."""
+
+import pytest
+
+from repro.baselines.cpu_lattigo import (
+    LattigoCpuModel,
+    REPORTED_HELR_MS_PER_ITER,
+    REPORTED_TMULT_A_SLOT,
+)
+from repro.baselines.f1 import F1Model, F1_PLUS_SPEEDUP
+from repro.baselines.gpu_100x import Gpu100xModel
+from repro.ckks.params import CkksParams
+from repro.workloads.trace import OpKind, Trace
+
+
+class TestLattigoCpu:
+    def test_calibrated_tmult(self):
+        """Must reproduce the paper's ~101.8 us (2,237x vs BTS)."""
+        got = LattigoCpuModel().tmult_a_slot()
+        assert got == pytest.approx(REPORTED_TMULT_A_SLOT, rel=0.05)
+
+    def test_table1_throughput_band(self):
+        """Table 1: Lattigo FHE mult throughput is 6-10 K/s."""
+        throughput = 1.0 / LattigoCpuModel().tmult_a_slot()
+        assert 6_000 <= throughput <= 12_000
+
+    def test_keyswitch_dominates(self):
+        model = LattigoCpuModel()
+        params = model.params
+        ks = model.keyswitch_seconds(params.l)
+        trace = Trace(name="x")
+        a = trace.new_ct()
+        trace.hadd(a, trace.new_ct(), params.l)
+        add = model.op_seconds(trace.ops[0])
+        assert ks > 50 * add
+
+    def test_deeper_level_costs_more(self):
+        model = LattigoCpuModel()
+        assert model.keyswitch_seconds(5) < model.keyswitch_seconds(20)
+
+    def test_helr_order_of_magnitude(self):
+        """Paper Table 5: 37,050 ms per HELR iteration on the CPU."""
+        from repro.workloads.helr import build_helr_trace
+        model = LattigoCpuModel()
+        wl = build_helr_trace(model.params)
+        got = wl.ms_per_iteration(model.run(wl.trace))
+        assert got == pytest.approx(REPORTED_HELR_MS_PER_ITER, rel=0.5)
+
+    def test_run_sums_ops(self):
+        model = LattigoCpuModel()
+        trace = Trace(name="x")
+        a, b = trace.new_ct(), trace.new_ct()
+        trace.hmult(a, b, 10)
+        trace.hmult(a, b, 10)
+        single = Trace(name="y")
+        c, d = single.new_ct(), single.new_ct()
+        single.hmult(c, d, 10)
+        assert model.run(trace) == pytest.approx(2 * model.run(single))
+
+
+class TestGpu100x:
+    def test_published_anchors(self):
+        gpu = Gpu100xModel()
+        assert gpu.tmult_a_slot(97) == pytest.approx(743e-9)
+        assert gpu.tmult_a_slot(173) == pytest.approx(8e-6)
+
+    def test_interpolation_monotone(self):
+        gpu = Gpu100xModel()
+        assert gpu.tmult_a_slot(97) < gpu.tmult_a_slot(128) \
+            < gpu.tmult_a_slot(173)
+
+    def test_clamped_outside_range(self):
+        gpu = Gpu100xModel()
+        assert gpu.tmult_a_slot(50) == pytest.approx(743e-9)
+        assert gpu.tmult_a_slot(250) == pytest.approx(8e-6)
+
+    def test_helr(self):
+        assert Gpu100xModel().helr_ms_per_iteration() == 775.0
+
+
+class TestF1:
+    def test_f1_slower_than_cpu(self):
+        """Section 6.3: F1 is 2.5x slower than Lattigo per slot."""
+        f1 = F1Model()
+        cpu = LattigoCpuModel()
+        assert f1.tmult_a_slot() == pytest.approx(
+            2.5 * cpu.tmult_a_slot(), rel=1e-6)
+
+    def test_table1_throughput(self):
+        """Table 1: F1's FHE mult throughput ~4 K/s."""
+        throughput = F1Model().mult_throughput_per_slot()
+        assert 2_500 <= throughput <= 5_500
+
+    def test_f1_plus_scaling(self):
+        f1 = F1Model()
+        f1p = F1Model(scaled=True)
+        assert f1p.tmult_a_slot() == pytest.approx(
+            f1.tmult_a_slot() / F1_PLUS_SPEEDUP)
+        assert f1p.name == "F1+"
+
+    def test_helr_anchors(self):
+        assert F1Model().helr_ms_per_iteration() == 1024.0
+        assert F1Model(scaled=True).helr_ms_per_iteration() == 148.0
+
+
+class TestCrossSystemOrdering:
+    def test_fig6_ordering(self):
+        """Fig. 6: BTS << 100x << F1+ < Lattigo < F1 (per-slot)."""
+        from repro.core.simulator import BtsSimulator
+        from repro.workloads.microbench import amortized_mult_workload
+
+        params = CkksParams.ins2()
+        wl = amortized_mult_workload(params, repeats=2)
+        rep = BtsSimulator(params).run(wl.trace)
+        bts = wl.tmult_a_slot(rep.total_seconds)
+        gpu = Gpu100xModel().tmult_a_slot(128)
+        cpu = LattigoCpuModel().tmult_a_slot()
+        f1 = F1Model().tmult_a_slot()
+        f1p = F1Model(scaled=True).tmult_a_slot()
+        assert bts < gpu < f1p < cpu < f1

@@ -1,0 +1,50 @@
+"""Tests for the unencrypted-execution model (Section 6.3 slowdowns)."""
+
+import pytest
+
+from repro.baselines.unencrypted import UnencryptedModel
+from repro.ckks.params import CkksParams
+from repro.core.simulator import BtsSimulator
+from repro.workloads.helr import build_helr_trace
+
+
+class TestPlaintextEstimates:
+    def test_helr_iteration_microseconds(self):
+        """1024 x 196 logistic regression: ~hundreds of microseconds."""
+        t = UnencryptedModel().helr_iteration_seconds()
+        assert 10e-6 < t < 1e-3
+
+    def test_resnet_milliseconds(self):
+        t = UnencryptedModel().resnet20_seconds()
+        assert 1e-3 < t < 20e-3
+
+    def test_sorting_scales_superlinear(self):
+        model = UnencryptedModel()
+        small = model.sorting_seconds(1 << 10)
+        large = model.sorting_seconds(1 << 14)
+        assert large > 16 * small  # n log^2 n growth
+
+    def test_throughput_scaling(self):
+        fast = UnencryptedModel(flops_per_second=1e11)
+        slow = UnencryptedModel(flops_per_second=1e10)
+        assert fast.resnet20_seconds() == pytest.approx(
+            slow.resnet20_seconds() / 10)
+
+
+class TestSlowdownShape:
+    def test_helr_slowdown_band(self):
+        """Paper: HELR on BTS is ~141x slower than unencrypted."""
+        params = CkksParams.ins2()
+        wl = build_helr_trace(params)
+        rep = BtsSimulator(params).run(wl.trace)
+        fhe_iter = rep.total_seconds / wl.config.iterations
+        plain = UnencryptedModel().helr_iteration_seconds()
+        slowdown = fhe_iter / plain
+        assert 50 < slowdown < 500
+
+    def test_fhe_never_faster_than_plain(self):
+        params = CkksParams.ins1()
+        wl = build_helr_trace(params)
+        rep = BtsSimulator(params).run(wl.trace)
+        assert rep.total_seconds / wl.config.iterations > \
+            UnencryptedModel().helr_iteration_seconds()

@@ -1,0 +1,61 @@
+"""Tests for the Plaintext / Ciphertext value types."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.ckks.rns import RnsPolynomial
+
+
+def _poly(ring, level, is_ntt=True):
+    base = ring.base_q(level)
+    return RnsPolynomial.zeros(base, ring.n, is_ntt=is_ntt)
+
+
+class TestPlaintext:
+    def test_level_from_base(self, small_ring):
+        pt = Plaintext(poly=_poly(small_ring, 3), scale=2.0 ** 40)
+        assert pt.level == 3
+        assert pt.n == small_ring.n
+
+
+class TestCiphertext:
+    def test_component_base_mismatch(self, small_ring):
+        with pytest.raises(ValueError):
+            Ciphertext(b=_poly(small_ring, 2), a=_poly(small_ring, 3),
+                       scale=1.0, n_slots=4)
+
+    def test_component_domain_mismatch(self, small_ring):
+        with pytest.raises(ValueError):
+            Ciphertext(b=_poly(small_ring, 2, is_ntt=True),
+                       a=_poly(small_ring, 2, is_ntt=False),
+                       scale=1.0, n_slots=4)
+
+    def test_ids_unique(self, small_ring):
+        ct1 = Ciphertext(b=_poly(small_ring, 1), a=_poly(small_ring, 1),
+                         scale=1.0, n_slots=4)
+        ct2 = Ciphertext(b=_poly(small_ring, 1), a=_poly(small_ring, 1),
+                         scale=1.0, n_slots=4)
+        assert ct1.ct_id != ct2.ct_id
+
+    def test_clone_is_deep(self, small_ring):
+        ct = Ciphertext(b=_poly(small_ring, 1), a=_poly(small_ring, 1),
+                        scale=1.0, n_slots=4)
+        copy = ct.clone()
+        copy.b.residues[0, 0] = np.uint64(7)
+        assert ct.b.residues[0, 0] == 0
+
+    def test_domain_roundtrip(self, small_ring):
+        ct = Ciphertext(b=_poly(small_ring, 2), a=_poly(small_ring, 2),
+                        scale=1.0, n_slots=4)
+        assert ct.is_ntt
+        coeff = ct.from_ntt()
+        assert not coeff.is_ntt
+        back = coeff.to_ntt()
+        assert back.is_ntt
+        assert np.array_equal(back.b.residues, ct.b.residues)
+
+    def test_level_property(self, small_ring):
+        ct = Ciphertext(b=_poly(small_ring, 4), a=_poly(small_ring, 4),
+                        scale=1.0, n_slots=4)
+        assert ct.level == 4

@@ -1,0 +1,73 @@
+"""Tests for public-key encryption."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.encryptor import Encryptor, encrypt_message
+from repro.ckks.keys import KeyGenerator
+
+
+@pytest.fixture(scope="module")
+def pk_setup(small_ring, small_keys):
+    # the public key must belong to the same secret as the session
+    # evaluator's relin/rotation keys, or HMult cross-terms are garbage
+    pk = small_keys.gen_public_key()
+    encryptor = Encryptor.create(small_ring, pk, seed=56)
+    return small_keys, encryptor
+
+
+class TestPublicKeyEncryption:
+    def test_roundtrip(self, pk_setup, small_evaluator, small_encoder,
+                       rng):
+        keygen, encryptor = pk_setup
+        z = rng.normal(size=8) + 1j * rng.normal(size=8)
+        ct = encrypt_message(encryptor, small_encoder, z)
+        got = small_evaluator.decrypt_to_message(ct, keygen.secret)
+        assert np.max(np.abs(got - z)) < 1e-6
+
+    def test_noise_larger_than_symmetric(self, pk_setup, small_encoder,
+                                         small_evaluator, rng):
+        """pk encryption adds the v*e term: noisier than symmetric."""
+        keygen, encryptor = pk_setup
+        z = rng.normal(size=32)
+        pt = small_encoder.encode(z + 0j, 2.0 ** 40)
+        sym = keygen.encrypt_symmetric(pt.poly, pt.scale, 32)
+        pub = encryptor.encrypt(pt, 32)
+        err_sym = np.max(np.abs(small_evaluator.decrypt_to_message(
+            sym, keygen.secret) - z))
+        err_pub = np.max(np.abs(small_evaluator.decrypt_to_message(
+            pub, keygen.secret) - z))
+        assert err_pub > err_sym
+        assert err_pub < 1e-6  # but still tiny
+
+    def test_randomized(self, pk_setup, small_encoder):
+        """Two encryptions of the same message differ."""
+        keygen, encryptor = pk_setup
+        pt = small_encoder.encode(np.ones(4), 2.0 ** 40)
+        ct1 = encryptor.encrypt(pt, 4)
+        ct2 = encryptor.encrypt(pt, 4)
+        assert not np.array_equal(ct1.b.residues, ct2.b.residues)
+
+    def test_level_matched(self, pk_setup, small_encoder):
+        keygen, encryptor = pk_setup
+        pt = small_encoder.encode(np.ones(4), 2.0 ** 40, level=2)
+        ct = encryptor.encrypt(pt, 4)
+        assert ct.level == 2
+
+    def test_homomorphic_ops_work(self, pk_setup, small_evaluator,
+                                  small_encoder, rng):
+        """pk-encrypted cts are first-class: mult and rotate fine."""
+        keygen, encryptor = pk_setup
+        z = rng.normal(size=small_evaluator.ring.n // 2)
+        ct = encrypt_message(encryptor, small_encoder, z + 0j)
+        sq = small_evaluator.multiply(ct, ct)
+        got = small_evaluator.decrypt_to_message(sq, keygen.secret)
+        # pk-encryption noise is amplified by the square: looser bound
+        assert np.max(np.abs(got - z ** 2)) < 1e-3
+
+    def test_encrypt_zero(self, pk_setup, small_evaluator):
+        keygen, encryptor = pk_setup
+        ct = encryptor.encrypt_zero(level=3, scale=2.0 ** 40, n_slots=8)
+        got = small_evaluator.decrypt_to_message(ct, keygen.secret)
+        assert np.max(np.abs(got)) < 1e-6
+        assert ct.level == 3

@@ -1,0 +1,291 @@
+"""End-to-end tests for every primitive HE op (Section 2.3)."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import encrypt_message
+
+SCALE = 2.0 ** 40
+
+
+@pytest.fixture()
+def pair(small_keys, small_encoder, rng, small_params):
+    n = small_params.slots_max
+    z0 = rng.normal(size=n) + 1j * rng.normal(size=n)
+    z1 = rng.normal(size=n) + 1j * rng.normal(size=n)
+    ct0 = encrypt_message(small_keys, small_encoder, z0, SCALE)
+    ct1 = encrypt_message(small_keys, small_encoder, z1, SCALE)
+    return z0, z1, ct0, ct1
+
+
+def _decrypted(ev, keys, ct):
+    return ev.decrypt_to_message(ct, keys.secret)
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, small_evaluator, small_keys, pair):
+        z0, _, ct0, _ = pair
+        got = _decrypted(small_evaluator, small_keys, ct0)
+        assert np.max(np.abs(got - z0)) < 1e-7
+
+    def test_fresh_ct_level(self, pair, small_params):
+        _, _, ct0, _ = pair
+        assert ct0.level == small_params.l
+
+    def test_noise_is_small_but_nonzero(self, small_evaluator, small_keys,
+                                        pair):
+        z0, _, ct0, _ = pair
+        err = np.abs(_decrypted(small_evaluator, small_keys, ct0) - z0)
+        assert 0 < np.max(err) < 1e-7
+
+
+class TestAdditive:
+    def test_add(self, small_evaluator, small_keys, pair):
+        z0, z1, ct0, ct1 = pair
+        got = _decrypted(small_evaluator, small_keys,
+                         small_evaluator.add(ct0, ct1))
+        assert np.max(np.abs(got - (z0 + z1))) < 1e-7
+
+    def test_sub(self, small_evaluator, small_keys, pair):
+        z0, z1, ct0, ct1 = pair
+        got = _decrypted(small_evaluator, small_keys,
+                         small_evaluator.sub(ct0, ct1))
+        assert np.max(np.abs(got - (z0 - z1))) < 1e-7
+
+    def test_negate(self, small_evaluator, small_keys, pair):
+        z0, _, ct0, _ = pair
+        got = _decrypted(small_evaluator, small_keys,
+                         small_evaluator.negate(ct0))
+        assert np.max(np.abs(got + z0)) < 1e-7
+
+    def test_add_is_commutative(self, small_evaluator, small_keys, pair):
+        _, _, ct0, ct1 = pair
+        a = _decrypted(small_evaluator, small_keys,
+                       small_evaluator.add(ct0, ct1))
+        b = _decrypted(small_evaluator, small_keys,
+                       small_evaluator.add(ct1, ct0))
+        assert np.max(np.abs(a - b)) < 1e-12
+
+    def test_add_plain(self, small_evaluator, small_keys, small_encoder,
+                       pair):
+        z0, z1, ct0, _ = pair
+        pt = small_encoder.encode(z1, SCALE)
+        got = _decrypted(small_evaluator, small_keys,
+                         small_evaluator.add_plain(ct0, pt))
+        assert np.max(np.abs(got - (z0 + z1))) < 1e-7
+
+    def test_add_scalar(self, small_evaluator, small_keys, pair):
+        z0, _, ct0, _ = pair
+        got = _decrypted(small_evaluator, small_keys,
+                         small_evaluator.add_scalar(ct0, 2.5))
+        assert np.max(np.abs(got - (z0 + 2.5))) < 1e-7
+
+    def test_scale_mismatch_rejected(self, small_evaluator, pair):
+        _, _, ct0, ct1 = pair
+        bad = ct1.clone()
+        bad.scale = ct1.scale * 2
+        with pytest.raises(ValueError):
+            small_evaluator.add(ct0, bad)
+
+
+class TestMultiplicative:
+    def test_hmult(self, small_evaluator, small_keys, pair):
+        z0, z1, ct0, ct1 = pair
+        prod = small_evaluator.multiply(ct0, ct1)
+        got = _decrypted(small_evaluator, small_keys, prod)
+        assert np.max(np.abs(got - z0 * z1)) < 1e-6
+        assert prod.level == ct0.level - 1
+
+    def test_square(self, small_evaluator, small_keys, pair):
+        z0, _, ct0, _ = pair
+        got = _decrypted(small_evaluator, small_keys,
+                         small_evaluator.square(ct0))
+        assert np.max(np.abs(got - z0 ** 2)) < 1e-6
+
+    def test_mult_without_rescale(self, small_evaluator, small_keys, pair):
+        z0, z1, ct0, ct1 = pair
+        prod = small_evaluator.multiply(ct0, ct1, rescale=False)
+        assert prod.level == ct0.level
+        assert prod.scale == pytest.approx(SCALE * SCALE)
+        got = _decrypted(small_evaluator, small_keys, prod)
+        assert np.max(np.abs(got - z0 * z1)) < 1e-6
+
+    def test_multiply_plain(self, small_evaluator, small_keys,
+                            small_encoder, pair):
+        z0, z1, ct0, _ = pair
+        pt = small_encoder.encode(z1, SCALE)
+        got = _decrypted(small_evaluator, small_keys,
+                         small_evaluator.multiply_plain(ct0, pt,
+                                                        rescale=True))
+        assert np.max(np.abs(got - z0 * z1)) < 1e-6
+
+    def test_multiply_scalar_real(self, small_evaluator, small_keys, pair):
+        z0, _, ct0, _ = pair
+        got = _decrypted(small_evaluator, small_keys,
+                         small_evaluator.multiply_scalar(ct0, 0.125,
+                                                         rescale=True))
+        assert np.max(np.abs(got - 0.125 * z0)) < 1e-6
+
+    def test_multiply_scalar_complex(self, small_evaluator, small_keys,
+                                     pair):
+        z0, _, ct0, _ = pair
+        got = _decrypted(small_evaluator, small_keys,
+                         small_evaluator.multiply_scalar(ct0, 1j,
+                                                         rescale=True))
+        assert np.max(np.abs(got - 1j * z0)) < 1e-6
+
+    def test_multiply_scalar_target_scale(self, small_evaluator,
+                                          small_keys, pair):
+        """target_scale snaps the output scale exactly (the EvalMod
+        renormalization trick) while keeping values correct."""
+        z0, _, ct0, _ = pair
+        drifted = ct0.clone()
+        drifted.scale = ct0.scale * 1.0003  # simulate accumulated drift
+        out = small_evaluator.multiply_scalar(
+            drifted, 0.5, rescale=True, target_scale=2.0 ** 40)
+        assert out.scale == 2.0 ** 40
+
+    def test_target_scale_requires_rescale(self, small_evaluator, pair):
+        _, _, ct0, _ = pair
+        with pytest.raises(ValueError):
+            small_evaluator.multiply_scalar(ct0, 0.5, rescale=False,
+                                            target_scale=2.0 ** 40)
+
+    def test_multiply_integer(self, small_evaluator, small_keys, pair):
+        z0, _, ct0, _ = pair
+        tripled = small_evaluator.multiply_integer(ct0, 3)
+        got = _decrypted(small_evaluator, small_keys, tripled)
+        assert np.max(np.abs(got - 3 * z0)) < 1e-6
+        assert tripled.level == ct0.level
+
+    def test_depth_chain(self, small_evaluator, small_keys, pair):
+        z0, z1, ct0, ct1 = pair
+        ct = ct0
+        want = z0.copy()
+        for _ in range(4):
+            ct = small_evaluator.multiply(ct, ct1)
+            want = want * z1
+        got = _decrypted(small_evaluator, small_keys, ct)
+        assert np.max(np.abs(got - want)) < 1e-4
+
+    def test_missing_relin_key(self, small_ring, pair):
+        from repro.ckks.evaluator import Evaluator
+        bare = Evaluator(small_ring)
+        _, _, ct0, ct1 = pair
+        with pytest.raises(ValueError):
+            bare.multiply(ct0, ct1)
+
+
+class TestRescaleAndLevels:
+    def test_rescale_divides_scale(self, small_evaluator, pair,
+                                   small_ring):
+        _, _, ct0, ct1 = pair
+        prod = small_evaluator.multiply(ct0, ct1, rescale=False)
+        scaled = small_evaluator.rescale(prod)
+        dropped = small_ring.q_primes[prod.level].value
+        assert scaled.scale == pytest.approx(prod.scale / dropped)
+
+    def test_rescale_at_level_zero_fails(self, small_evaluator, pair):
+        _, _, ct0, _ = pair
+        low = small_evaluator.drop_to_level(ct0, 0)
+        with pytest.raises(ValueError):
+            small_evaluator.rescale(low)
+
+    def test_drop_to_level_preserves_message(self, small_evaluator,
+                                             small_keys, pair):
+        z0, _, ct0, _ = pair
+        low = small_evaluator.drop_to_level(ct0, 1)
+        got = _decrypted(small_evaluator, small_keys, low)
+        assert np.max(np.abs(got - z0)) < 1e-7
+
+    def test_drop_cannot_raise(self, small_evaluator, pair):
+        _, _, ct0, _ = pair
+        low = small_evaluator.drop_to_level(ct0, 1)
+        with pytest.raises(ValueError):
+            small_evaluator.drop_to_level(low, 3)
+
+    def test_align_pair(self, small_evaluator, pair):
+        _, _, ct0, ct1 = pair
+        low = small_evaluator.drop_to_level(ct1, 2)
+        a, b = small_evaluator.align_pair(ct0, low)
+        assert a.level == b.level == 2
+
+    def test_ops_across_levels(self, small_evaluator, small_keys, pair):
+        z0, z1, ct0, ct1 = pair
+        low = small_evaluator.drop_to_level(ct1, 2)
+        got = _decrypted(small_evaluator, small_keys,
+                         small_evaluator.add(ct0, low))
+        assert np.max(np.abs(got - (z0 + z1))) < 1e-7
+
+
+class TestRotation:
+    @pytest.mark.parametrize("amount", [1, 2, 3, 4, 8, 16])
+    def test_rotate(self, small_evaluator, small_keys, pair, amount):
+        z0, _, ct0, _ = pair
+        got = _decrypted(small_evaluator, small_keys,
+                         small_evaluator.rotate(ct0, amount))
+        assert np.max(np.abs(got - np.roll(z0, -amount))) < 1e-6
+
+    def test_rotate_zero_is_identity(self, small_evaluator, small_keys,
+                                     pair):
+        z0, _, ct0, _ = pair
+        got = _decrypted(small_evaluator, small_keys,
+                         small_evaluator.rotate(ct0, 0))
+        assert np.max(np.abs(got - z0)) < 1e-7
+
+    def test_rotate_full_cycle(self, small_evaluator, small_keys, pair,
+                               small_params):
+        z0, _, ct0, _ = pair
+        got = _decrypted(small_evaluator, small_keys,
+                         small_evaluator.rotate(ct0,
+                                                small_params.slots_max))
+        assert np.max(np.abs(got - z0)) < 1e-7
+
+    def test_missing_key(self, small_evaluator, pair):
+        _, _, ct0, _ = pair
+        with pytest.raises(ValueError):
+            small_evaluator.rotate(ct0, 7)
+
+    def test_rotate_composes(self, small_evaluator, small_keys, pair):
+        z0, _, ct0, _ = pair
+        double = small_evaluator.rotate(
+            small_evaluator.rotate(ct0, 1), 2)
+        got = _decrypted(small_evaluator, small_keys, double)
+        assert np.max(np.abs(got - np.roll(z0, -3))) < 1e-6
+
+    def test_conjugate(self, small_evaluator, small_keys, pair):
+        z0, _, ct0, _ = pair
+        got = _decrypted(small_evaluator, small_keys,
+                         small_evaluator.conjugate(ct0))
+        assert np.max(np.abs(got - np.conj(z0))) < 1e-6
+
+    def test_conjugate_involution(self, small_evaluator, small_keys, pair):
+        z0, _, ct0, _ = pair
+        twice = small_evaluator.conjugate(small_evaluator.conjugate(ct0))
+        got = _decrypted(small_evaluator, small_keys, twice)
+        assert np.max(np.abs(got - z0)) < 1e-6
+
+
+class TestHomomorphismProperties:
+    """Algebraic identities that must hold on ciphertexts."""
+
+    def test_distributivity(self, small_evaluator, small_keys, pair):
+        z0, z1, ct0, ct1 = pair
+        lhs = small_evaluator.multiply(small_evaluator.add(ct0, ct1), ct0)
+        rhs = small_evaluator.add(small_evaluator.multiply(ct0, ct0),
+                                  small_evaluator.multiply(ct1, ct0))
+        a = _decrypted(small_evaluator, small_keys, lhs)
+        b = _decrypted(small_evaluator, small_keys, rhs)
+        assert np.max(np.abs(a - b)) < 1e-5
+        assert np.max(np.abs(a - (z0 + z1) * z0)) < 1e-5
+
+    def test_rotation_is_homomorphic_over_mult(self, small_evaluator,
+                                               small_keys, pair):
+        z0, z1, ct0, ct1 = pair
+        rot_prod = small_evaluator.rotate(
+            small_evaluator.multiply(ct0, ct1), 2)
+        prod_rot = small_evaluator.multiply(
+            small_evaluator.rotate(ct0, 2), small_evaluator.rotate(ct1, 2))
+        a = _decrypted(small_evaluator, small_keys, rot_prod)
+        b = _decrypted(small_evaluator, small_keys, prod_rot)
+        assert np.max(np.abs(a - b)) < 1e-5

@@ -1,0 +1,109 @@
+"""Tests for key generation (secret, public, evaluation keys)."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.rns import crt_reconstruct
+
+
+class TestSecretKey:
+    def test_hamming_weight(self, small_ring, small_params):
+        kg = KeyGenerator(small_ring, seed=42)
+        coeffs = kg._secret_coeffs
+        assert np.count_nonzero(coeffs) == small_params.h
+        assert set(np.unique(coeffs)) <= {-1, 0, 1}
+
+    def test_secret_over_full_base(self, small_keys, small_ring,
+                                   small_params):
+        base = small_ring.base_qp(small_params.l)
+        assert small_keys.secret.poly.base == base
+
+    def test_restricted_consistency(self, small_keys, small_ring):
+        full = small_keys.secret.poly
+        restricted = small_keys.secret.restricted(small_ring.base_q(2))
+        assert np.array_equal(restricted.residues, full.residues[:3])
+
+    def test_deterministic_with_seed(self, small_ring):
+        a = KeyGenerator(small_ring, seed=7)._secret_coeffs
+        b = KeyGenerator(small_ring, seed=7)._secret_coeffs
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, small_ring):
+        a = KeyGenerator(small_ring, seed=7)._secret_coeffs
+        b = KeyGenerator(small_ring, seed=8)._secret_coeffs
+        assert not np.array_equal(a, b)
+
+
+class TestPublicKey:
+    def test_pk_relation(self, small_ring, small_params):
+        """b - a*s must be a small error polynomial."""
+        kg = KeyGenerator(small_ring, seed=5)
+        pk = kg.gen_public_key()
+        s = kg.secret.restricted(pk.b.base)
+        err = pk.b.sub(pk.a.mul(s)).from_ntt()
+        coeffs = crt_reconstruct(err).astype(np.float64)
+        assert np.max(np.abs(coeffs)) < 64 * small_params.sigma
+
+
+class TestEvaluationKeys:
+    def test_slice_count(self, small_keys, small_params):
+        evk = small_keys.gen_relinearization_key()
+        assert evk.dnum == small_params.dnum
+
+    def test_slices_over_full_base(self, small_keys, small_ring,
+                                   small_params):
+        evk = small_keys.gen_relinearization_key()
+        full = small_ring.base_qp(small_params.l)
+        for b, a in evk.slices:
+            assert b.base == full
+            assert a.base == full
+            assert b.is_ntt and a.is_ntt
+
+    def test_gadget_scalars_structure(self, small_keys, small_ring,
+                                      small_params):
+        """P*Q_tilde_j: P mod q_i inside block j, 0 elsewhere."""
+        blocks = small_ring.decomposition_blocks(small_params.l)
+        p_prod = small_ring.p_product
+        for start, stop in blocks:
+            scalars = small_keys._gadget_scalars((start, stop))
+            for i, prime in enumerate(small_ring.base_q(small_params.l)):
+                expected = p_prod % prime.value if start <= i < stop else 0
+                assert scalars[prime.value] == expected
+            for prime in small_ring.base_p:
+                assert scalars[prime.value] == 0
+
+    def test_switching_key_requires_full_base(self, small_keys,
+                                              small_ring):
+        short = small_keys.secret.restricted(small_ring.base_q(2))
+        with pytest.raises(ValueError):
+            small_keys.gen_switching_key(short)
+
+    def test_rotation_key_galois_element(self, small_keys, small_ring):
+        """Rotation key for amount r targets s(X^(5^r))."""
+        evk = small_keys.gen_rotation_key(1)
+        # decrypt gadget slice 0 on the first block primes: b - a*s should
+        # contain P * s(X^5); verify it differs from the identity key.
+        relin = small_keys.gen_relinearization_key()
+        assert not np.array_equal(evk.slices[0][0].residues,
+                                  relin.slices[0][0].residues)
+
+    def test_conjugation_key_distinct(self, small_keys):
+        conj = small_keys.gen_conjugation_key()
+        rot = small_keys.gen_rotation_key(1)
+        assert not np.array_equal(conj.slices[0][0].residues,
+                                  rot.slices[0][0].residues)
+
+
+class TestSymmetricEncryption:
+    def test_level_selection(self, small_keys, small_encoder, rng):
+        z = rng.normal(size=4)
+        pt = small_encoder.encode(z, 2.0 ** 40, level=2)
+        ct = small_keys.encrypt_symmetric(pt.poly, pt.scale, 4)
+        assert ct.level == 2
+
+    def test_slots_recorded(self, small_keys, small_encoder, rng):
+        z = rng.normal(size=8)
+        pt = small_encoder.encode(z, 2.0 ** 40)
+        ct = small_keys.encrypt_symmetric(pt.poly, pt.scale, 8)
+        assert ct.n_slots == 8

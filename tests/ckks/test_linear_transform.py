@@ -1,0 +1,125 @@
+"""Tests for homomorphic BSGS linear transforms."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.linear_transform import (
+    LinearTransform,
+    bsgs_rotations,
+    bsgs_split,
+    matrix_diagonals,
+)
+from tests.conftest import encrypt_message
+
+SCALE = 2.0 ** 40
+
+
+class TestDiagonals:
+    def test_identity_matrix(self):
+        diags = matrix_diagonals(np.eye(8, dtype=complex))
+        assert set(diags) == {0}
+        assert np.allclose(diags[0], np.ones(8))
+
+    def test_shift_matrix(self):
+        """A cyclic shift matrix is a single off-diagonal."""
+        n = 8
+        mat = np.zeros((n, n), dtype=complex)
+        for j in range(n):
+            mat[j, (j + 3) % n] = 1.0
+        diags = matrix_diagonals(mat)
+        assert set(diags) == {3}
+
+    def test_dense_matrix_has_all_diagonals(self, rng):
+        mat = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        assert len(matrix_diagonals(mat)) == 8
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            matrix_diagonals(np.zeros((4, 8)))
+
+    def test_reconstruction(self, rng):
+        """M z == sum_d diag_d * roll(z, -d) (the BSGS identity)."""
+        n = 16
+        mat = rng.normal(size=(n, n))
+        z = rng.normal(size=n)
+        diags = matrix_diagonals(mat)
+        via_diags = sum(diags[d] * np.roll(z, -d) for d in diags)
+        assert np.allclose(via_diags, mat @ z)
+
+
+class TestBsgsPlanning:
+    def test_split_is_power_of_two(self):
+        for n in (16, 64, 100, 256):
+            g = bsgs_split(n)
+            assert g & (g - 1) == 0
+            assert g >= int(np.sqrt(n))
+
+    def test_rotation_amounts_cover(self):
+        n = 16
+        amounts = bsgs_rotations(n, n)
+        g = bsgs_split(n)
+        for d in range(1, n):
+            baby = d % g
+            giant = (d - baby) % n
+            assert baby in amounts | {0}
+            assert giant in amounts | {0}
+
+    def test_zero_rotation_excluded(self):
+        assert 0 not in bsgs_rotations(16, 16)
+
+
+class TestHomomorphicApply:
+    @pytest.fixture()
+    def lt_evaluator(self, small_ring, small_keys):
+        from repro.ckks.evaluator import Evaluator
+        n_slots = 16
+        amounts = bsgs_rotations(n_slots, n_slots)
+        return Evaluator(
+            small_ring,
+            relin_key=small_keys.gen_relinearization_key(),
+            rotation_keys={r: small_keys.gen_rotation_key(r)
+                           for r in amounts},
+            conjugation_key=small_keys.gen_conjugation_key())
+
+    def test_identity_transform(self, lt_evaluator, small_keys,
+                                small_encoder, rng):
+        z = rng.normal(size=16) + 1j * rng.normal(size=16)
+        ct = encrypt_message(small_keys, small_encoder, z, SCALE)
+        lt = LinearTransform.from_matrix(np.eye(16, dtype=complex))
+        out = lt.apply(lt_evaluator, ct)
+        got = lt_evaluator.decrypt_to_message(out, small_keys.secret)
+        assert np.max(np.abs(got - z)) < 1e-5
+        assert out.level == ct.level - 1
+
+    def test_dense_matrix(self, lt_evaluator, small_keys, small_encoder,
+                          rng):
+        n = 16
+        mat = (rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))) / n
+        z = rng.normal(size=n) + 1j * rng.normal(size=n)
+        ct = encrypt_message(small_keys, small_encoder, z, SCALE)
+        lt = LinearTransform.from_matrix(mat)
+        out = lt.apply(lt_evaluator, ct)
+        got = lt_evaluator.decrypt_to_message(out, small_keys.secret)
+        assert np.max(np.abs(got - mat @ z)) < 1e-4
+
+    def test_sparse_diagonal_matrix(self, lt_evaluator, small_keys,
+                                    small_encoder, rng):
+        n = 16
+        mat = np.diag(rng.normal(size=n)).astype(complex)
+        z = rng.normal(size=n) + 1j * rng.normal(size=n)
+        ct = encrypt_message(small_keys, small_encoder, z, SCALE)
+        out = LinearTransform.from_matrix(mat).apply(lt_evaluator, ct)
+        got = lt_evaluator.decrypt_to_message(out, small_keys.secret)
+        assert np.max(np.abs(got - mat @ z)) < 1e-5
+
+    def test_slot_count_mismatch(self, lt_evaluator, small_keys,
+                                 small_encoder, rng):
+        z = rng.normal(size=8)
+        ct = encrypt_message(small_keys, small_encoder, z, SCALE)
+        lt = LinearTransform.from_matrix(np.eye(16, dtype=complex))
+        with pytest.raises(ValueError):
+            lt.apply(lt_evaluator, ct)
+
+    def test_required_rotations_subset(self):
+        lt = LinearTransform.from_matrix(np.eye(16, dtype=complex))
+        assert lt.required_rotations() == set()

@@ -1,0 +1,105 @@
+"""Tests for the noise-budget estimator (a-priori vs measured)."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.noise import NoiseEstimate, NoiseEstimator
+from tests.conftest import encrypt_message
+
+SCALE = 2.0 ** 40
+
+
+class TestEstimateAlgebra:
+    @pytest.fixture()
+    def est(self, small_params):
+        return NoiseEstimator(small_params)
+
+    def test_fresh_positive(self, est, small_params):
+        fresh = est.fresh(SCALE)
+        assert fresh.noise > 0
+        assert fresh.level == small_params.l
+        assert fresh.precision_bits > 20
+
+    def test_add_sums_noise(self, est):
+        a = est.fresh(SCALE)
+        combined = est.add(a, a)
+        assert combined.noise == pytest.approx(2 * a.noise)
+        assert combined.scale == a.scale
+
+    def test_multiply_squares_scale(self, est):
+        a = est.fresh(SCALE)
+        prod = est.multiply(a, a)
+        assert prod.scale == pytest.approx(SCALE * SCALE)
+        assert prod.noise > a.noise
+
+    def test_rescale_divides(self, est, small_params):
+        a = est.fresh(SCALE)
+        prod = est.multiply(a, a)
+        scaled = est.rescale(prod)
+        assert scaled.level == prod.level - 1
+        assert scaled.scale == pytest.approx(
+            prod.scale / 2.0 ** small_params.scale_bits)
+        assert scaled.noise < prod.noise
+
+    def test_rescale_at_zero_rejected(self, est):
+        bottom = NoiseEstimate(noise=1.0, scale=SCALE, level=0)
+        with pytest.raises(ValueError):
+            est.rescale(bottom)
+
+    def test_rotate_adds_keyswitch_term(self, est):
+        a = est.fresh(SCALE)
+        rotated = est.rotate(a)
+        assert rotated.noise == pytest.approx(
+            a.noise + est.keyswitch_noise(a.level))
+
+    def test_precision_degrades_with_depth(self, est):
+        state = est.fresh(SCALE)
+        precisions = [state.precision_bits]
+        for _ in range(4):
+            state = est.rescale(est.multiply(state, est.fresh(SCALE)))
+            precisions.append(state.precision_bits)
+        assert precisions[-1] < precisions[0]
+
+
+class TestEstimateVsMeasured:
+    """The a-priori estimate must upper-bound (within ~8 bits) the truth."""
+
+    def _measured_bits(self, ev, keys, ct, reference):
+        return NoiseEstimator.measured_precision_bits(
+            ev, ct, keys.secret, reference)
+
+    def test_fresh_ciphertext(self, small_evaluator, small_keys,
+                              small_encoder, small_params, rng):
+        z = rng.normal(size=small_params.slots_max) + 0j
+        ct = encrypt_message(small_keys, small_encoder, z, SCALE)
+        est = NoiseEstimator(small_params)
+        predicted = est.fresh(SCALE).precision_bits
+        measured = self._measured_bits(small_evaluator, small_keys, ct, z)
+        # estimator is conservative: predicts less precision than real
+        assert predicted <= measured + 1
+        assert measured - predicted < 15
+
+    def test_after_multiply(self, small_evaluator, small_keys,
+                            small_encoder, small_params, rng):
+        z = rng.normal(size=small_params.slots_max) * 0.5 + 0j
+        ct = encrypt_message(small_keys, small_encoder, z, SCALE)
+        est = NoiseEstimator(small_params, message_bound=0.5)
+        prod_ct = small_evaluator.multiply(ct, ct)
+        predicted = est.rescale(est.multiply(est.fresh(SCALE),
+                                             est.fresh(SCALE)))
+        measured = self._measured_bits(small_evaluator, small_keys,
+                                       prod_ct, z ** 2)
+        assert predicted.precision_bits <= measured + 2
+
+    def test_depth_tracking_matches(self, small_evaluator, small_keys,
+                                    small_encoder, small_params, rng):
+        """Estimator level bookkeeping mirrors the real evaluator."""
+        z = rng.normal(size=small_params.slots_max) * 0.3 + 0j
+        ct = encrypt_message(small_keys, small_encoder, z, SCALE)
+        est = NoiseEstimator(small_params, message_bound=0.3)
+        state = est.fresh(SCALE)
+        for _ in range(3):
+            ct = small_evaluator.multiply(ct, ct)
+            state = est.rescale(est.multiply(state, state))
+        assert ct.level == state.level
+        assert abs(ct.scale - state.scale) / state.scale < 1e-3

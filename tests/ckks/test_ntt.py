@@ -1,0 +1,138 @@
+"""Tests for the negacyclic NTT (the functional NTTU)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks.modmath import mul_mod
+from repro.ckks.ntt import (
+    NttContext,
+    bit_reverse_indices,
+    negacyclic_convolution_reference,
+)
+from repro.ckks.primes import ntt_friendly_primes
+
+
+@pytest.fixture(scope="module")
+def ctx256():
+    q = ntt_friendly_primes(50, 1, 256)[0]
+    return NttContext.create(q, 256)
+
+
+class TestBitReverse:
+    def test_small(self):
+        assert list(bit_reverse_indices(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_involution(self):
+        rev = bit_reverse_indices(64)
+        assert np.array_equal(rev[rev], np.arange(64))
+
+
+class TestContextCreation:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            NttContext.create(97, 12)
+
+    def test_rejects_bad_psi(self):
+        q = ntt_friendly_primes(40, 1, 64)[0]
+        with pytest.raises(ValueError):
+            NttContext.create(q, 64, psi=2)
+
+    def test_n_inv(self, ctx256):
+        q = ctx256.modulus.value
+        assert (int(ctx256.n_inv) * 256) % q == 1
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("n", [4, 16, 128, 1024])
+    @pytest.mark.parametrize("bits", [30, 45, 58])
+    def test_forward_inverse(self, n, bits):
+        q = ntt_friendly_primes(bits, 1, n)[0]
+        ctx = NttContext.create(q, n)
+        rng = np.random.default_rng(n * bits)
+        a = rng.integers(0, q, size=n, dtype=np.uint64)
+        assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+    def test_inverse_forward(self, ctx256):
+        rng = np.random.default_rng(9)
+        a = rng.integers(0, ctx256.modulus.value, size=256, dtype=np.uint64)
+        assert np.array_equal(ctx256.forward(ctx256.inverse(a)), a)
+
+    def test_shape_validation(self, ctx256):
+        with pytest.raises(ValueError):
+            ctx256.forward(np.zeros(128, dtype=np.uint64))
+
+    def test_input_not_mutated(self, ctx256):
+        rng = np.random.default_rng(10)
+        a = rng.integers(0, ctx256.modulus.value, size=256, dtype=np.uint64)
+        saved = a.copy()
+        ctx256.forward(a)
+        assert np.array_equal(a, saved)
+
+
+class TestConvolution:
+    @pytest.mark.parametrize("n", [8, 32, 128])
+    def test_matches_schoolbook(self, n):
+        q = ntt_friendly_primes(45, 1, n)[0]
+        ctx = NttContext.create(q, n)
+        rng = np.random.default_rng(n)
+        a = rng.integers(0, q, size=n, dtype=np.uint64)
+        b = rng.integers(0, q, size=n, dtype=np.uint64)
+        via_ntt = ctx.inverse(mul_mod(ctx.forward(a), ctx.forward(b),
+                                      ctx.modulus))
+        assert np.array_equal(via_ntt,
+                              negacyclic_convolution_reference(a, b, q))
+
+    def test_x_times_x_pow_nminus1_is_minus_one(self):
+        """X * X^(N-1) = X^N = -1 in the negacyclic ring."""
+        n = 64
+        q = ntt_friendly_primes(40, 1, n)[0]
+        ctx = NttContext.create(q, n)
+        x = np.zeros(n, dtype=np.uint64)
+        x[1] = 1
+        x_last = np.zeros(n, dtype=np.uint64)
+        x_last[n - 1] = 1
+        prod = ctx.inverse(mul_mod(ctx.forward(x), ctx.forward(x_last),
+                                   ctx.modulus))
+        expected = np.zeros(n, dtype=np.uint64)
+        expected[0] = q - 1
+        assert np.array_equal(prod, expected)
+
+    def test_multiply_by_one(self, ctx256):
+        rng = np.random.default_rng(11)
+        q = ctx256.modulus.value
+        a = rng.integers(0, q, size=256, dtype=np.uint64)
+        one = np.zeros(256, dtype=np.uint64)
+        one[0] = 1
+        prod = ctx256.inverse(mul_mod(ctx256.forward(a),
+                                      ctx256.forward(one), ctx256.modulus))
+        assert np.array_equal(prod, a)
+
+
+class TestLinearity:
+    @given(st.integers(min_value=0, max_value=2**45))
+    @settings(max_examples=50, deadline=None)
+    def test_scalar_linearity(self, scalar):
+        n = 32
+        q = ntt_friendly_primes(45, 1, n)[0]
+        ctx = NttContext.create(q, n)
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, q, size=n, dtype=np.uint64)
+        s = scalar % q
+        scaled = (a.astype(object) * s % q).astype(np.uint64)
+        fwd_scaled = ctx.forward(scaled)
+        scaled_fwd = (ctx.forward(a).astype(object) * s % q).astype(
+            np.uint64)
+        assert np.array_equal(fwd_scaled, scaled_fwd)
+
+    def test_additive(self):
+        n = 64
+        q = ntt_friendly_primes(40, 1, n)[0]
+        ctx = NttContext.create(q, n)
+        rng = np.random.default_rng(6)
+        a = rng.integers(0, q, size=n, dtype=np.uint64)
+        b = rng.integers(0, q, size=n, dtype=np.uint64)
+        lhs = ctx.forward((a.astype(object) + b) % q)
+        rhs = (ctx.forward(a).astype(object) + ctx.forward(b)) % q
+        assert np.array_equal(lhs.astype(object), rhs)

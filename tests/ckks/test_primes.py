@@ -1,0 +1,81 @@
+"""Tests for NTT-friendly prime generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks.primes import is_prime, ntt_friendly_primes, primitive_root_2n
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 13, 97, 65537, (1 << 31) - 1,
+                1125899906844161]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 15, 91, 65535, (1 << 32) + 1,
+                    3825123056546413051 * 3]
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("n", KNOWN_PRIMES)
+    def test_known_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_known_composites(self, n):
+        assert not is_prime(n)
+
+    def test_carmichael_numbers(self):
+        # Classic Fermat pseudoprimes must be rejected.
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(n)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_against_trial_division(self, n):
+        reference = all(n % d for d in range(2, int(n ** 0.5) + 1))
+        assert is_prime(n) == (reference and n >= 2)
+
+
+class TestNttFriendlyPrimes:
+    def test_congruence(self):
+        n = 1 << 10
+        for p in ntt_friendly_primes(45, 5, n):
+            assert p % (2 * n) == 1
+            assert is_prime(p)
+
+    def test_count_and_distinct(self):
+        primes = ntt_friendly_primes(40, 8, 1 << 8)
+        assert len(primes) == 8
+        assert len(set(primes)) == 8
+
+    def test_near_target_size(self):
+        bit = 50
+        for p in ntt_friendly_primes(bit, 6, 1 << 9):
+            assert abs(p - (1 << bit)) < (1 << (bit - 6))
+
+    def test_exclusion(self):
+        n = 1 << 8
+        first = ntt_friendly_primes(40, 3, n)
+        second = ntt_friendly_primes(40, 3, n, exclude=set(first))
+        assert not set(first) & set(second)
+
+    def test_zero_count(self):
+        assert ntt_friendly_primes(40, 0, 1 << 8) == []
+
+    def test_alternates_above_below(self):
+        primes = ntt_friendly_primes(45, 6, 1 << 8)
+        center = 1 << 45
+        above = sum(1 for p in primes if p > center)
+        below = sum(1 for p in primes if p < center)
+        assert above >= 1 and below >= 1
+
+
+class TestPrimitiveRoot:
+    @pytest.mark.parametrize("n", [4, 64, 1 << 10])
+    def test_order_exactly_2n(self, n):
+        q = ntt_friendly_primes(45, 1, n)[0]
+        psi = primitive_root_2n(q, n)
+        assert pow(psi, n, q) == q - 1
+        assert pow(psi, 2 * n, q) == 1
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            primitive_root_2n(97, 1 << 10)

@@ -1,0 +1,138 @@
+"""Tests for Chebyshev fitting, division, and homomorphic evaluation."""
+
+import numpy as np
+import pytest
+from numpy.polynomial import chebyshev as cheb
+
+from repro.ckks.sine import (
+    ChebyshevEvaluator,
+    SineConfig,
+    SineEvaluator,
+    cheby_divmod,
+    chebyshev_fit,
+    double_angle,
+)
+from tests.conftest import encrypt_message
+
+SCALE = 2.0 ** 40
+
+
+class TestChebyshevFit:
+    def test_fits_cosine(self):
+        coeffs = chebyshev_fit(np.cos, 15)
+        xs = np.linspace(-1, 1, 101)
+        assert np.max(np.abs(cheb.chebval(xs, coeffs) - np.cos(xs))) < 1e-10
+
+    def test_sine_config_base_function(self):
+        cfg = SineConfig(k_range=12, degree=31, double_angles=2)
+        func = cfg.base_function()
+        # at u = 0.25/12 (t = 0.25), the shifted cosine hits its maximum
+        assert func(0.25 / 12) == pytest.approx(1.0)
+
+    def test_fit_accuracy_for_eval_mod(self):
+        cfg = SineConfig()
+        coeffs = chebyshev_fit(cfg.base_function(), cfg.degree)
+        xs = np.linspace(-1, 1, 400)
+        err = np.abs(cheb.chebval(xs, coeffs) - cfg.base_function()(xs))
+        assert np.max(err) < 1e-7
+
+
+class TestChebyDivmod:
+    @pytest.mark.parametrize("degree,split", [(15, 8), (31, 8), (20, 16)])
+    def test_reconstruction(self, degree, split, rng):
+        coeffs = rng.normal(size=degree + 1)
+        q, r = cheby_divmod(coeffs, split)
+        xs = np.linspace(-1, 1, 57)
+        lhs = cheb.chebval(xs, coeffs)
+        t_s = np.cos(split * np.arccos(xs))
+        rhs = cheb.chebval(xs, q) * t_s + cheb.chebval(xs, r)
+        assert np.max(np.abs(lhs - rhs)) < 1e-9
+
+    def test_degree_bounds(self, rng):
+        coeffs = rng.normal(size=32)
+        q, r = cheby_divmod(coeffs, 8)
+        assert len(r) == 8
+        assert len(q) == 32 - 8
+
+    def test_below_split_passthrough(self, rng):
+        coeffs = rng.normal(size=4)
+        q, r = cheby_divmod(coeffs, 8)
+        assert np.allclose(q, 0)
+        assert np.allclose(r, coeffs)
+
+
+class TestDepth:
+    def test_sine_depth_formula(self):
+        assert SineConfig(degree=63, double_angles=2).depth == 9
+
+    def test_higher_degree_deeper(self):
+        assert SineConfig(degree=127).depth > SineConfig(degree=31).depth
+
+
+class TestHomomorphicChebyshev:
+    @pytest.fixture(scope="class")
+    def deep_setup(self):
+        """A deeper ring so degree-15 evaluations fit."""
+        from repro.ckks.encoder import Encoder
+        from repro.ckks.evaluator import Evaluator
+        from repro.ckks.keys import KeyGenerator
+        from repro.ckks.params import CkksParams, RingContext
+        params = CkksParams.functional(n=1 << 8, l=10, dnum=2,
+                                       scale_bits=40, q0_bits=50,
+                                       p_bits=50, h=16)
+        ring = RingContext(params)
+        kg = KeyGenerator(ring, seed=77)
+        ev = Evaluator(ring, relin_key=kg.gen_relinearization_key())
+        return ring, kg, ev, Encoder(ring)
+
+    def test_double_angle(self, deep_setup, rng):
+        ring, kg, ev, enc = deep_setup
+        theta = rng.uniform(-1, 1, size=8)
+        ct = encrypt_message(kg, enc, np.cos(theta) + 0j, SCALE)
+        out = double_angle(ev, ct)
+        got = ev.decrypt_to_message(out, kg.secret)
+        assert np.max(np.abs(got - np.cos(2 * theta))) < 1e-4
+
+    def test_low_degree_polynomial(self, deep_setup, rng):
+        ring, kg, ev, enc = deep_setup
+        u = rng.uniform(-1, 1, size=8)
+        ct = encrypt_message(kg, enc, u + 0j, SCALE)
+        coeffs = np.array([0.5, -1.0, 0.25, 0.125])
+        evaluator = ChebyshevEvaluator(ev, ct, degree=3)
+        out = evaluator.evaluate(coeffs)
+        got = ev.decrypt_to_message(out, kg.secret)
+        assert np.max(np.abs(got - cheb.chebval(u, coeffs))) < 1e-4
+
+    def test_degree_15_ps(self, deep_setup, rng):
+        ring, kg, ev, enc = deep_setup
+        u = rng.uniform(-1, 1, size=8)
+        ct = encrypt_message(kg, enc, u + 0j, SCALE)
+        coeffs = chebyshev_fit(lambda x: np.cos(4 * x), 15)
+        evaluator = ChebyshevEvaluator(ev, ct, degree=15)
+        out = evaluator.evaluate(coeffs)
+        got = ev.decrypt_to_message(out, kg.secret)
+        assert np.max(np.abs(got - np.cos(4 * u))) < 1e-3
+
+    def test_sine_evaluator_end_to_end(self, deep_setup, rng):
+        """sin(2 pi t) for t in [-K, K] via base-cos + double angles."""
+        ring, kg, ev, enc = deep_setup
+        cfg = SineConfig(k_range=4, degree=31, double_angles=1)
+        t = rng.uniform(-3.4, 3.4, size=8)
+        u = t / cfg.k_range
+        ct = encrypt_message(kg, enc, u + 0j, SCALE)
+        out = SineEvaluator(cfg).evaluate(ev, ct)
+        got = ev.decrypt_to_message(out, kg.secret)
+        assert np.max(np.abs(got - np.sin(2 * np.pi * t))) < 5e-2
+
+    def test_rejects_zero_polynomial(self, deep_setup, rng):
+        ring, kg, ev, enc = deep_setup
+        ct = encrypt_message(kg, enc, np.zeros(8) + 0j, SCALE)
+        evaluator = ChebyshevEvaluator(ev, ct, degree=3)
+        with pytest.raises(ValueError):
+            evaluator.evaluate(np.zeros(4))
+
+    def test_rejects_degree_zero(self, deep_setup, rng):
+        ring, kg, ev, enc = deep_setup
+        ct = encrypt_message(kg, enc, np.zeros(8) + 0j, SCALE)
+        with pytest.raises(ValueError):
+            ChebyshevEvaluator(ev, ct, degree=0)

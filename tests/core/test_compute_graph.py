@@ -1,0 +1,132 @@
+"""Tests for the op-to-pipeline cost model (Fig. 3a structure)."""
+
+import pytest
+
+from repro.ckks.params import CkksParams
+from repro.core.compute_graph import OpCostModel, OpScheduler
+from repro.core.config import BtsConfig
+from repro.core.scheduler import Machine
+from repro.workloads.trace import HEOp, OpKind
+
+
+@pytest.fixture(scope="module")
+def cost_ins2():
+    return OpCostModel(CkksParams.ins2(), BtsConfig.paper())
+
+
+class TestSliceGeometry:
+    def test_full_level_slice_count(self, cost_ins2):
+        """beta == dnum at the maximum level."""
+        slices = cost_ins2.slices(39)
+        assert len(slices) == 2
+        assert all(src == 20 for src, _ in slices)
+
+    def test_partial_level(self, cost_ins2):
+        """At level 19 (20 limbs), one alpha=20 slice suffices."""
+        slices = cost_ins2.slices(19)
+        assert len(slices) == 1
+        assert slices[0][0] == 20
+
+    def test_ragged_tail_slice(self, cost_ins2):
+        """Level 24 -> 25 limbs: a 20-limb slice plus a 5-limb tail."""
+        slices = cost_ins2.slices(24)
+        assert [src for src, _ in slices] == [20, 5]
+
+    def test_dst_is_working_complement(self, cost_ins2):
+        for level in (5, 24, 39):
+            working = cost_ins2.params.k + level + 1
+            for src, dst in cost_ins2.slices(level):
+                assert src + dst == working
+
+    def test_sources_cover_level(self, cost_ins2):
+        for level in (0, 7, 39):
+            assert sum(s for s, _ in cost_ins2.slices(level)) == level + 1
+
+
+class TestByteAccounting:
+    def test_ct_bytes_delegates(self, cost_ins2):
+        assert cost_ins2.ct_bytes(10) == \
+            cost_ins2.params.ct_bytes(10)
+
+    def test_plain_bytes_compact(self, cost_ins2):
+        """Compact plaintext storage: one word per coefficient."""
+        assert cost_ins2.plain_bytes(5) == cost_ins2.plain_bytes(39)
+        assert cost_ins2.plain_bytes(5) == cost_ins2.params.n * 8
+
+    def test_limb_bytes(self, cost_ins2):
+        assert cost_ins2.limb_bytes() == (1 << 17) * 8
+
+
+class TestScheduledShapes:
+    def _run(self, params, kind, level, overlap=True):
+        config = BtsConfig.paper() if overlap \
+            else BtsConfig.paper().without_bconv_overlap()
+        cost = OpCostModel(params, config)
+        machine = Machine.create()
+        scheduler = OpScheduler(cost, machine)
+        if kind is OpKind.HMULT:
+            op = HEOp(OpKind.HMULT, level, (0, 1), 2)
+            return scheduler.schedule_keyswitch(op, 0.0, 0.0), machine
+        if kind is OpKind.HROT:
+            op = HEOp(OpKind.HROT, level, (0,), 2, rotation=1)
+            return scheduler.schedule_keyswitch(op, 0.0, 0.0), machine
+        if kind is OpKind.PMULT:
+            op = HEOp(OpKind.PMULT, level, (0,), 2, plain_operand=9)
+            return scheduler.schedule_pmult(op, 0.0), machine
+        raise AssertionError(kind)
+
+    def test_hmult_evk_bytes(self):
+        params = CkksParams.ins1()
+        execution, _ = self._run(params, OpKind.HMULT, 27)
+        assert execution.evk_bytes == params.evk_bytes(27)
+
+    def test_overlap_shortens_op(self):
+        """Fig. 9's BConv/iNTT overlap must help (or at least not hurt)."""
+        params = CkksParams.ins1()
+        config_on = BtsConfig.paper().with_hbm_bandwidth(20e12)
+        config_off = config_on.without_bconv_overlap()
+        t_on = self._with_config(params, config_on)
+        t_off = self._with_config(params, config_off)
+        assert t_on < t_off
+
+    @staticmethod
+    def _with_config(params, config):
+        cost = OpCostModel(params, config)
+        machine = Machine.create()
+        scheduler = OpScheduler(cost, machine)
+        op = HEOp(OpKind.HMULT, params.l, (0, 1), 2)
+        return scheduler.schedule_keyswitch(op, 0.0, 0.0).duration
+
+    def test_hrot_uses_noc(self):
+        params = CkksParams.ins1()
+        _, machine = self._run(params, OpKind.HROT, 27)
+        assert machine.automorphism.busy_time > 0
+
+    def test_hmult_does_not_use_noc_directly(self):
+        params = CkksParams.ins1()
+        _, machine = self._run(params, OpKind.HMULT, 27)
+        assert machine.automorphism.busy_time == 0
+
+    def test_pmult_expands_on_nttu(self):
+        params = CkksParams.ins1()
+        execution, machine = self._run(params, OpKind.PMULT, 27)
+        # 28 limb-epochs of plaintext expansion
+        epochs = machine.ntt.busy_time / (544 / 1.2e9)
+        assert epochs == pytest.approx(28, abs=0.01)
+
+    def test_temp_scales_with_level(self, cost_ins2):
+        assert cost_ins2.keyswitch_temp_bytes(10) < \
+            cost_ins2.keyswitch_temp_bytes(39)
+
+
+class TestAutomorphismRoute:
+    def test_three_step_composition(self):
+        from repro.core.noc import automorphism_route, pe_of_coefficient
+        config = BtsConfig.paper()
+        n = 1 << 17
+        for i in (0, 12345, 99999):
+            src, mid, dst = automorphism_route(i, 3, n, config)
+            assert src == pe_of_coefficient(i, config)
+            # vertical step: x unchanged; horizontal step: y unchanged
+            assert mid[0] == src[0]
+            assert mid[1] == dst[1]

@@ -1,0 +1,71 @@
+"""Tests for the BTS hardware configuration."""
+
+import pytest
+
+from repro.core.config import MIB, BtsConfig
+
+
+class TestValidation:
+    def test_grid_must_match_pe_count(self):
+        with pytest.raises(ValueError):
+            BtsConfig(n_pe=2048, pe_rows=32, pe_cols=32)
+
+    def test_l_sub_positive(self):
+        with pytest.raises(ValueError):
+            BtsConfig(l_sub=0)
+
+    def test_bandwidth_positive(self):
+        with pytest.raises(ValueError):
+            BtsConfig(hbm_bandwidth=0)
+
+
+class TestPaperConfig:
+    def test_defaults_match_section5(self):
+        cfg = BtsConfig.paper()
+        assert cfg.n_pe == 2048
+        assert (cfg.pe_rows, cfg.pe_cols) == (32, 64)
+        assert cfg.freq_hz == 1.2e9
+        assert cfg.scratchpad_bytes == 512 * MIB
+        assert cfg.hbm_bandwidth == 1e12
+        assert cfg.l_sub == 4
+
+    def test_epoch_cycles_n17(self):
+        """Section 5.1: epoch = N log N / (2 n_PE) = 544 cycles at 2^17."""
+        cfg = BtsConfig.paper()
+        assert cfg.epoch_cycles(1 << 17) == pytest.approx(544.0)
+
+    def test_epoch_seconds(self):
+        cfg = BtsConfig.paper()
+        assert cfg.epoch_seconds(1 << 17) == pytest.approx(544 / 1.2e9)
+
+    def test_mmau_throughput(self):
+        cfg = BtsConfig.paper()
+        assert cfg.mmau_macs_per_second() == pytest.approx(
+            2048 * 4 * 1.2e9)
+
+    def test_ew_throughput(self):
+        assert BtsConfig.paper().ew_ops_per_second() == pytest.approx(
+            2048 * 0.6e9)
+
+
+class TestVariants:
+    def test_with_scratchpad(self):
+        cfg = BtsConfig.paper().with_scratchpad(2 << 30)
+        assert cfg.scratchpad_bytes == 2 << 30
+        assert cfg.hbm_bandwidth == 1e12  # untouched
+
+    def test_with_hbm(self):
+        cfg = BtsConfig.paper().with_hbm_bandwidth(2e12)
+        assert cfg.hbm_bandwidth == 2e12
+
+    def test_without_overlap(self):
+        assert not BtsConfig.paper().without_bconv_overlap().bconv_overlap
+
+    def test_small_variant(self):
+        cfg = BtsConfig.small(scratchpad_bytes=230 * MIB)
+        assert not cfg.bconv_overlap
+        assert cfg.scratchpad_bytes == 230 * MIB
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            BtsConfig.paper().n_pe = 4096

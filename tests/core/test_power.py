@@ -1,0 +1,82 @@
+"""Tests for the Table 3 area/power model and EDAP."""
+
+import pytest
+
+from repro.core.config import MIB, BtsConfig
+from repro.core.power import (
+    AreaPowerModel,
+    CHIP_COMPONENTS,
+    PE_COMPONENTS,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaPowerModel(BtsConfig.paper())
+
+
+class TestTable3:
+    def test_pe_area_matches_paper(self, model):
+        """Table 3: one PE is 154,863 um^2 (component sum)."""
+        assert model.pe_area_um2() == pytest.approx(154_864, rel=1e-3)
+
+    def test_pe_power_matches_paper(self, model):
+        """Table 3: one PE peaks at 35.75 mW."""
+        assert model.pe_power_mw() == pytest.approx(35.76, rel=1e-2)
+
+    def test_chip_area_matches_paper(self, model):
+        """Table 3: total 373.6 mm^2."""
+        assert model.chip_area_mm2() == pytest.approx(373.6, rel=5e-3)
+
+    def test_chip_power_matches_paper(self, model):
+        """Table 3: total peak power 163.2 W."""
+        assert model.chip_peak_power_w() == pytest.approx(163.2, rel=5e-3)
+
+    def test_2048_pes_area(self, model):
+        """Table 3: the PE array is 317.2 mm^2."""
+        pes_mm2 = model.pe_area_um2() * 2048 / 1e6
+        assert pes_mm2 == pytest.approx(317.2, rel=1e-2)
+
+    def test_component_tables_complete(self):
+        assert set(PE_COMPONENTS) >= {"scratchpad_sram", "nttu", "mmau"}
+        assert set(CHIP_COMPONENTS) >= {"hbm_stacks", "inter_pe_noc"}
+
+
+class TestScratchpadScaling:
+    def test_area_scales_with_capacity(self):
+        big = AreaPowerModel(BtsConfig.paper().with_scratchpad(1 << 30))
+        small = AreaPowerModel(BtsConfig.paper().with_scratchpad(
+            256 * MIB))
+        assert big.chip_area_mm2() > small.chip_area_mm2()
+
+    def test_non_sram_components_fixed(self):
+        big = AreaPowerModel(BtsConfig.paper().with_scratchpad(1 << 30))
+        assert big.pe_component_table()["nttu"] == PE_COMPONENTS["nttu"]
+
+    def test_baseline_unscaled(self, model):
+        table = model.pe_component_table()
+        assert table["scratchpad_sram"] == PE_COMPONENTS["scratchpad_sram"]
+
+
+class TestEnergy:
+    def test_energy_monotone_in_utilization(self, model):
+        idle = model.energy_joules(1.0, {})
+        busy = model.energy_joules(1.0, {"NTTU": 1.0, "MMAU": 1.0,
+                                         "HBM": 1.0, "EW": 1.0})
+        assert busy > idle > 0
+
+    def test_idle_floor(self, model):
+        """Idle power is a nonzero fraction of peak (leakage)."""
+        idle_power = model.energy_joules(1.0, {})
+        assert idle_power > 0.1 * model.chip_peak_power_w() * 0.5
+
+    def test_energy_linear_in_time(self, model):
+        utils = {"NTTU": 0.5, "HBM": 0.9}
+        assert model.energy_joules(2.0, utils) == pytest.approx(
+            2 * model.energy_joules(1.0, utils))
+
+    def test_edap_composition(self, model):
+        utils = {"NTTU": 0.5}
+        edap = model.edap(2.0, utils)
+        assert edap == pytest.approx(
+            model.energy_joules(2.0, utils) * 2.0 * model.chip_area_mm2())

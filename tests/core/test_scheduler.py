@@ -1,0 +1,99 @@
+"""Tests for resource reservation and the scratchpad profile."""
+
+import pytest
+
+from repro.core.scheduler import Interval, Machine, Resource, \
+    ScratchpadProfile
+
+
+class TestResource:
+    def test_fifo_serialization(self):
+        r = Resource("x")
+        s1, e1 = r.reserve(1.0)
+        s2, e2 = r.reserve(2.0)
+        assert (s1, e1) == (0.0, 1.0)
+        assert (s2, e2) == (1.0, 3.0)
+
+    def test_earliest_respected(self):
+        r = Resource("x")
+        start, end = r.reserve(1.0, earliest=5.0)
+        assert (start, end) == (5.0, 6.0)
+
+    def test_earliest_behind_queue(self):
+        r = Resource("x")
+        r.reserve(4.0)
+        start, _ = r.reserve(1.0, earliest=1.0)
+        assert start == 4.0
+
+    def test_busy_time_accumulates(self):
+        r = Resource("x")
+        r.reserve(1.5)
+        r.reserve(0.5)
+        assert r.busy_time == pytest.approx(2.0)
+
+    def test_zero_duration_no_advance(self):
+        r = Resource("x")
+        r.reserve(0.0, earliest=3.0)
+        assert r.free_at == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Resource("x").reserve(-1.0)
+
+    def test_utilization(self):
+        r = Resource("x")
+        r.reserve(2.0)
+        assert r.utilization(0.0, 4.0) == pytest.approx(0.5)
+        assert r.utilization(0.0, 0.0) == 0.0
+
+    def test_event_logging(self):
+        r = Resource("x", log_events=True)
+        r.reserve(1.0, label="stage-a", payload_bytes=100.0)
+        assert r.events == [Interval("stage-a", 0.0, 1.0, 100.0)]
+        assert r.events[0].duration == pytest.approx(1.0)
+
+    def test_no_logging_by_default(self):
+        r = Resource("x")
+        r.reserve(1.0, label="stage-a")
+        assert r.events == []
+
+
+class TestMachine:
+    def test_all_resources_present(self):
+        m = Machine.create()
+        names = {r.name for r in m.all_resources()}
+        assert names == {"NTTU", "MMAU", "BConv-ModMult", "EW", "HBM",
+                         "NoC-automorphism"}
+
+    def test_horizon(self):
+        m = Machine.create()
+        m.ntt.reserve(1.0)
+        m.hbm.reserve(3.0)
+        assert m.horizon == pytest.approx(3.0)
+
+    def test_utilizations_dict(self):
+        m = Machine.create()
+        m.ntt.reserve(1.0)
+        utils = m.utilizations(0.0, 2.0)
+        assert utils["NTTU"] == pytest.approx(0.5)
+        assert utils["HBM"] == 0.0
+
+
+class TestScratchpadProfile:
+    def test_peak(self):
+        p = ScratchpadProfile()
+        p.allocate(0.0, 100.0)
+        p.allocate(1.0, 50.0)
+        p.release(2.0, 100.0)
+        assert p.peak() == pytest.approx(150.0)
+
+    def test_series_ordering(self):
+        p = ScratchpadProfile()
+        p.allocate(2.0, 10.0)
+        p.allocate(0.0, 5.0)
+        series = p.series()
+        assert [t for t, _ in series] == [0.0, 2.0]
+        assert series[-1][1] == pytest.approx(15.0)
+
+    def test_empty_profile(self):
+        assert ScratchpadProfile().peak() == 0.0

@@ -1,0 +1,112 @@
+"""Tests for the ct cache and scratchpad partitioning."""
+
+import pytest
+
+from repro.core.scratchpad import (
+    CacheStats,
+    CiphertextCache,
+    ScratchpadPartition,
+)
+
+
+class TestCiphertextCache:
+    def test_miss_then_hit(self):
+        cache = CiphertextCache(100.0)
+        assert not cache.access(1, 40.0, "HMult")
+        assert cache.access(1, 40.0, "HMult")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = CiphertextCache(100.0)
+        cache.insert(1, 40.0)
+        cache.insert(2, 40.0)
+        cache.access(1, 40.0, "x")       # 1 becomes MRU
+        cache.insert(3, 40.0)            # evicts 2 (LRU)
+        assert 1 in cache
+        assert 2 not in cache
+        assert 3 in cache
+
+    def test_oversized_object_bypasses(self):
+        cache = CiphertextCache(50.0)
+        cache.insert(1, 40.0)
+        evicted = cache.insert(2, 100.0)
+        assert evicted == 0.0
+        assert 2 not in cache
+        assert 1 in cache  # bypass must not flush the cache
+
+    def test_eviction_bytes_tracked(self):
+        cache = CiphertextCache(100.0)
+        cache.insert(1, 60.0)
+        cache.insert(2, 60.0)
+        assert cache.stats.evicted_bytes == pytest.approx(60.0)
+
+    def test_invalidate(self):
+        cache = CiphertextCache(100.0)
+        cache.insert(1, 40.0)
+        cache.invalidate(1)
+        assert 1 not in cache
+        cache.invalidate(99)  # no-op is fine
+
+    def test_used_bytes(self):
+        cache = CiphertextCache(100.0)
+        cache.insert(1, 30.0)
+        cache.insert(2, 20.0)
+        assert cache.used_bytes == pytest.approx(50.0)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            CiphertextCache(-1.0)
+
+    def test_zero_capacity_never_hits(self):
+        cache = CiphertextCache(0.0)
+        assert not cache.access(1, 10.0, "x")
+        assert not cache.access(1, 10.0, "x")
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        stats = CacheStats()
+        stats.record("HMult", True)
+        stats.record("HMult", True)
+        stats.record("HMult", False)
+        assert stats.hit_rate == pytest.approx(2 / 3)
+        assert stats.hit_rate_for("HMult") == pytest.approx(2 / 3)
+
+    def test_per_kind_isolation(self):
+        stats = CacheStats()
+        stats.record("HMult", True)
+        stats.record("HRot", False)
+        assert stats.hit_rate_for("HMult") == 1.0
+        assert stats.hit_rate_for("HRot") == 0.0
+
+    def test_empty_defaults(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 1.0
+        assert stats.hit_rate_for("nothing") == 1.0
+
+
+class TestPartition:
+    def test_priority_order(self):
+        """Section 6.2: temp first, then evk buffer, ct cache last."""
+        p = ScratchpadPartition.plan(
+            capacity_bytes=512.0, temp_peak_bytes=200.0, evk_bytes=400.0,
+            evk_buffer_fraction=0.25)
+        assert p.temp_bytes == 200.0
+        assert p.evk_buffer_bytes == 100.0
+        assert p.cache_bytes == 212.0
+
+    def test_temp_larger_than_capacity(self):
+        p = ScratchpadPartition.plan(100.0, 300.0, 50.0, 0.5)
+        assert p.temp_bytes == 100.0
+        assert p.evk_buffer_bytes == 0.0
+        assert p.cache_bytes == 0.0
+
+    def test_evk_bounded_by_remainder(self):
+        p = ScratchpadPartition.plan(100.0, 90.0, 1000.0, 0.5)
+        assert p.evk_buffer_bytes == pytest.approx(10.0)
+        assert p.cache_bytes == 0.0
+
+    def test_cache_never_negative(self):
+        p = ScratchpadPartition.plan(10.0, 5.0, 100.0, 1.0)
+        assert p.cache_bytes >= 0.0

@@ -1,0 +1,168 @@
+"""Tests for the trace simulator against the paper's anchor behaviours."""
+
+import pytest
+
+from repro.ckks.params import CkksParams
+from repro.core.config import MIB, BtsConfig
+from repro.core.compute_graph import OpCostModel
+from repro.core.simulator import BtsSimulator
+from repro.workloads.trace import OpKind, Trace
+
+
+@pytest.fixture(scope="module")
+def ins1_sim():
+    return BtsSimulator(CkksParams.ins1(), BtsConfig.paper())
+
+
+def _single_op_trace(kind, level, rotation=0):
+    trace = Trace(name="probe")
+    a = trace.new_ct()
+    b = trace.new_ct()
+    if kind is OpKind.HMULT:
+        trace.hmult(a, b, level)
+    elif kind is OpKind.HROT:
+        trace.hrot(a, rotation or 1, level)
+    elif kind is OpKind.HADD:
+        trace.hadd(a, b, level)
+    elif kind is OpKind.HRESCALE:
+        trace.hrescale(a, level)
+    return trace
+
+
+class TestSteadyStateHMult:
+    def test_evk_load_bound_ins1(self, ins1_sim):
+        """Section 3.3: HMult at L is bounded by the 117us evk stream."""
+        t = ins1_sim.hmult_time()
+        evk = CkksParams.ins1().evk_bytes(27) / 1e12
+        assert t == pytest.approx(evk, rel=0.05)
+
+    @pytest.mark.parametrize("params", CkksParams.paper_instances(),
+                             ids=lambda p: p.name)
+    def test_all_instances_near_evk_bound(self, params):
+        sim = BtsSimulator(params)
+        t = sim.hmult_time()
+        evk = params.evk_bytes(params.l) / 1e12
+        assert evk <= t <= evk * 1.25
+
+    def test_lower_level_is_faster(self, ins1_sim):
+        assert ins1_sim.hmult_time(level=5) < ins1_sim.hmult_time(level=27)
+
+    def test_compute_bound_with_fast_memory(self):
+        """With 10TB/s HBM the op becomes compute-bound (> evk time)."""
+        params = CkksParams.ins1()
+        sim = BtsSimulator(params,
+                           BtsConfig.paper().with_hbm_bandwidth(10e12))
+        t = sim.hmult_time()
+        evk = params.evk_bytes(params.l) / 10e12
+        assert t > evk * 1.5
+
+
+class TestOpKinds:
+    def test_hadd_much_cheaper_than_hmult(self, ins1_sim):
+        """Section 6.3: non-evk ops run >10x faster than HMult/HRot
+        (the on-chip/off-chip bandwidth ratio)."""
+        add = ins1_sim.run(_single_op_trace(OpKind.HADD, 27))
+        mult = ins1_sim.run(_single_op_trace(OpKind.HMULT, 27))
+        add_t = add.op_seconds["HAdd"]
+        mult_t = mult.op_seconds["HMult"]
+        assert add_t < mult_t / 10
+
+    def test_hrot_costs_like_hmult(self, ins1_sim):
+        rot = ins1_sim.run(_single_op_trace(OpKind.HROT, 27))
+        mult = ins1_sim.run(_single_op_trace(OpKind.HMULT, 27))
+        ratio = rot.op_seconds["HRot"] / mult.op_seconds["HMult"]
+        assert 0.8 < ratio < 1.2
+
+    def test_rescale_has_no_evk(self, ins1_sim):
+        rep = ins1_sim.run(_single_op_trace(OpKind.HRESCALE, 27))
+        assert rep.evk_bytes == 0.0
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hits(self, ins1_sim):
+        trace = Trace(name="reuse")
+        a, b = trace.new_ct(), trace.new_ct()
+        c = trace.hmult(a, b, 20)
+        trace.hmult(c, a, 20)
+        trace.hmult(c, a, 20)
+        rep = ins1_sim.run(trace)
+        assert rep.cache.misses == 2          # a and b, cold
+        assert rep.cache.hits >= 3            # c and a reused
+
+    def test_tiny_scratchpad_thrashes(self):
+        params = CkksParams.ins1()
+        big = BtsSimulator(params, BtsConfig.paper())
+        small = BtsSimulator(
+            params, BtsConfig.paper().with_scratchpad(260 * MIB))
+        trace_a = _chain_trace(12)
+        trace_b = _chain_trace(12)
+        rep_big = big.run(trace_a)
+        rep_small = small.run(trace_b)
+        assert rep_small.cache.hit_rate <= rep_big.cache.hit_rate
+        assert rep_small.total_seconds >= rep_big.total_seconds
+
+    def test_partition_reports(self, ins1_sim):
+        part = ins1_sim.plan_partition()
+        assert part.temp_bytes > 0
+        assert part.cache_bytes > 0
+        assert part.capacity_bytes == 512 * MIB
+
+
+def _chain_trace(length):
+    trace = Trace(name="chain")
+    ct = trace.new_ct()
+    other = trace.new_ct()
+    for i in range(length):
+        ct = trace.hmult(ct, other, 27)
+        # keep `other` live so it stays cacheable
+        trace.hadd(ct, other, 27)
+    return trace
+
+
+class TestTempDataModel:
+    def test_table4_ordering(self):
+        """Temp data must order INS-1 < INS-2 < INS-3 (Table 4)."""
+        temps = [OpCostModel(p, BtsConfig.paper())
+                 .keyswitch_temp_bytes(p.l)
+                 for p in CkksParams.paper_instances()]
+        assert temps[0] < temps[1] < temps[2]
+
+    def test_table4_magnitudes(self):
+        """Within ~25% of the paper's 183 / 304 / 365 MB."""
+        paper = [183.0, 304.0, 365.0]
+        for params, want in zip(CkksParams.paper_instances(), paper):
+            got = OpCostModel(params, BtsConfig.paper()) \
+                .keyswitch_temp_bytes(params.l) / MIB
+            assert abs(got - want) / want < 0.25
+
+
+class TestUtilization:
+    def test_hbm_saturates_on_keyswitch_stream(self, ins1_sim):
+        trace = _chain_trace(20)
+        rep = ins1_sim.run(trace)
+        assert rep.utilization["HBM"] > 0.9
+
+    def test_nttu_utilization_during_hmult(self, ins1_sim):
+        """Fig. 8: NTTU busy ~76% of an HMult; allow a generous band."""
+        trace = _chain_trace(20)
+        rep = ins1_sim.run(trace)
+        assert 0.4 < rep.utilization["NTTU"] < 0.95
+
+
+class TestReports:
+    def test_op_accounting(self, ins1_sim):
+        trace = _chain_trace(5)
+        rep = ins1_sim.run(trace)
+        assert rep.op_counts["HMult"] == 5
+        assert rep.op_counts["HAdd"] == 5
+        assert rep.total_seconds > 0
+
+    def test_executions_recorded(self, ins1_sim):
+        rep = ins1_sim.run(_chain_trace(3))
+        assert len(rep.executions) == 6
+        assert all(e.end >= e.start for e in rep.executions)
+
+    def test_event_logging_mode(self, ins1_sim):
+        rep = ins1_sim.run(_single_op_trace(OpKind.HMULT, 27),
+                           log_events=True)
+        assert rep.total_seconds > 0

@@ -1,0 +1,153 @@
+"""Tests for the NTTU / BConvU / PE / HBM / NoC functional-unit models."""
+
+import pytest
+
+from repro.ckks.params import CkksParams
+from repro.core.bconv_unit import BconvUnitModel
+from repro.core.config import BtsConfig
+from repro.core.hbm import HbmModel
+from repro.core.noc import (
+    BroadcastModel,
+    PePeNocModel,
+    automorphism_is_permutation,
+    pe_of_coefficient,
+)
+from repro.core.ntt_unit import Ntt3dPlan, NttUnitModel
+from repro.core.pe import ElementwiseModel, PeInventory
+
+N17 = 1 << 17
+CFG = BtsConfig.paper()
+
+
+class TestNtt3dPlan:
+    def test_paper_split(self):
+        """Section 4.3: the cube is 2^6 x 2^5 x 2^6."""
+        plan = Ntt3dPlan.for_ring(N17, CFG)
+        assert (plan.nx, plan.ny, plan.nz) == (64, 32, 64)
+
+    def test_butterflies_conserved(self):
+        """3D decomposition covers exactly (N/2) log N butterflies."""
+        plan = Ntt3dPlan.for_ring(N17, CFG)
+        assert plan.butterflies_total() == (N17 // 2) * 17
+
+    def test_rejects_small_ring(self):
+        with pytest.raises(ValueError):
+            Ntt3dPlan.for_ring(1 << 10, CFG)
+
+    def test_six_stages_inside_pe(self):
+        """N/n_PE = 64 residues per PE: log2(64) = 6 local stages."""
+        plan = Ntt3dPlan.for_ring(N17, CFG)
+        assert plan.nz == 64
+
+    def test_exchange_bytes(self):
+        plan = Ntt3dPlan.for_ring(N17, CFG)
+        assert plan.exchange_bytes_per_step() == N17 * 8
+
+
+class TestNttUnitModel:
+    def test_epoch_time(self):
+        model = NttUnitModel(CFG, N17)
+        assert model.epoch_seconds == pytest.approx(544 / 1.2e9)
+
+    def test_transform_scales_with_limbs(self):
+        model = NttUnitModel(CFG, N17)
+        assert model.transform_time(28) == pytest.approx(
+            28 * model.epoch_seconds)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            NttUnitModel(CFG, N17).transform_time(-1)
+
+
+class TestBconvUnitModel:
+    def test_mac_count(self):
+        model = BconvUnitModel(CFG, N17)
+        assert model.macs(28, 28) == 28 * 28 * N17
+
+    def test_mmau_time_ins1(self):
+        """INS-1 full BConv ~ 28x28 MACs over 8192 lanes: ~12.5 kcycles."""
+        model = BconvUnitModel(CFG, N17)
+        t = model.mmau_time(28, 28)
+        cycles = t * CFG.freq_hz
+        assert cycles == pytest.approx(28 * 28 * N17 / 8192)
+
+    def test_overlap_offset(self):
+        model = BconvUnitModel(CFG, N17)
+        epoch = 1e-6
+        assert model.overlap_start_offset(28, epoch) == pytest.approx(
+            4e-6)
+
+    def test_no_overlap_waits_for_full_intt(self):
+        cfg = CFG.without_bconv_overlap()
+        model = BconvUnitModel(cfg, N17)
+        assert model.overlap_start_offset(28, 1e-6) == pytest.approx(28e-6)
+
+    def test_partial_sum_traffic(self):
+        model = BconvUnitModel(CFG, N17)
+        # 28 sources in groups of 4 -> 7 reload rounds of the k-limb sums
+        traffic = model.partial_sum_traffic_bytes(28, 28)
+        assert traffic == 2 * 7 * 28 * N17 * 8
+
+
+class TestElementwise:
+    def test_time_linear_in_work(self):
+        model = ElementwiseModel(CFG, N17)
+        assert model.time(10, 2.0) == pytest.approx(2 * model.time(10, 1.0))
+
+    def test_pe_inventory(self):
+        inv = PeInventory.from_config(CFG)
+        assert inv.scratchpad_bytes_per_pe == 512 * (1 << 20) // 2048
+
+
+class TestHbm:
+    def test_evk_load_time_ins1(self):
+        """INS-1 evk at max level: 112MiB / 1TB/s ~ 117.4 us."""
+        model = HbmModel(CFG)
+        t = model.evk_load_time(CkksParams.ins1(), 27)
+        assert t == pytest.approx(117.44e-6, rel=1e-3)
+
+    def test_chunks_sum_to_evk(self):
+        model = HbmModel(CFG)
+        params = CkksParams.ins2()
+        chunks = model.evk_chunks(params, params.l)
+        assert sum(c.nbytes for c in chunks) == params.evk_bytes(params.l)
+        assert [c.label for c in chunks] == [
+            "evk.bx.P", "evk.bx.Q", "evk.ax.P", "evk.ax.Q"]
+
+    def test_rejects_negative_transfer(self):
+        with pytest.raises(ValueError):
+            HbmModel(CFG).transfer_time(-1)
+
+
+class TestNoc:
+    def test_coefficient_mapping(self):
+        assert pe_of_coefficient(0, CFG) == (0, 0)
+        assert pe_of_coefficient(63, CFG) == (63, 0)
+        assert pe_of_coefficient(64, CFG) == (0, 1)
+        assert pe_of_coefficient(2048, CFG) == (0, 0)  # z-axis wraps
+
+    @pytest.mark.parametrize("rotation", [1, 2, 5, 100])
+    def test_automorphism_permutation_property(self, rotation):
+        """Section 5.5: all residues of a PE share one destination PE."""
+        assert automorphism_is_permutation(1 << 13, rotation,
+                                           BtsConfig(n_pe=64, pe_rows=8,
+                                                     pe_cols=8))
+
+    def test_exchange_fits_epoch(self):
+        """Section 5.1's pipelining needs transpose <= epoch."""
+        assert PePeNocModel(CFG, N17).exchange_fits_epoch()
+
+    def test_automorphism_time_scales(self):
+        noc = PePeNocModel(CFG, N17)
+        assert noc.automorphism_time(20) == pytest.approx(
+            2 * noc.automorphism_time(10))
+
+    def test_ot_twiddle_savings(self):
+        """On-the-fly twiddling cuts storage to ~2/m of naive [52]."""
+        br = BroadcastModel(CFG, N17)
+        naive = br.naive_twiddle_bytes(28)
+        ot = br.ot_twiddle_bytes(28)
+        assert ot < naive / 100
+
+    def test_local_bru_count(self):
+        assert BroadcastModel(CFG, N17).local_brus() == 128

@@ -1,0 +1,127 @@
+"""Integration: the headline paper results the repository must reproduce.
+
+Each test pins one claim of the BTS paper to this reconstruction, with
+tolerances documented per case (see EXPERIMENTS.md for the full ledger).
+"""
+
+import pytest
+
+from repro.analysis.bounds import min_bound_tmult_a_slot
+from repro.baselines.cpu_lattigo import LattigoCpuModel
+from repro.ckks.params import CkksParams
+from repro.core.config import BtsConfig
+from repro.core.power import AreaPowerModel
+from repro.core.simulator import BtsSimulator
+from repro.workloads.microbench import amortized_mult_workload
+
+
+@pytest.fixture(scope="module")
+def bts_tmult():
+    """Measured T_mult,a/slot for all instances at 512MB."""
+    out = {}
+    for params in CkksParams.paper_instances():
+        wl = amortized_mult_workload(params, repeats=3)
+        rep = BtsSimulator(params).run(wl.trace)
+        out[params.name] = wl.tmult_a_slot(rep.total_seconds)
+    return out
+
+
+class TestHeadlineSpeedups:
+    def test_speedup_vs_cpu_is_thousands(self, bts_tmult):
+        """Abstract: 2,237x multiplicative-throughput gain vs Lattigo."""
+        cpu = LattigoCpuModel().tmult_a_slot()
+        best = min(bts_tmult.values())
+        speedup = cpu / best
+        assert 1_000 < speedup < 4_000
+
+    def test_best_instance_tmult_band(self, bts_tmult):
+        """Section 6.3: best T_mult,a/slot is 45.5 ns (ours within 25%)."""
+        best = min(bts_tmult.values())
+        assert best == pytest.approx(45.5e-9, rel=0.25)
+
+    def test_mult_throughput_tens_of_millions(self, bts_tmult):
+        """Table 1: BTS achieves ~20M FHE mults/s per slot."""
+        best = min(bts_tmult.values())
+        assert 10e6 < 1.0 / best < 40e6
+
+
+class TestFig7a:
+    def test_512mb_above_min_bound(self, bts_tmult):
+        for params in CkksParams.paper_instances():
+            bound = min_bound_tmult_a_slot(params).tmult_a_slot
+            assert bts_tmult[params.name] > bound
+
+    def test_2gb_approaches_min_bound(self):
+        """Fig. 7a: with 2GB, measured ~ the minimum bound."""
+        for params in CkksParams.paper_instances():
+            wl = amortized_mult_workload(params, repeats=3)
+            sim = BtsSimulator(params,
+                               BtsConfig.paper().with_scratchpad(2 << 30))
+            got = wl.tmult_a_slot(sim.run(wl.trace).total_seconds)
+            bound = min_bound_tmult_a_slot(params).tmult_a_slot
+            assert got / bound < 1.6
+
+    def test_ins3_worst_at_512mb(self, bts_tmult):
+        """INS-3's larger temp data starves its ct cache (Section 6.3)."""
+        assert bts_tmult["INS-3"] == max(bts_tmult.values())
+
+
+class TestPhysicalDesign:
+    def test_chip_area(self):
+        """Abstract: 373.6 mm^2."""
+        model = AreaPowerModel(BtsConfig.paper())
+        assert model.chip_area_mm2() == pytest.approx(373.6, rel=0.005)
+
+    def test_peak_power(self):
+        """Abstract: up to 163.2 W."""
+        model = AreaPowerModel(BtsConfig.paper())
+        assert model.chip_peak_power_w() == pytest.approx(163.2, rel=0.005)
+
+
+class TestFig9AblationShape:
+    def test_each_feature_helps(self):
+        """Fig. 9: instance change, scratchpad, overlap each add speedup."""
+        from repro.core.config import MIB
+
+        lattigo_like = CkksParams.lattigo_like()
+        ins1 = CkksParams.ins1()
+
+        def measured(params, config):
+            wl = amortized_mult_workload(params, repeats=2)
+            rep = BtsSimulator(params, config).run(wl.trace)
+            return wl.tmult_a_slot(rep.total_seconds)
+
+        small = BtsConfig.small(scratchpad_bytes=230 * MIB)
+        t_small = measured(lattigo_like, small)
+        t_ins1_small = measured(ins1, BtsConfig.small(380 * MIB))
+        t_ins1_512 = measured(ins1, BtsConfig.paper()
+                              .without_bconv_overlap())
+        t_ins1_full = measured(ins1, BtsConfig.paper())
+        t_ins1_2tb = measured(ins1, BtsConfig.paper()
+                              .with_hbm_bandwidth(2e12))
+        assert t_small > t_ins1_small > t_ins1_512 >= t_ins1_full \
+            > t_ins1_2tb
+
+
+class TestFig10Shape:
+    def test_bootstrap_time_saturates_with_scratchpad(self):
+        """Fig. 10: bigger scratchpad helps, then saturates."""
+        from repro.core.config import MIB
+        from repro.workloads.bootstrap_trace import BootstrapTraceBuilder
+        from repro.workloads.trace import Trace
+
+        params = CkksParams.ins1()
+        times = []
+        for mib in (256, 512, 1024):
+            trace = Trace(name="boot")
+            builder = BootstrapTraceBuilder(params)
+            ct = trace.new_ct()
+            for _ in range(2):
+                ct = builder.emit(trace, ct)
+            sim = BtsSimulator(params,
+                               BtsConfig.paper().with_scratchpad(mib * MIB))
+            times.append(sim.run(trace).total_seconds)
+        assert times[0] >= times[1] >= times[2]
+        gain_small = times[0] - times[1]
+        gain_large = times[1] - times[2]
+        assert gain_small >= gain_large

@@ -1,0 +1,23 @@
+"""Shared lazily-built ring for property tests (hypothesis-safe cache)."""
+
+from __future__ import annotations
+
+_CACHE: list = []
+
+
+def shared_setup():
+    """(ring, keygen, evaluator, encoder) on a tiny N=64 ring."""
+    if not _CACHE:
+        from repro.ckks.encoder import Encoder
+        from repro.ckks.evaluator import Evaluator
+        from repro.ckks.keys import KeyGenerator
+        from repro.ckks.params import CkksParams, RingContext
+
+        params = CkksParams.functional(n=1 << 6, l=7, dnum=2,
+                                       scale_bits=40, q0_bits=45,
+                                       p_bits=45, h=8)
+        ring = RingContext(params)
+        kg = KeyGenerator(ring, seed=99)
+        ev = Evaluator(ring, relin_key=kg.gen_relinearization_key())
+        _CACHE.append((ring, kg, ev, Encoder(ring)))
+    return _CACHE[0]

@@ -1,0 +1,165 @@
+"""Hypothesis property tests on cross-module invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import min_nttu
+from repro.analysis.complexity import hmult_complexity
+from repro.analysis.parameters import log_pq_of
+from repro.analysis.security import security_level
+from repro.ckks.params import CkksParams
+from repro.core.config import BtsConfig
+from repro.core.scheduler import Resource
+from repro.core.scratchpad import CiphertextCache
+
+
+# ---- parameter-space invariants ------------------------------------------------
+
+@st.composite
+def instances(draw):
+    n = 1 << draw(st.integers(min_value=14, max_value=18))
+    l = draw(st.integers(min_value=2, max_value=60))
+    dnum = draw(st.integers(min_value=1, max_value=min(8, l + 1)))
+    return CkksParams(n=n, l=l, dnum=dnum)
+
+
+class TestParameterInvariants:
+    @given(instances())
+    @settings(max_examples=100, deadline=None)
+    def test_k_covers_decomposition(self, params):
+        """k special primes must cover the largest decomposition block."""
+        assert params.k * params.dnum >= params.l + 1
+        assert params.k >= 1
+
+    @given(instances())
+    @settings(max_examples=100, deadline=None)
+    def test_evk_grows_with_level(self, params):
+        sizes = [params.evk_bytes(lv) for lv in range(params.l + 1)]
+        assert sizes == sorted(sizes)
+
+    @given(instances())
+    @settings(max_examples=100, deadline=None)
+    def test_ct_smaller_than_evk(self, params):
+        """An evk (dnum pairs over the wider base) dominates a ct."""
+        assert params.evk_bytes(params.l) > params.ct_bytes(params.l)
+
+    @given(instances())
+    @settings(max_examples=100, deadline=None)
+    def test_log_pq_consistent(self, params):
+        assert params.log_pq == log_pq_of(
+            params.l, params.dnum, params.scale_bits, params.q0_bits,
+            params.p_bits)
+
+    @given(instances())
+    @settings(max_examples=50, deadline=None)
+    def test_security_positive_and_monotone(self, params):
+        lam = security_level(params.n, params.log_pq)
+        assert lam > 0
+        assert security_level(params.n * 2, params.log_pq) > lam
+
+
+class TestComplexityInvariants:
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_shares_normalized(self, params):
+        shares = hmult_complexity(params).shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert all(0 <= v <= 1 for v in shares.values())
+
+    @given(instances(), st.integers(min_value=0, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_level(self, params, lo):
+        lo = min(lo, params.l - 1)
+        assert hmult_complexity(params, lo).total <= \
+            hmult_complexity(params, params.l).total
+
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_min_nttu_positive(self, params):
+        assert min_nttu(params) > 0
+
+
+# ---- scheduler invariants ---------------------------------------------------------
+
+class TestResourceInvariants:
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=10),    # duration
+        st.floats(min_value=0, max_value=50)),   # earliest
+        min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_no_overlap_and_fifo(self, jobs):
+        r = Resource("x", log_events=True)
+        for duration, earliest in jobs:
+            r.reserve(duration + 1e-9, earliest=earliest)
+        events = sorted(r.events, key=lambda e: e.start)
+        for a, b in zip(events, events[1:]):
+            assert b.start >= a.end - 1e-12
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=5),
+                    min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_busy_time_is_sum(self, durations):
+        r = Resource("x")
+        for d in durations:
+            r.reserve(d)
+        assert r.busy_time == pytest.approx(sum(durations))
+
+
+class TestCacheInvariants:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=20),
+                              st.integers(min_value=1, max_value=40)),
+                    min_size=1, max_size=200),
+           st.integers(min_value=10, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_never_exceeded(self, accesses, capacity):
+        cache = CiphertextCache(float(capacity))
+        for ct_id, size in accesses:
+            cache.access(ct_id, float(size), "x")
+            assert cache.used_bytes <= capacity
+
+    @given(st.lists(st.integers(min_value=0, max_value=5),
+                    min_size=2, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_repeat_access_hits_when_fits(self, ids):
+        """With capacity for everything, only compulsory misses occur."""
+        cache = CiphertextCache(1e9)
+        for ct_id in ids:
+            cache.access(ct_id, 10.0, "x")
+        assert cache.stats.misses == len(set(ids))
+
+
+# ---- functional-plane invariants ----------------------------------------------------
+
+class TestCiphertextInvariants:
+    @given(st.integers(min_value=0, max_value=2**32),
+           st.integers(min_value=1, max_value=7))
+    @settings(max_examples=30, deadline=None)
+    def test_add_then_sub_identity(self, seed, level):
+        from tests.property._shared import shared_setup
+        ring, kg, ev, enc = shared_setup()
+        level = min(level, ring.max_level)
+        rng = np.random.default_rng(seed)
+        z = rng.normal(size=4)
+        pt = enc.encode(z, 2.0 ** 40, level=level)
+        ct = kg.encrypt_symmetric(pt.poly, pt.scale, 4)
+        other = kg.encrypt_symmetric(pt.poly, pt.scale, 4)
+        roundtrip = ev.sub(ev.add(ct, other), other)
+        got = ev.decrypt_to_message(roundtrip, kg.secret)
+        assert np.max(np.abs(got - z)) < 1e-6
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_mult_commutative(self, seed):
+        from tests.property._shared import shared_setup
+        ring, kg, ev, enc = shared_setup()
+        rng = np.random.default_rng(seed)
+        z0, z1 = rng.normal(size=(2, 4))
+        ct0 = kg.encrypt_symmetric(enc.encode(z0, 2.0 ** 40).poly,
+                                   2.0 ** 40, 4)
+        ct1 = kg.encrypt_symmetric(enc.encode(z1, 2.0 ** 40).poly,
+                                   2.0 ** 40, 4)
+        ab = ev.decrypt_to_message(ev.multiply(ct0, ct1), kg.secret)
+        ba = ev.decrypt_to_message(ev.multiply(ct1, ct0), kg.secret)
+        assert np.max(np.abs(ab - ba)) < 1e-6

@@ -1,0 +1,213 @@
+"""Tests for the trace IR and all workload generators."""
+
+import pytest
+
+from repro.ckks.params import CkksParams
+from repro.workloads.bootstrap_trace import BootstrapPhases, \
+    BootstrapTraceBuilder
+from repro.workloads.helr import HelrConfig, build_helr_trace
+from repro.workloads.microbench import amortized_mult_workload
+from repro.workloads.resnet import build_resnet_trace
+from repro.workloads.sorting import build_sorting_trace
+from repro.workloads.trace import HEOp, OpKind, Trace
+
+
+class TestTraceIR:
+    def test_ct_ids_unique(self):
+        trace = Trace(name="t")
+        ids = [trace.new_ct() for _ in range(100)]
+        assert len(set(ids)) == 100
+
+    def test_pt_ids_disjoint_from_ct(self):
+        trace = Trace(name="t")
+        cts = {trace.new_ct() for _ in range(10)}
+        pts = {trace.new_pt() for _ in range(10)}
+        assert not cts & pts
+
+    def test_builders_record_ops(self):
+        trace = Trace(name="t")
+        a, b = trace.new_ct(), trace.new_ct()
+        c = trace.hmult(a, b, 5)
+        d = trace.hrot(c, 3, 5)
+        trace.hadd(c, d, 5)
+        assert trace.count(OpKind.HMULT) == 1
+        assert trace.count(OpKind.HROT) == 1
+        assert trace.keyswitch_count() == 2
+
+    def test_hrot_zero_rejected(self):
+        with pytest.raises(ValueError):
+            HEOp(OpKind.HROT, 3, (0,), 1, rotation=0)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            HEOp(OpKind.HADD, -1, (0, 1), 2)
+
+    def test_distinct_rotations(self):
+        trace = Trace(name="t")
+        a = trace.new_ct()
+        for r in (1, 2, 2, 7):
+            a = trace.hrot(a, r, 4)
+        assert trace.distinct_rotations() == {1, 2, 7}
+
+    def test_needs_evk_flags(self):
+        assert OpKind.HMULT.needs_evk
+        assert OpKind.HROT.needs_evk
+        assert OpKind.HCONJ.needs_evk
+        assert not OpKind.HADD.needs_evk
+        assert not OpKind.PMULT.needs_evk
+
+
+class TestBootstrapTrace:
+    def test_lboot_is_19(self):
+        """The paper's bootstrapping consumes 19 levels."""
+        assert BootstrapPhases().total_levels == 19
+
+    def test_level_accounting(self):
+        params = CkksParams.ins1()
+        builder = BootstrapTraceBuilder(params)
+        trace = Trace(name="b")
+        builder.emit(trace, trace.new_ct())
+        assert builder.output_level == params.l - 19
+
+    def test_op_mix_anchors(self):
+        """Paper Section 3.3: >40 distinct rotation evks, 100s of ops,
+        HMult+HRot the dominant kinds."""
+        params = CkksParams.ins1()
+        builder = BootstrapTraceBuilder(params)
+        trace = Trace(name="b")
+        builder.emit(trace, trace.new_ct())
+        assert len(trace.distinct_rotations()) > 40
+        assert len(trace.ops) > 200
+        assert trace.keyswitch_count() > 80
+
+    def test_op_levels_descend_through_phases(self):
+        params = CkksParams.ins2()
+        builder = BootstrapTraceBuilder(params)
+        trace = Trace(name="b")
+        builder.emit(trace, trace.new_ct())
+        cts_levels = [op.level for op in trace.ops
+                      if op.phase.startswith("boot.cts")]
+        stc_levels = [op.level for op in trace.ops
+                      if op.phase.startswith("boot.stc")]
+        assert min(cts_levels) > max(stc_levels)
+
+    def test_diagonals_stable_across_invocations(self):
+        params = CkksParams.ins1()
+        builder = BootstrapTraceBuilder(params)
+        trace = Trace(name="b")
+        builder.emit(trace, trace.new_ct())
+        first = {op.plain_operand for op in trace.ops
+                 if op.kind is OpKind.PMULT}
+        start = len(trace.ops)
+        builder.emit(trace, trace.new_ct())
+        second = {op.plain_operand for op in trace.ops[start:]
+                  if op.kind is OpKind.PMULT}
+        assert first == second
+
+    def test_sparse_packing_is_cheaper(self):
+        params = CkksParams.ins1()
+        full = Trace(name="f")
+        BootstrapTraceBuilder(params).emit(full, full.new_ct())
+        sparse = Trace(name="s")
+        BootstrapTraceBuilder(params, n_slots=256).emit(
+            sparse, sparse.new_ct())
+        assert sparse.keyswitch_count() < full.keyswitch_count()
+        assert len(sparse.ops) < len(full.ops)
+
+    def test_sparse_emits_subsum(self):
+        params = CkksParams.ins1()
+        trace = Trace(name="s")
+        BootstrapTraceBuilder(params, n_slots=256).emit(
+            trace, trace.new_ct())
+        assert any(op.phase == "boot.subsum" for op in trace.ops)
+
+    def test_rejects_shallow_instance(self):
+        with pytest.raises(ValueError):
+            BootstrapTraceBuilder(CkksParams(n=1 << 17, l=10, dnum=1))
+
+
+class TestMicrobench:
+    def test_structure(self):
+        wl = amortized_mult_workload(CkksParams.ins1())
+        assert wl.usable_levels == 8
+        assert wl.trace.bootstrap_count() == 1
+        assert wl.trace.count(OpKind.HMULT) >= 8 + 36  # chain + sine
+
+    def test_eq8_scaling(self):
+        wl = amortized_mult_workload(CkksParams.ins1())
+        assert wl.tmult_a_slot(1.0) == pytest.approx(
+            1.0 / 8 * 2 / (1 << 17))
+
+    def test_repeats(self):
+        wl = amortized_mult_workload(CkksParams.ins1(), repeats=3)
+        assert wl.trace.bootstrap_count() == 3
+        assert wl.usable_levels == 24
+
+
+class TestHelr:
+    def test_iteration_count(self):
+        wl = build_helr_trace(CkksParams.ins2())
+        assert wl.config.iterations == 30
+
+    def test_bootstrap_frequency_tracks_levels(self):
+        """Fewer usable levels -> more bootstraps (INS-1 vs INS-2)."""
+        b1 = build_helr_trace(CkksParams.ins1()).bootstrap_count
+        b2 = build_helr_trace(CkksParams.ins2()).bootstrap_count
+        b3 = build_helr_trace(CkksParams.ins3()).bootstrap_count
+        assert b1 > b2 > b3
+
+    def test_bootstraps_come_in_pairs(self):
+        """Weights and momentum refresh together."""
+        wl = build_helr_trace(CkksParams.ins1())
+        assert wl.bootstrap_count % 2 == 0
+
+    def test_rejects_shallow(self):
+        # L=24 leaves only 5 usable levels; the iteration needs 6.
+        with pytest.raises(ValueError):
+            build_helr_trace(CkksParams(n=1 << 17, l=24, dnum=1))
+
+
+class TestResnet:
+    def test_bootstrap_counts_near_paper(self):
+        """Table 6: 53 / 22 / 19 bootstraps for INS-1/2/3."""
+        paper = {"INS-1": 53, "INS-2": 22, "INS-3": 19}
+        for params in CkksParams.paper_instances():
+            got = build_resnet_trace(params).bootstrap_count
+            want = paper[params.name]
+            assert abs(got - want) / want < 0.35
+
+    def test_ordering(self):
+        counts = [build_resnet_trace(p).bootstrap_count
+                  for p in CkksParams.paper_instances()]
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_has_conv_and_relu_phases(self):
+        wl = build_resnet_trace(CkksParams.ins2())
+        phases = {op.phase for op in wl.trace.ops}
+        assert any(p.startswith("app.stage") for p in phases)
+        assert "app.relu" in phases
+        assert "app.fc" in phases
+
+
+class TestSorting:
+    def test_stage_count(self):
+        """log(n)(log(n)+1)/2 = 105 compare-exchange stages at 2^14."""
+        wl = build_sorting_trace(CkksParams.ins1())
+        assert wl.stages == 105
+
+    def test_bootstrap_counts_near_paper(self):
+        """Table 6: 521 / 306 / 229 bootstraps for INS-1/2/3."""
+        paper = {"INS-1": 521, "INS-2": 306, "INS-3": 229}
+        for params in CkksParams.paper_instances():
+            got = build_sorting_trace(params).bootstrap_count
+            want = paper[params.name]
+            assert abs(got - want) / want < 0.35
+
+    def test_ordering(self):
+        counts = [build_sorting_trace(p).bootstrap_count
+                  for p in CkksParams.paper_instances()]
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_rejects_shallow(self):
+        with pytest.raises(ValueError):
+            build_sorting_trace(CkksParams(n=1 << 17, l=25, dnum=1))
