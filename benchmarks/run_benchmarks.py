@@ -1,0 +1,189 @@
+"""Machine-readable wall-clock benchmarks of the functional CKKS hot paths.
+
+Times the limb-batched kernel engine (NTT, HMult, HRot, small bootstrap)
+and writes ``BENCH_functional.json`` mapping kernel -> median seconds, so
+every future PR has a perf trajectory to regress against::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke   # CI
+
+The parameters mirror ``bench_functional_ckks.py``: HMult/HRot run at
+N=2^11, L=10, dnum=2; the bootstrap runs the library's deepest path at
+N=2^9.  ``--smoke`` cuts repetitions and skips the bootstrap so the run
+finishes in seconds on CI runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+#: Seed (pre-limb-batching) medians, measured on the reference container
+#: right before the batched kernel engine landed — the "before" half of
+#: the perf trajectory.  Kernel -> median seconds.
+SEED_BASELINE = {
+    "ntt_forward_single_limb": 0.000639,
+    "ntt_inverse_single_limb": 0.000654,
+    "ntt_forward_batched": 0.010607,   # per-limb loop over the 17-limb base
+    "ntt_inverse_batched": 0.011019,
+    # The seed evaluator had no squaring shortcut, so one measurement
+    # covers both the generic and the square HMult form.
+    "hmult": 0.123646,
+    "hmult_square": 0.123646,
+    "rotate": 0.128291,
+    "bootstrap_small": 3.879805,
+}
+
+
+def _median_seconds(fn, reps: int, warmup: int = 1) -> float:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def build_hmult_fixture():
+    from repro.ckks.encoder import Encoder
+    from repro.ckks.evaluator import Evaluator
+    from repro.ckks.keys import KeyGenerator
+    from repro.ckks.params import CkksParams, RingContext
+
+    params = CkksParams.functional(n=1 << 11, l=10, dnum=2, scale_bits=40,
+                                   q0_bits=50, p_bits=50, h=64)
+    ring = RingContext(params)
+    kg = KeyGenerator(ring, seed=1)
+    ev = Evaluator(ring, relin_key=kg.gen_relinearization_key(),
+                   rotation_keys={1: kg.gen_rotation_key(1)})
+    enc = Encoder(ring)
+    rng = np.random.default_rng(0)
+    n_slots = params.slots_max
+    z = rng.normal(size=n_slots) + 1j * rng.normal(size=n_slots)
+    w = rng.normal(size=n_slots) + 1j * rng.normal(size=n_slots)
+    ct = kg.encrypt_symmetric(enc.encode(z, 2.0 ** 40).poly, 2.0 ** 40,
+                              n_slots)
+    ct_other = kg.encrypt_symmetric(enc.encode(w, 2.0 ** 40).poly,
+                                    2.0 ** 40, n_slots)
+    return ring, ev, ct, ct_other
+
+
+def bench_ntt(ring, reps: int) -> dict[str, tuple[float, int]]:
+    rng = np.random.default_rng(3)
+    prime = ring.q_primes[0]
+    single = rng.integers(0, prime.value, size=ring.n, dtype=np.uint64)
+    full_base = ring.base_qp(ring.max_level)
+    matrix = np.stack([rng.integers(0, p.value, size=ring.n, dtype=np.uint64)
+                       for p in full_base])
+    batched = ring.batched_ntt(full_base)
+    return {
+        "ntt_forward_single_limb":
+            (_median_seconds(lambda: prime.ntt.forward(single), reps), reps),
+        "ntt_inverse_single_limb":
+            (_median_seconds(lambda: prime.ntt.inverse(single), reps), reps),
+        "ntt_forward_batched":
+            (_median_seconds(lambda: batched.forward(matrix), reps), reps),
+        "ntt_inverse_batched":
+            (_median_seconds(lambda: batched.inverse(matrix), reps), reps),
+    }
+
+
+def bench_hmult_rotate(ev, ct, ct_other,
+                       reps: int) -> dict[str, tuple[float, int]]:
+    # "hmult" multiplies two distinct ciphertexts — the generic path every
+    # evaluator.multiply(ct0, ct1) user hits; the identity-based squaring
+    # shortcut is tracked separately as "hmult_square".
+    return {
+        "hmult": (_median_seconds(lambda: ev.multiply(ct, ct_other), reps),
+                  reps),
+        "hmult_square": (_median_seconds(lambda: ev.multiply(ct, ct), reps),
+                         reps),
+        "rotate": (_median_seconds(lambda: ev.rotate(ct, 1), reps), reps),
+    }
+
+
+def bench_bootstrap_small(reps: int) -> dict[str, tuple[float, int]]:
+    from repro.ckks.bootstrap import BootstrapConfig, Bootstrapper
+    from repro.ckks.encoder import Encoder
+    from repro.ckks.evaluator import Evaluator
+    from repro.ckks.keys import KeyGenerator
+    from repro.ckks.params import CkksParams, RingContext
+    from repro.ckks.sine import SineConfig
+
+    params = CkksParams.functional(n=1 << 9, l=14, dnum=3, scale_bits=40,
+                                   q0_bits=52, p_bits=52, h=32)
+    ring = RingContext(params)
+    kg = KeyGenerator(ring, seed=2)
+    ev = Evaluator(ring)
+    bs = Bootstrapper(ev, BootstrapConfig(
+        n_slots=4, sine=SineConfig(k_range=12, degree=63, double_angles=2)))
+    bs.generate_keys(kg)
+    enc = Encoder(ring)
+    z = np.array([0.3, -0.2, 0.1, 0.4])
+    ct = ev.drop_to_level(
+        kg.encrypt_symmetric(enc.encode(z + 0j, 2.0 ** 40).poly,
+                             2.0 ** 40, 4), 0)
+    result = [None]
+
+    def run():
+        result[0] = bs.bootstrap(ct)
+
+    out = {"bootstrap_small": (_median_seconds(run, reps, warmup=0), reps)}
+    got = ev.decrypt_to_message(result[0], kg.secret)
+    err = float(np.max(np.abs(got - z)))
+    if err > 5e-2:  # sanity: a fast-but-wrong bootstrap must not pass
+        raise AssertionError(f"bootstrap error {err} out of tolerance")
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_functional.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI mode: fewer reps, no bootstrap")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="override repetition count")
+    args = parser.parse_args()
+
+    reps = args.reps if args.reps is not None else (3 if args.smoke else 7)
+    reps = max(1, reps)
+    kernels: dict[str, tuple[float, int]] = {}
+
+    ring, ev, ct, ct_other = build_hmult_fixture()
+    kernels.update(bench_ntt(ring, max(reps, 10)))
+    kernels.update(bench_hmult_rotate(ev, ct, ct_other, reps))
+    if not args.smoke:
+        kernels.update(bench_bootstrap_small(max(1, reps // 3)))
+
+    payload = {
+        "schema": "bench_functional/v1",
+        "params": {"n": 1 << 11, "l": 10, "dnum": 2,
+                   "bootstrap_n": None if args.smoke else 1 << 9},
+        "host": {"platform": platform.platform(),
+                 "python": platform.python_version(),
+                 "numpy": np.__version__},
+        "kernels": {name: {"median_s": round(value, 6), "reps": used}
+                    for name, (value, used) in kernels.items()},
+        "baselines": {"seed-v0": SEED_BASELINE},
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for name, (value, _used) in sorted(kernels.items()):
+        base = SEED_BASELINE.get(name)
+        speedup = f"  ({base / value:5.2f}x vs seed)" if base else ""
+        print(f"  {name:28s} {value * 1e3:10.3f} ms{speedup}")
+
+
+if __name__ == "__main__":
+    main()

@@ -195,14 +195,14 @@ class Bootstrapper:
         half = self.ring.n // 2
 
         def shift(poly: RnsPolynomial) -> RnsPolynomial:
+            from repro.ckks.modmath import neg_mod
+
             coeff = poly.from_ntt()
-            for i, prime in enumerate(coeff.base):
-                rolled = np.roll(coeff.residues[i], half)
-                # Wrapped-around coefficients pick up the negacyclic sign.
-                rolled[:half] = np.where(
-                    rolled[:half] == 0, rolled[:half],
-                    np.uint64(prime.value) - rolled[:half])
-                coeff.residues[i] = rolled
+            rolled = np.roll(coeff.residues, half, axis=1)
+            # Wrapped-around coefficients pick up the negacyclic sign.
+            head = rolled[:, :half]
+            neg_mod(head, coeff.moduli, out=head)
+            coeff.residues = rolled
             return coeff.to_ntt()
 
         return Ciphertext(shift(ct.b), shift(ct.a), ct.scale, ct.n_slots)

@@ -15,7 +15,6 @@ from repro.ckks.cipher import Ciphertext, Plaintext
 from repro.ckks.encoder import Encoder
 from repro.ckks.keys import EvaluationKey, SecretKey
 from repro.ckks.keyswitch import key_switch
-from repro.ckks.modmath import inv_mod
 from repro.ckks.params import RingContext
 from repro.ckks.rns import RnsPolynomial, exact_residue_transfer
 
@@ -57,7 +56,13 @@ class Evaluator:
 
     def align_pair(self, ct0: Ciphertext, ct1: Ciphertext
                    ) -> tuple[Ciphertext, Ciphertext]:
-        """Bring two ciphertexts to the lower of their two levels."""
+        """Bring two ciphertexts to the lower of their two levels.
+
+        Already-aligned inputs are returned as-is (no defensive clone:
+        every evaluator op builds fresh polynomials, never mutates).
+        """
+        if ct0.level == ct1.level:
+            return ct0, ct1
         level = min(ct0.level, ct1.level)
         return self.drop_to_level(ct0, level), self.drop_to_level(ct1, level)
 
@@ -71,15 +76,16 @@ class Evaluator:
             raise ValueError("cannot rescale below level 0")
         last = ct.b.base[-1]
         new_base = self.ring.base_q(ct.level - 1)
-        inv_scalars = {p.value: inv_mod(last.value, p.value)
-                       for p in new_base}
+        cols, cols_shoup = self.ring.rescale_inv_scalar_columns(ct.level)
+
+        last_ctx = self.ring.batched_ntt((last,))
 
         def down(poly: RnsPolynomial) -> RnsPolynomial:
-            last_limb = last.ntt.inverse(poly.residues[-1])
+            last_limb = last_ctx.inverse(poly.residues[-1:])[0]
             transfer = exact_residue_transfer(last_limb, last,
                                               new_base).to_ntt()
             kept = RnsPolynomial(new_base, poly.residues[:-1].copy(), True)
-            return kept.sub(transfer).mul_scalar(inv_scalars)
+            return kept.sub(transfer).mul_scalar_columns(cols, cols_shoup)
 
         return Ciphertext(down(ct.b), down(ct.a),
                           ct.scale / float(last.value), ct.n_slots)
@@ -121,9 +127,14 @@ class Evaluator:
         """HMult (Eq. 3/4): tensor product + key-switching of d2."""
         if self.relin_key is None:
             raise ValueError("relinearization key not available")
+        square = ct0 is ct1
         ct0, ct1 = self.align_pair(ct0, ct1)
         d0 = ct0.b.mul(ct1.b)
-        d1 = ct0.a.mul(ct1.b).add(ct1.a.mul(ct0.b))
+        if square:  # d1 = 2ab: one ring product instead of two
+            ab = ct0.a.mul(ct1.b)
+            d1 = ab.add(ab)
+        else:
+            d1 = ct0.a.mul(ct1.b).add(ct1.a.mul(ct0.b))
         d2 = ct0.a.mul(ct1.a)
         ks_b, ks_a = key_switch(d2, self.relin_key, ct0.level, self.ring)
         out = Ciphertext(d0.add(ks_b), d1.add(ks_a),

@@ -12,9 +12,12 @@ it without any big-integer polynomial arithmetic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.ckks.cipher import Ciphertext
+from repro.ckks.modmath import shoup_precompute
 from repro.ckks.params import PrimeContext, RingContext
 from repro.ckks.random_sampler import Sampler
 from repro.ckks.rns import RnsPolynomial
@@ -43,10 +46,43 @@ class EvaluationKey:
     """dnum slices of (b_j, a_j) over the full base C_L + B (NTT domain)."""
 
     slices: tuple[tuple[RnsPolynomial, RnsPolynomial], ...]
+    _restricted: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def dnum(self) -> int:
         return len(self.slices)
+
+    def slices_for_base(self, base: tuple[PrimeContext, ...]
+                        ) -> tuple[tuple[RnsPolynomial, RnsPolynomial,
+                                         np.ndarray, np.ndarray], ...]:
+        """Level-restricted slices plus their Shoup tables, cached per base.
+
+        ``key_switch_raised`` only needs the ``k + level + 1`` limbs of
+        the working base; restricting copies the full residue matrix, so
+        the copies are kept (keyed by the base's prime chain) instead of
+        being rebuilt on every key-switch.  The evk residues are fixed
+        multiplicands, so each slice also carries precomputed Shoup
+        constants and the inner-product multiply runs on the cheap
+        single-high-multiply path.
+        """
+        key = tuple(p.value for p in base)
+        cached = self._restricted.get(key)
+        if cached is None:
+            keep = set(key)
+            quads = []
+            for b, a in self.slices:
+                b_lvl = b.restrict(
+                    tuple(p for p in b.base if p.value in keep))
+                a_lvl = a.restrict(
+                    tuple(p for p in a.base if p.value in keep))
+                quads.append((b_lvl, a_lvl,
+                              shoup_precompute(b_lvl.residues,
+                                               b_lvl.moduli),
+                              shoup_precompute(a_lvl.residues,
+                                               a_lvl.moduli)))
+            cached = tuple(quads)
+            self._restricted[key] = cached
+        return cached
 
 
 class KeyGenerator:

@@ -12,35 +12,39 @@ special-prime part followed by the fused subtract-scale-add (SSA).
 from __future__ import annotations
 
 from repro.ckks.keys import EvaluationKey
-from repro.ckks.modmath import inv_mod
+from repro.ckks.modmath import add_mod, mul_mod_shoup, workspace_buffer
 from repro.ckks.params import PrimeContext, RingContext
 from repro.ckks.rns import RnsPolynomial, base_convert
 
 import numpy as np
 
 
-def mod_up(slice_poly: RnsPolynomial, level: int,
-           ring: RingContext) -> RnsPolynomial:
+def mod_up(slice_poly: RnsPolynomial, level: int, ring: RingContext,
+           slice_coeff: RnsPolynomial | None = None) -> RnsPolynomial:
     """Raise one decomposition slice to the working base C_level + B.
 
     ``slice_poly`` is NTT-domain over a contiguous block of q primes.  The
     block's own limbs are reused as-is; only the converted limbs (the other
     q primes and all special primes) pay the iNTT -> BConv -> NTT cost.
+    ``slice_coeff`` may supply the coefficient-domain form when the caller
+    already has it (``raise_decomposition`` inverse-transforms the whole
+    polynomial in one batched pass instead of per slice).
     """
     target_base = ring.base_qp(level)
     block_values = {p.value for p in slice_poly.base}
     complement = tuple(p for p in target_base
                        if p.value not in block_values)
-    converted = base_convert(slice_poly.from_ntt(), complement).to_ntt()
-    out = RnsPolynomial.zeros(target_base, slice_poly.n, is_ntt=True)
-    conv_index = {p.value: i for i, p in enumerate(complement)}
-    slice_index = {p.value: i for i, p in enumerate(slice_poly.base)}
-    for i, prime in enumerate(target_base):
-        if prime.value in slice_index:
-            out.residues[i] = slice_poly.residues[slice_index[prime.value]]
-        else:
-            out.residues[i] = converted.residues[conv_index[prime.value]]
-    return out
+    if slice_coeff is None:
+        slice_coeff = slice_poly.from_ntt()
+    converted = base_convert(slice_coeff, complement).to_ntt()
+    residues = np.empty((len(target_base), slice_poly.n), dtype=np.uint64)
+    own_rows = [i for i, p in enumerate(target_base)
+                if p.value in block_values]
+    conv_rows = [i for i, p in enumerate(target_base)
+                 if p.value not in block_values]
+    residues[own_rows] = slice_poly.residues
+    residues[conv_rows] = converted.residues
+    return RnsPolynomial(target_base, residues, is_ntt=True)
 
 
 def mod_down(poly: RnsPolynomial, level: int,
@@ -49,16 +53,17 @@ def mod_down(poly: RnsPolynomial, level: int,
 
     Computes ``(poly - BConv_B->C(poly mod P)) * P^-1`` limb-wise on the q
     part - the subtract / (1/P)-scale / add fusion the paper maps onto the
-    MMAU (Section 5.2).
+    MMAU (Section 5.2).  The ``P^-1 mod q_i`` scalar columns come
+    pre-built from the ring context.
     """
     base_q = ring.base_q(level)
-    p_part = poly.restrict(ring.base_p)
-    q_part = poly.restrict(base_q)
+    # Row views, not copies: C_level occupies the leading rows of the
+    # C_level + B matrix and B the trailing ones (from_ntt copies anyway).
+    p_part = RnsPolynomial(ring.base_p, poly.residues[level + 1:], True)
+    q_part = RnsPolynomial(base_q, poly.residues[:level + 1], True)
     correction = base_convert(p_part.from_ntt(), base_q).to_ntt()
-    p_product = ring.p_product
-    inv_scalars = {prime.value: inv_mod(p_product % prime.value, prime.value)
-                   for prime in base_q}
-    return q_part.sub(correction).mul_scalar(inv_scalars)
+    cols, cols_shoup = ring.p_inv_scalar_columns(level)
+    return q_part.sub(correction).mul_scalar_columns(cols, cols_shoup)
 
 
 def raise_decomposition(poly: RnsPolynomial, level: int,
@@ -72,10 +77,12 @@ def raise_decomposition(poly: RnsPolynomial, level: int,
     """
     if not poly.is_ntt:
         raise ValueError("raise_decomposition expects an NTT polynomial")
+    coeff = poly.from_ntt()  # one batched iNTT shared by every slice
     raised = []
     for start, stop in ring.decomposition_blocks(level):
         slice_base = ring.base_q(level)[start:stop]
-        raised.append(mod_up(poly.restrict(slice_base), level, ring))
+        raised.append(mod_up(poly.restrict(slice_base), level, ring,
+                             slice_coeff=coeff.restrict(slice_base)))
     return raised
 
 
@@ -86,17 +93,21 @@ def key_switch_raised(raised: list[RnsPolynomial], evk: EvaluationKey,
     if len(raised) > evk.dnum:
         raise ValueError("evk has fewer slices than the decomposition")
     working_base = ring.base_qp(level)
-    keep_values = {p.value for p in working_base}
+    level_slices = evk.slices_for_base(working_base)
     acc_b = RnsPolynomial.zeros(working_base, raised[0].n, is_ntt=True)
     acc_a = RnsPolynomial.zeros(working_base, raised[0].n, is_ntt=True)
-    for j, slice_poly in enumerate(raised):
-        evk_b, evk_a = evk.slices[j]
-        evk_b_lvl = evk_b.restrict(
-            tuple(p for p in evk_b.base if p.value in keep_values))
-        evk_a_lvl = evk_a.restrict(
-            tuple(p for p in evk_a.base if p.value in keep_values))
-        acc_b = acc_b.add(slice_poly.mul(evk_b_lvl))
-        acc_a = acc_a.add(slice_poly.mul(evk_a_lvl))
+    moduli = acc_b.moduli
+    for slice_poly, (evk_b, evk_a, b_shoup, a_shoup) in zip(raised,
+                                                            level_slices):
+        # evk residues are fixed multiplicands: Shoup-multiply them in.
+        prod = mul_mod_shoup(slice_poly.residues, evk_b.residues, b_shoup,
+                             moduli,
+                             out=workspace_buffer("ks.prod",
+                                                  acc_b.residues.shape))
+        add_mod(acc_b.residues, prod, moduli, out=acc_b.residues)
+        mul_mod_shoup(slice_poly.residues, evk_a.residues, a_shoup,
+                      moduli, out=prod)
+        add_mod(acc_a.residues, prod, moduli, out=acc_a.residues)
     return (mod_down(acc_b, level, ring), mod_down(acc_a, level, ring))
 
 

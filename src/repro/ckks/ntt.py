@@ -12,6 +12,21 @@ scheme only ever multiplies point-wise in the NTT domain, no explicit
 bit-reversal permutation is needed (the standard Longa-Naehrig trick).
 Twiddle factors merge the 2N-th root ``psi`` so the transform is natively
 negacyclic.
+
+Performance notes (limb-batched layout)
+---------------------------------------
+
+The BTS NTTU processes every RNS limb with the same butterfly network,
+one modulus per lane.  :class:`BatchedNttContext` is the software
+analogue: the per-prime twiddle/Shoup tables of a whole base are stacked
+into ``(num_limbs, n)`` arrays and each butterfly stage runs *once*
+across the full ``(num_limbs, n)`` residue matrix, so a transform costs
+O(log n) Python-level dispatches instead of O(num_limbs * log n).  The
+per-prime :class:`NttContext` is retained both as the builder of the
+tables and as the scalar reference implementation the batched path is
+tested bit-identical against.  Both paths execute the same butterflies
+in the same order on the same tables, so their outputs agree bit for
+bit, not merely modulo q.
 """
 
 from __future__ import annotations
@@ -22,11 +37,15 @@ import numpy as np
 
 from repro.ckks.modmath import (
     Modulus,
+    ModulusVector,
+    _correct_once,
     add_mod,
     inv_mod,
     mul_mod_shoup,
+    mul_mod_shoup_lazy,
     shoup_precompute,
     sub_mod,
+    workspace_buffer,
 )
 from repro.ckks.primes import primitive_root_2n
 
@@ -137,6 +156,193 @@ class NttContext:
         n_inv = np.broadcast_to(self.n_inv, a.shape)
         n_inv_shoup = np.broadcast_to(self.n_inv_shoup, a.shape)
         return mul_mod_shoup(a, n_inv, n_inv_shoup, m)
+
+
+@dataclass(frozen=True)
+class BatchedNttContext:
+    """Stacked twiddle tables running one butterfly stage across all limbs.
+
+    The tables are the row-stacked ``(num_limbs, n)`` copies of the
+    per-prime :class:`NttContext` tables, and ``forward`` / ``inverse``
+    transform a whole ``(num_limbs, n)`` residue matrix per call — the
+    software counterpart of the NTTU applying the same stage to every
+    RNS lane simultaneously.  Outputs are bit-identical to running the
+    per-prime contexts row by row.
+    """
+
+    moduli: ModulusVector
+    n: int
+    psi_rev: np.ndarray            #: (num_limbs, n) forward twiddles
+    psi_rev_shoup: np.ndarray
+    psi_inv_rev: np.ndarray        #: (num_limbs, n) inverse twiddles
+    psi_inv_rev_shoup: np.ndarray
+    n_inv: np.ndarray              #: (num_limbs, 1)
+    n_inv_shoup: np.ndarray        #: (num_limbs, 1)
+    #: Last-stage inverse twiddle pre-multiplied by n^-1 (one column per
+    #: limb), so the final 1/n scaling folds into the last butterfly's
+    #: v-branch and only the u-branch needs a separate multiply.
+    psi_inv_last: np.ndarray       #: (num_limbs, 1, 1)
+    psi_inv_last_shoup: np.ndarray
+    #: Forward stages may skip the u-branch correction entirely when the
+    #: additively-growing residues — < (2*log2(n)+3) * m after the last
+    #: stage — provably stay below 2**64; one halving chain of
+    #: conditional subtractions then normalizes the whole matrix.
+    fwd_growth_ok: bool
+
+    @classmethod
+    def from_contexts(cls, contexts: tuple[NttContext, ...]
+                      ) -> "BatchedNttContext":
+        if not contexts:
+            raise ValueError("need at least one NttContext")
+        n = contexts[0].n
+        if any(c.n != n for c in contexts):
+            raise ValueError("all limbs must share the same ring degree")
+        moduli = ModulusVector([c.modulus for c in contexts])
+        psi_inv_last = np.array(
+            [[[(int(c.psi_inv_rev[1]) * int(c.n_inv)) % c.modulus.value]]
+             for c in contexts], dtype=np.uint64)
+        return cls(
+            moduli=moduli,
+            n=n,
+            psi_rev=np.stack([c.psi_rev for c in contexts]),
+            psi_rev_shoup=np.stack([c.psi_rev_shoup for c in contexts]),
+            psi_inv_rev=np.stack([c.psi_inv_rev for c in contexts]),
+            psi_inv_rev_shoup=np.stack(
+                [c.psi_inv_rev_shoup for c in contexts]),
+            n_inv=np.array([[c.n_inv] for c in contexts], dtype=np.uint64),
+            n_inv_shoup=np.array([[c.n_inv_shoup] for c in contexts],
+                                 dtype=np.uint64),
+            psi_inv_last=psi_inv_last,
+            psi_inv_last_shoup=shoup_precompute(
+                psi_inv_last, moduli.expand(2)),
+            fwd_growth_ok=(2 * (n.bit_length() - 1) + 3)
+            * max(m.value for m in moduli.moduli) < (1 << 64),
+        )
+
+    @property
+    def num_limbs(self) -> int:
+        return len(self.moduli)
+
+    def _check_shape(self, a: np.ndarray) -> None:
+        expected = (self.num_limbs, self.n)
+        if a.shape != expected:
+            raise ValueError(f"expected shape {expected}, got {a.shape}")
+
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        """Batched negacyclic NTT of a ``(num_limbs, n)`` matrix.
+
+        Each stage gathers the butterfly halves into contiguous scratch,
+        runs the element-wise passes at full memory speed, and writes
+        the two results back — cheaper than letting every pass walk the
+        strided ``(limbs, blocks, 2, half)`` view.  Reduction is lazy
+        (Harvey): residues live in ``[0, 4m)`` between stages — the
+        u-branch is conditionally reduced by ``2m`` at stage entry, the
+        twiddle multiply tolerates any 64-bit input — and the matrix is
+        normalized to canonical residues once at the end.
+        """
+        self._check_shape(a)
+        a = np.array(a, dtype=np.uint64, copy=True)
+        limbs = self.num_limbs
+        m3 = self.moduli.expand(2)
+        two_m = m3.u64_x2
+        lazy_chain = self.fwd_growth_ok
+        blocks = 1
+        half = self.n // 2
+        while half >= 1:
+            view = a.reshape(limbs, blocks, 2, half)
+            shape = (limbs, blocks, half)
+            s = self.psi_rev[:, blocks:2 * blocks].reshape(limbs, blocks, 1)
+            s_sh = self.psi_rev_shoup[:, blocks:2 * blocks].reshape(
+                limbs, blocks, 1)
+            u = workspace_buffer("ntt.u", shape)
+            v = workspace_buffer("ntt.v", shape)
+            np.copyto(u, view[:, :, 0, :])
+            np.copyto(v, view[:, :, 1, :])
+            if not lazy_chain:
+                _correct_once(u, two_m)               # u < 2m
+            mul_mod_shoup_lazy(v, s, s_sh, m3, out=v)  # t < 2m, any v
+            np.add(u, v, out=view[:, :, 0, :])        # u + t
+            np.add(u, two_m, out=u)
+            np.subtract(u, v, out=view[:, :, 1, :])   # u - t + 2m
+            blocks *= 2
+            half //= 2
+        mv = self.moduli.u64
+        if lazy_chain:
+            # Residues grew additively (< (2*stages+3) * m); halve the
+            # bound with conditional subtractions until canonical.
+            stages = self.n.bit_length() - 1
+            mult = 1 << ((2 * stages + 2) // 2).bit_length()
+            while mult >= 1:
+                _correct_once(a, mv * np.uint64(mult))
+                mult //= 2
+        else:
+            _correct_once(a, two_m.reshape(limbs, 1))
+            _correct_once(a, mv)
+        return a
+
+    def inverse(self, a: np.ndarray) -> np.ndarray:
+        """Batched inverse negacyclic NTT of a ``(num_limbs, n)`` matrix.
+
+        Same lazy-reduction scheme as :meth:`forward`, with the final
+        1/n scaling folded into the last butterfly stage; residues stay
+        in ``[0, 2m)`` between stages and are normalized once at the
+        end.
+        """
+        self._check_shape(a)
+        a = np.array(a, dtype=np.uint64, copy=True)
+        limbs = self.num_limbs
+        m3 = self.moduli.expand(2)
+        two_m = m3.u64_x2
+        blocks = self.n // 2
+        half = 1
+        while blocks >= 1:
+            view = a.reshape(limbs, blocks, 2, half)
+            shape = (limbs, blocks, half)
+            u = workspace_buffer("ntt.u", shape)
+            v = workspace_buffer("ntt.v", shape)
+            np.copyto(u, view[:, :, 0, :])
+            np.copyto(v, view[:, :, 1, :])
+            w = np.add(u, v, out=workspace_buffer("ntt.w", shape))
+            _correct_once(w, two_m)                   # u + v < 2m
+            np.add(u, two_m, out=u)
+            t = np.subtract(u, v, out=u)              # u - v + 2m < 4m
+            if blocks == 1:
+                # Fold the final 1/n scaling into the last butterfly.
+                mul_mod_shoup_lazy(w, self.n_inv[:, :, None],
+                                   self.n_inv_shoup[:, :, None], m3, out=w)
+                mul_mod_shoup_lazy(t, self.psi_inv_last,
+                                   self.psi_inv_last_shoup, m3, out=t)
+            else:
+                s = self.psi_inv_rev[:, blocks:2 * blocks].reshape(
+                    limbs, blocks, 1)
+                s_sh = self.psi_inv_rev_shoup[:, blocks:2 * blocks].reshape(
+                    limbs, blocks, 1)
+                mul_mod_shoup_lazy(t, s, s_sh, m3, out=t)
+            np.copyto(view[:, :, 0, :], w)
+            np.copyto(view[:, :, 1, :], t)
+            blocks //= 2
+            half *= 2
+        _correct_once(a, self.moduli.u64)
+        return a
+
+
+#: Cache of stacked-table contexts keyed by the exact (q, psi) chain + n.
+_BATCHED_CACHE: dict[tuple, BatchedNttContext] = {}
+
+
+def batched_ntt_context(contexts: tuple[NttContext, ...]
+                        ) -> BatchedNttContext:
+    """Cached :class:`BatchedNttContext` for a tuple of per-prime contexts.
+
+    Keyed by the ``(q, psi)`` chain and ring degree, so two bases built
+    from the same primes (e.g. a level-restricted base) share tables.
+    """
+    key = (tuple((c.modulus.value, c.psi) for c in contexts), contexts[0].n)
+    cached = _BATCHED_CACHE.get(key)
+    if cached is None:
+        cached = BatchedNttContext.from_contexts(tuple(contexts))
+        _BATCHED_CACHE[key] = cached
+    return cached
 
 
 def negacyclic_convolution_reference(a: np.ndarray, b: np.ndarray,

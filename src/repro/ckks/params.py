@@ -26,8 +26,10 @@ import math
 from dataclasses import dataclass, field
 from functools import cached_property
 
-from repro.ckks.modmath import Modulus
-from repro.ckks.ntt import NttContext
+import numpy as np
+
+from repro.ckks.modmath import Modulus, inv_mod, scalar_columns
+from repro.ckks.ntt import NttContext, batched_ntt_context
 from repro.ckks.primes import ntt_friendly_primes
 
 WORD_BYTES = 8
@@ -227,6 +229,9 @@ class RingContext:
             make(v, "q", i) for i, v in enumerate(q_values))
         self.p_primes: tuple[PrimeContext, ...] = tuple(
             make(v, "p", i) for i, v in enumerate(special))
+        self._p_inv_columns: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._rescale_inv_columns: dict[int, tuple[np.ndarray,
+                                                   np.ndarray]] = {}
 
     # ----- bases -------------------------------------------------------------
 
@@ -261,6 +266,44 @@ class RingContext:
     def q_product(self, level: int) -> int:
         """The ciphertext-modulus product at ``level``."""
         return math.prod(p.value for p in self.base_q(level))
+
+    def batched_ntt(self, base: tuple[PrimeContext, ...]):
+        """Cached limb-batched NTT tables for ``base`` (see ``ntt.py``)."""
+        return batched_ntt_context(tuple(p.ntt for p in base))
+
+    def p_inv_scalar_columns(self, level: int
+                             ) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``P^-1 mod q_i`` columns (+ Shoup) over ``C_level``.
+
+        ``mod_down`` scales the ModDown subtraction by these; rebuilding
+        the table (one big-int inverse per limb) on every call used to be
+        a measurable slice of key-switching.
+        """
+        cached = self._p_inv_columns.get(level)
+        if cached is None:
+            base = self.base_q(level)
+            residues = tuple(inv_mod(self.p_product % p.value, p.value)
+                             for p in base)
+            cached = scalar_columns(residues,
+                                    tuple(p.value for p in base))
+            self._p_inv_columns[level] = cached
+        return cached
+
+    def rescale_inv_scalar_columns(self, level: int
+                                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``q_level^-1 mod q_i`` columns over ``C_{level-1}``.
+
+        Used by HRescale when dropping the top prime at ``level``.
+        """
+        cached = self._rescale_inv_columns.get(level)
+        if cached is None:
+            last = self.q_primes[level].value
+            base = self.base_q(level - 1)
+            residues = tuple(inv_mod(last, p.value) for p in base)
+            cached = scalar_columns(residues,
+                                    tuple(p.value for p in base))
+            self._rescale_inv_columns[level] = cached
+        return cached
 
     def decomposition_blocks(self, level: int) -> list[tuple[int, int]]:
         """(start, stop) limb ranges of the dnum decomposition at ``level``.
