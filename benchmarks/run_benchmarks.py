@@ -1,16 +1,21 @@
 """Machine-readable wall-clock benchmarks of the functional CKKS hot paths.
 
-Times the limb-batched kernel engine (NTT, HMult, HRot, small bootstrap)
-and writes ``BENCH_functional.json`` mapping kernel -> median seconds, so
-every future PR has a perf trajectory to regress against::
+Times the kernel engine (NTT, HMult, HRot, small bootstrap) and writes
+``BENCH_functional.json`` mapping kernel -> median seconds, so every
+future PR has a perf trajectory to regress against::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py
     PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke --check
 
-The parameters mirror ``bench_functional_ckks.py``: HMult/HRot run at
-N=2^11, L=10, dnum=2; the bootstrap runs the library's deepest path at
-N=2^9.  ``--smoke`` cuts repetitions and skips the bootstrap so the run
-finishes in seconds on CI runners.
+``--check`` compares the fresh measurements against the kernel medians
+embedded in the checked-in ``BENCH_functional.json`` and exits non-zero
+when any kernel regresses more than ``--tolerance`` (default 20%) — the
+regression gate every perf-touching PR must pass.  The parameters mirror
+``bench_functional_ckks.py``: HMult/HRot run at N=2^11, L=10, dnum=2;
+the bootstrap runs the library's deepest path at N=2^9.  ``--smoke``
+cuts repetitions and skips the bootstrap so the run finishes in seconds
+on CI runners.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import argparse
 import json
 import platform
 import statistics
+import sys
 import time
 from pathlib import Path
 
@@ -39,6 +45,20 @@ SEED_BASELINE = {
     "hmult_square": 0.123646,
     "rotate": 0.128291,
     "bootstrap_small": 3.879805,
+}
+
+#: PR-1 (limb-batched radix-2 engine) medians on the reference
+#: container — the baseline the radix-4 Stockham engine is judged
+#: against (>= 1.5x on the full-base forward was the acceptance bar).
+PR1_BASELINE = {
+    "ntt_forward_single_limb": 0.000609,
+    "ntt_inverse_single_limb": 0.000657,
+    "ntt_forward_batched": 0.004344,
+    "ntt_inverse_batched": 0.004348,
+    "hmult": 0.039347,
+    "hmult_square": 0.039234,
+    "rotate": 0.040891,
+    "bootstrap_small": 0.759095,
 }
 
 
@@ -145,29 +165,103 @@ def bench_bootstrap_small(reps: int) -> dict[str, tuple[float, int]]:
     return out
 
 
+def check_regressions(kernels: dict[str, tuple[float, int]],
+                      baseline: dict, label: str, tolerance: float,
+                      normalize_kernel: str | None = None) -> int:
+    """Compare measurements against the committed kernel medians.
+
+    Returns the number of kernels whose fresh median exceeds the
+    baseline median by more than ``tolerance`` (a fraction, 0.2 = 20%).
+    Kernels missing from either side are skipped (e.g. the bootstrap in
+    ``--smoke`` mode).  When ``normalize_kernel`` is given, every
+    measurement is rescaled by that kernel's baseline/measured ratio —
+    a machine-speed canary that lets a host of different absolute speed
+    (CI runners) gate on the *code* rather than the hardware.  Pick a
+    kernel the change under test does not touch (the per-limb scalar
+    NTT is the default canary: it is the frozen bit-identity oracle).
+    """
+    scale = 1.0
+    if normalize_kernel is not None:
+        canary_base = baseline.get(normalize_kernel, {}).get("median_s")
+        canary_now = kernels.get(normalize_kernel, (None,))[0]
+        if not canary_base or not canary_now:
+            # A silently skipped normalization would gate raw wall-clock
+            # against a different machine's baseline — fail loudly.
+            sys.exit(f"--normalize-kernel {normalize_kernel!r} not "
+                     f"present in both baseline and measured kernels")
+        scale = float(canary_base) / canary_now
+        # The canary's own normalized ratio is 1.0 by construction, and
+        # a regression in code the canary shares (e.g. modmath) is
+        # cancelled out — print the raw ratio so it stays visible, and
+        # treat the unnormalized 20% gate as authoritative locally.
+        print(f"normalizing by {normalize_kernel}: host speed factor "
+              f"{1 / scale:.2f}x of baseline (raw canary ratio; "
+              "canary-shared regressions are masked by design)")
+    regressions = 0
+    print(f"regression check vs {label} (tolerance {tolerance:.0%}):")
+    for name, (value, _reps) in sorted(kernels.items()):
+        base = baseline.get(name, {}).get("median_s")
+        if base is None:
+            print(f"  {name:28s} {value * 1e3:10.3f} ms  (no baseline)")
+            continue
+        ratio = value * scale / float(base)
+        flag = "REGRESSION" if ratio > 1 + tolerance else "ok"
+        if flag == "REGRESSION":
+            regressions += 1
+        print(f"  {name:28s} {value * 1e3:10.3f} ms  "
+              f"{ratio:5.2f}x of {float(base) * 1e3:.3f} ms  {flag}")
+    return regressions
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", type=Path,
-                        default=Path(__file__).resolve().parent.parent
-                        / "BENCH_functional.json")
+    repo_bench = Path(__file__).resolve().parent.parent \
+        / "BENCH_functional.json"
+    parser.add_argument("--output", type=Path, default=repo_bench)
     parser.add_argument("--smoke", action="store_true",
                         help="fast CI mode: fewer reps, no bootstrap")
     parser.add_argument("--reps", type=int, default=None,
                         help="override repetition count")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a kernel regresses more "
+                             "than --tolerance vs the committed baseline")
+    parser.add_argument("--baseline", type=Path, default=repo_bench,
+                        help="baseline JSON for --check")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional slowdown before --check "
+                             "fails (default 0.20)")
+    parser.add_argument("--normalize-kernel", default=None,
+                        metavar="KERNEL",
+                        help="rescale --check comparisons by this "
+                             "kernel's baseline/measured ratio (machine-"
+                             "speed canary for hosts that differ from "
+                             "the one that recorded the baseline)")
     args = parser.parse_args()
+
+    # Snapshot the baseline before anything writes --output: the default
+    # output path IS the committed baseline file.
+    baseline_kernels = None
+    if args.check:
+        baseline_kernels = json.loads(
+            args.baseline.read_text())["kernels"]
 
     reps = args.reps if args.reps is not None else (3 if args.smoke else 7)
     reps = max(1, reps)
     kernels: dict[str, tuple[float, int]] = {}
 
     ring, ev, ct, ct_other = build_hmult_fixture()
-    kernels.update(bench_ntt(ring, max(reps, 10)))
+    # NTT medians gate the perf acceptance, so they get a higher default
+    # rep floor to damp single-core runner noise — unless the user
+    # explicitly asked for a specific count.
+    ntt_reps = reps if args.reps is not None else max(reps, 21)
+    kernels.update(bench_ntt(ring, ntt_reps))
     kernels.update(bench_hmult_rotate(ev, ct, ct_other, reps))
     if not args.smoke:
         kernels.update(bench_bootstrap_small(max(1, reps // 3)))
 
+    full_base = ring.base_qp(ring.max_level)
     payload = {
-        "schema": "bench_functional/v1",
+        "schema": "bench_functional/v2",
         "params": {"n": 1 << 11, "l": 10, "dnum": 2,
                    "bootstrap_n": None if args.smoke else 1 << 9},
         "host": {"platform": platform.platform(),
@@ -175,14 +269,36 @@ def main() -> None:
                  "numpy": np.__version__},
         "kernels": {name: {"median_s": round(value, 6), "reps": used}
                     for name, (value, used) in kernels.items()},
-        "baselines": {"seed-v0": SEED_BASELINE},
+        # static per-stage NumPy-dispatch / matrix-pass tallies of the
+        # NTT engine on the benchmark base, so pass-count regressions
+        # show up in review even when wall-clock noise hides them.
+        "ntt_pass_counts": ring.batched_ntt(full_base).pass_counts(),
+        "baselines": {"seed-v0": SEED_BASELINE,
+                      "pr1-batched-radix2": PR1_BASELINE},
     }
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    if args.check and args.output.resolve() == args.baseline.resolve():
+        # Never let the gate overwrite the baseline it compares against:
+        # a failing run would replace the committed medians with the
+        # regressed ones, and a re-run would then pass vacuously.
+        print(f"--check: not overwriting baseline {args.output} "
+              "(pass --output elsewhere to keep the measurements)")
+    else:
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
     for name, (value, _used) in sorted(kernels.items()):
         base = SEED_BASELINE.get(name)
         speedup = f"  ({base / value:5.2f}x vs seed)" if base else ""
         print(f"  {name:28s} {value * 1e3:10.3f} ms{speedup}")
+
+    if args.check:
+        regressions = check_regressions(kernels, baseline_kernels,
+                                        str(args.baseline), args.tolerance,
+                                        args.normalize_kernel)
+        if regressions:
+            print(f"FAIL: {regressions} kernel(s) regressed "
+                  f">{args.tolerance:.0%}")
+            sys.exit(1)
+        print("regression check passed")
 
 
 if __name__ == "__main__":

@@ -7,6 +7,13 @@ to the enlarged base C_ell + B (ModUp), NTT'd back, multiplied with the
 matching evk slice and accumulated; the accumulator is finally divided by
 P (ModDown), which performs the mirrored iNTT -> BConv -> NTT on the
 special-prime part followed by the fused subtract-scale-add (SSA).
+
+Transform reuse: every slice's converted limbs need the same forward
+transform, so :func:`raise_decomposition` concatenates them along the
+limb axis and runs one :class:`~repro.ckks.rns.StackedTransform` pass;
+:func:`mod_down_pair` does the same for the two halves of a key-switch
+accumulator (one stacked iNTT, one coefficient-stacked BConv, one
+stacked NTT).  Both are bit-identical to the per-polynomial path.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ from __future__ import annotations
 from repro.ckks.keys import EvaluationKey
 from repro.ckks.modmath import add_mod, mul_mod_shoup, workspace_buffer
 from repro.ckks.params import PrimeContext, RingContext
-from repro.ckks.rns import RnsPolynomial, base_convert
+from repro.ckks.rns import RnsPolynomial, StackedTransform, base_convert
 
 import numpy as np
 
@@ -23,25 +30,44 @@ def mod_up(slice_poly: RnsPolynomial, level: int, ring: RingContext,
            slice_coeff: RnsPolynomial | None = None) -> RnsPolynomial:
     """Raise one decomposition slice to the working base C_level + B.
 
-    ``slice_poly`` is NTT-domain over a contiguous block of q primes.  The
-    block's own limbs are reused as-is; only the converted limbs (the other
-    q primes and all special primes) pay the iNTT -> BConv -> NTT cost.
-    ``slice_coeff`` may supply the coefficient-domain form when the caller
-    already has it (``raise_decomposition`` inverse-transforms the whole
-    polynomial in one batched pass instead of per slice).
+    ``slice_poly`` is NTT-domain over one of the decomposition blocks of
+    :meth:`~repro.ckks.params.RingContext.mod_up_plan` (the block's own
+    limbs are reused as-is; only the converted limbs pay the
+    iNTT -> BConv -> NTT cost).  ``slice_coeff`` may supply the
+    coefficient-domain form when the caller already has it.  This is the
+    single-slice entry point; the production path is
+    :func:`raise_decomposition`, which additionally shares one stacked
+    forward transform across every slice of the decomposition.
     """
-    target_base = ring.base_qp(level)
-    block_values = {p.value for p in slice_poly.base}
-    complement = tuple(p for p in target_base
-                       if p.value not in block_values)
+    slice_values = tuple(p.value for p in slice_poly.base)
+    for slice_base, complement, own_rows, conv_rows \
+            in ring.mod_up_plan(level):
+        if tuple(p.value for p in slice_base) == slice_values:
+            break
+    else:
+        # Not a standard decomposition block (tests raise ad-hoc
+        # sub-bases): derive the layout directly.
+        target_base = ring.base_qp(level)
+        block_values = set(slice_values)
+        complement = tuple(p for p in target_base
+                           if p.value not in block_values)
+        own_rows = [i for i, p in enumerate(target_base)
+                    if p.value in block_values]
+        conv_rows = [i for i, p in enumerate(target_base)
+                     if p.value not in block_values]
     if slice_coeff is None:
         slice_coeff = slice_poly.from_ntt()
     converted = base_convert(slice_coeff, complement).to_ntt()
+    return _assemble_raised(ring.base_qp(level), slice_poly, converted,
+                            own_rows, conv_rows)
+
+
+def _assemble_raised(target_base: tuple[PrimeContext, ...],
+                     slice_poly: RnsPolynomial, converted: RnsPolynomial,
+                     own_rows: list[int],
+                     conv_rows: list[int]) -> RnsPolynomial:
+    """Interleave a slice's own NTT limbs with its converted limbs."""
     residues = np.empty((len(target_base), slice_poly.n), dtype=np.uint64)
-    own_rows = [i for i, p in enumerate(target_base)
-                if p.value in block_values]
-    conv_rows = [i for i, p in enumerate(target_base)
-                 if p.value not in block_values]
     residues[own_rows] = slice_poly.residues
     residues[conv_rows] = converted.residues
     return RnsPolynomial(target_base, residues, is_ntt=True)
@@ -66,6 +92,40 @@ def mod_down(poly: RnsPolynomial, level: int,
     return q_part.sub(correction).mul_scalar_columns(cols, cols_shoup)
 
 
+def mod_down_pair(poly_b: RnsPolynomial, poly_a: RnsPolynomial, level: int,
+                  ring: RingContext
+                  ) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """ModDown both halves of a key-switch accumulator together.
+
+    Bit-identical to ``(mod_down(b), mod_down(a))`` but runs one stacked
+    iNTT over both special-prime parts, one BConv whose coefficient axis
+    holds both polynomials side by side, and one stacked NTT over both
+    corrections — halving the Python-level stage dispatches of the
+    ModDown tail.
+    """
+    base_q = ring.base_q(level)
+    base_p = ring.base_p
+    n = poly_b.n
+    coeff_b, coeff_a = StackedTransform.inverse(
+        [RnsPolynomial(base_p, poly.residues[level + 1:], True)
+         for poly in (poly_b, poly_a)])
+    # BConv is coefficient-wise: feed both polynomials as one matrix of
+    # 2N columns, then split the converted halves back apart.
+    paired = RnsPolynomial(
+        base_p, np.concatenate([coeff_b.residues, coeff_a.residues],
+                               axis=1), False)
+    converted = base_convert(paired, base_q)
+    corr_b, corr_a = StackedTransform.forward(
+        [RnsPolynomial(base_q, converted.residues[:, :n], False),
+         RnsPolynomial(base_q, converted.residues[:, n:], False)])
+    cols, cols_shoup = ring.p_inv_scalar_columns(level)
+    outs = []
+    for poly, corr in ((poly_b, corr_b), (poly_a, corr_a)):
+        q_part = RnsPolynomial(base_q, poly.residues[:level + 1], True)
+        outs.append(q_part.sub(corr).mul_scalar_columns(cols, cols_shoup))
+    return outs[0], outs[1]
+
+
 def raise_decomposition(poly: RnsPolynomial, level: int,
                         ring: RingContext) -> list[RnsPolynomial]:
     """ModUp every decomposition slice of ``poly`` (NTT, base C_level).
@@ -73,17 +133,25 @@ def raise_decomposition(poly: RnsPolynomial, level: int,
     This is the expensive, rotation-independent half of key-switching;
     :func:`key_switch_raised` consumes the result.  Hoisting [12] computes
     it once and shares it across many rotations, because the automorphism
-    commutes with the coefficient-wise ModUp.
+    commutes with the coefficient-wise ModUp.  All slices' converted
+    limbs ride one stacked forward transform (the ModUp half of the
+    transform-reuse trick; one batched iNTT is already shared on the way
+    down).
     """
     if not poly.is_ntt:
         raise ValueError("raise_decomposition expects an NTT polynomial")
     coeff = poly.from_ntt()  # one batched iNTT shared by every slice
-    raised = []
-    for start, stop in ring.decomposition_blocks(level):
-        slice_base = ring.base_q(level)[start:stop]
-        raised.append(mod_up(poly.restrict(slice_base), level, ring,
-                             slice_coeff=coeff.restrict(slice_base)))
-    return raised
+    plan = ring.mod_up_plan(level)
+    converted = [base_convert(coeff.restrict(slice_base), complement)
+                 for slice_base, complement, _, _ in plan]
+    converted_ntt = StackedTransform.forward(converted)
+    target_base = ring.base_qp(level)
+    return [
+        _assemble_raised(target_base, poly.restrict(slice_base),
+                         conv, own_rows, conv_rows)
+        for (slice_base, _, own_rows, conv_rows), conv
+        in zip(plan, converted_ntt)
+    ]
 
 
 def key_switch_raised(raised: list[RnsPolynomial], evk: EvaluationKey,
@@ -108,7 +176,7 @@ def key_switch_raised(raised: list[RnsPolynomial], evk: EvaluationKey,
         mul_mod_shoup(slice_poly.residues, evk_a.residues, a_shoup,
                       moduli, out=prod)
         add_mod(acc_a.residues, prod, moduli, out=acc_a.residues)
-    return (mod_down(acc_b, level, ring), mod_down(acc_a, level, ring))
+    return mod_down_pair(acc_b, acc_a, level, ring)
 
 
 def key_switch(poly: RnsPolynomial, evk: EvaluationKey, level: int,

@@ -13,20 +13,43 @@ bit-reversal permutation is needed (the standard Longa-Naehrig trick).
 Twiddle factors merge the 2N-th root ``psi`` so the transform is natively
 negacyclic.
 
-Performance notes (limb-batched layout)
----------------------------------------
+Performance notes (radix-4 Stockham engine)
+-------------------------------------------
 
 The BTS NTTU processes every RNS limb with the same butterfly network,
 one modulus per lane.  :class:`BatchedNttContext` is the software
 analogue: the per-prime twiddle/Shoup tables of a whole base are stacked
 into ``(num_limbs, n)`` arrays and each butterfly stage runs *once*
-across the full ``(num_limbs, n)`` residue matrix, so a transform costs
-O(log n) Python-level dispatches instead of O(num_limbs * log n).  The
-per-prime :class:`NttContext` is retained both as the builder of the
-tables and as the scalar reference implementation the batched path is
-tested bit-identical against.  Both paths execute the same butterflies
-in the same order on the same tables, so their outputs agree bit for
+across the full ``(num_limbs, n)`` residue matrix.  The per-prime
+:class:`NttContext` is retained both as the builder of the tables and as
+the scalar reference implementation the batched paths are tested
+bit-identical against: every path computes the exact same canonical
+residues in the same (bit-reversed) order, so outputs agree bit for
 bit, not merely modulo q.
+
+Two batched datapaths coexist:
+
+* :class:`_StockhamPlan` — the default for practically-sized moduli —
+  runs a radix-4 Stockham auto-sort transform over ping-pong buffers.
+  The residue matrix lives transposed per stage as ``(limbs, h, B)``
+  (``B`` transform blocks of ``h`` coefficients each in the columns),
+  so every butterfly reads contiguous row slabs and two radix-2 stages
+  fuse into one radix-4 pass whose intermediates stay in scratch.
+  Twiddles come from precomputed per-stage *planes* (the per-block
+  twiddle pattern pre-tiled along the contiguous axis together with the
+  split halves of its Shoup companion), which keeps every NumPy inner
+  loop unit-stride — the profiled cost of the previous layout was
+  dominated by stride-0 broadcast loops and 32-bit-view upcasts, not by
+  arithmetic.  The butterfly multiply uses a 3-multiply approximate
+  high-half (the ``a0*b0`` plane of the 128-bit product is dropped,
+  costing at most 2 on the Shoup quotient), so lazy residues stay below
+  ``4m`` and one conditional-subtraction chain normalizes the matrix at
+  the end.
+
+* the strict radix-2 path (``_forward_radix2`` / ``_inverse_radix2``)
+  — the PR-1 limb-batched kernel, kept for moduli too wide for the
+  relaxed ``4m`` bounds (see :func:`stockham_gate`) and as the engine
+  of record for the growth analysis in its docstrings.
 """
 
 from __future__ import annotations
@@ -158,6 +181,376 @@ class NttContext:
         return mul_mod_shoup(a, n_inv, n_inv_shoup, m)
 
 
+#: Minimum inner-axis length for tiled twiddle planes.  Patterns shorter
+#: than this are repeated along the contiguous axis so NumPy inner loops
+#: stay long and unit-stride instead of hitting stride-0 broadcast loops.
+_PLANE_TILE = 512
+
+_MASK32_U64 = np.uint64(0xFFFFFFFF)
+
+
+def _shoup4(v: np.ndarray, w: np.ndarray, s_lo: np.ndarray,
+            s_hi: np.ndarray, m: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Approximate lazy Shoup multiply: ``v * w mod m`` in ``[0, 4m)``.
+
+    ``s_lo`` / ``s_hi`` are the 32-bit halves of the Shoup constant
+    ``floor(w * 2**64 / m)`` stored as ``uint64`` planes.  The quotient
+    ``q ~= floor(v * s / 2**64)`` is built from the three high partial
+    products only — the ``v0*s_lo`` plane and the mid-sum carry are
+    dropped, which under-estimates the true quotient by at most 2 — so
+    the wrapping remainder lands in ``[0, 4m)`` for *any* ``v < 2**64``.
+    Three plain ``uint64`` multiplies replace the exact
+    :func:`~repro.ckks.modmath.mulhi64` ladder, whose 32-bit-view
+    upcasting costs ~3x a native 64-bit multiply per pass.
+    """
+    sh = v.shape
+    v0 = np.bitwise_and(v, _MASK32_U64, out=workspace_buffer("stk.v0", sh))
+    v1 = np.right_shift(v, np.uint64(32), out=workspace_buffer("stk.v1", sh))
+    p01 = np.multiply(v0, s_hi, out=workspace_buffer("stk.p01", sh))
+    p10 = np.multiply(v1, s_lo, out=workspace_buffer("stk.p10", sh))
+    q = np.multiply(v1, s_hi, out=workspace_buffer("stk.q", sh))
+    np.right_shift(p01, np.uint64(32), out=p01)
+    np.right_shift(p10, np.uint64(32), out=p10)
+    np.add(q, p01, out=q)
+    np.add(q, p10, out=q)
+    r = np.multiply(v, w, out=out)
+    np.multiply(q, m, out=q)
+    np.subtract(r, q, out=r)
+    return r
+
+
+#: NumPy dispatches issued by one ``_shoup4`` call.
+_SHOUP4_OPS = 12
+
+
+def stockham_gate(n: int, max_modulus: int) -> bool:
+    """True when the relaxed ``4m`` lazy bounds of the Stockham engine hold.
+
+    Forward residues grow additively by at most ``4m`` per radix-2 stage
+    (twiddle products stay below ``4m``, butterflies add a ``4m``
+    offset), so the final bound ``(4*log2(n) + 1) * m`` must fit a word;
+    the inverse needs ``8m < 2**64`` for its add branch.  Wider moduli
+    fall back to the strict radix-2 engine.
+    """
+    k = n.bit_length() - 1
+    return ((4 * k + 1) * max_modulus < (1 << 64)
+            and 8 * max_modulus < (1 << 64))
+
+
+class _StockhamPlan:
+    """Precomputed schedule + twiddle planes for one stacked base.
+
+    The transform state lives transposed as ``(limbs, h, B)`` — ``B``
+    transform blocks of ``h`` coefficients each along the columns — in a
+    pair of ping-pong buffers.  Fused radix-4 stages quadruple ``B``
+    (forward) or quarter it (inverse); a lone radix-2 stage absorbs odd
+    ``log2(n)`` (first on the forward side, last on the inverse side, so
+    both sides execute the oracle's stage sequence in order).  All
+    butterfly reads and twiddle multiplies run over contiguous slabs;
+    the auto-sort interleave appears only as strided *writes* (forward)
+    or strided *gathers* (inverse).  Twiddle patterns are pre-tiled to
+    :data:`_PLANE_TILE` so no inner loop sees a stride-0 operand.
+    """
+
+    def __init__(self, contexts: tuple["NttContext", ...],
+                 moduli: ModulusVector) -> None:
+        self.n = n = contexts[0].n
+        self.k = k = n.bit_length() - 1
+        self.num_limbs = L = len(contexts)
+        self.lone = bool(k % 2)
+        psi = np.stack([c.psi_rev for c in contexts])
+        psi_sh = np.stack([c.psi_rev_shoup for c in contexts])
+        ipsi = np.stack([c.psi_inv_rev for c in contexts])
+        ipsi_sh = np.stack([c.psi_inv_rev_shoup for c in contexts])
+        mods = moduli.u64.reshape(L, 1)
+
+        # ----- shared modulus planes -------------------------------------
+        self.tile_n = min(_PLANE_TILE, n)
+        imax = max(_PLANE_TILE, n // 2)
+        self.m_plane = np.ascontiguousarray(
+            np.broadcast_to(mods, (L, imax)))
+        self.m4_plane = self.m_plane * np.uint64(4)
+        # forward normalization chain: bound (4k+1) m -> halving planes
+        bound = 4 * k + 1
+        mult = 1 << max((bound - 1).bit_length() - 1, 0)
+        self.fwd_chain = []
+        while mult >= 1:
+            self.fwd_chain.append(np.ascontiguousarray(
+                self.m_plane[:, :self.tile_n] * np.uint64(mult)))
+            mult //= 2
+        self.inv_chain = [np.ascontiguousarray(
+            self.m_plane[:, :self.tile_n] * np.uint64(2)),
+            np.ascontiguousarray(self.m_plane[:, :self.tile_n])]
+
+        # ----- forward stage tables --------------------------------------
+        def plane(vals: np.ndarray, shoups: np.ndarray, reps: int):
+            w = np.ascontiguousarray(np.tile(vals, (1, reps)))
+            s = np.ascontiguousarray(np.tile(shoups, (1, reps)))
+            return (w, np.bitwise_and(s, _MASK32_U64), s >> np.uint64(32))
+
+        if self.lone:
+            self.fwd_lone = plane(psi[:, 1:2], psi_sh[:, 1:2], self.tile_n)
+        self.fwd_stages = []
+        blocks = 2 if self.lone else 1
+        while blocks < n:
+            B = blocks
+            h = n // B
+            r1 = min(max(1, _PLANE_TILE // B), h // 2)
+            r2 = min(max(1, _PLANE_TILE // B), h // 4)
+            even = plane(psi[:, 2 * B:4 * B:2],
+                         psi_sh[:, 2 * B:4 * B:2], r2)
+            odd = plane(psi[:, 2 * B + 1:4 * B:2],
+                        psi_sh[:, 2 * B + 1:4 * B:2], r2)
+            # pre-stack the sub-block twiddles as (L, 2, 1, I2) planes
+            tab2 = tuple(np.ascontiguousarray(
+                np.stack([e, o], axis=1)[:, :, None, :])
+                for e, o in zip(even, odd))
+            self.fwd_stages.append((
+                B, B * r1,
+                plane(psi[:, B:2 * B], psi_sh[:, B:2 * B], r1),
+                B * r2, tab2,
+            ))
+            blocks *= 4
+
+        # ----- inverse stage tables --------------------------------------
+        n_inv = np.array([[c.n_inv] for c in contexts], dtype=np.uint64)
+        n_inv_sh = np.array([[c.n_inv_shoup] for c in contexts],
+                            dtype=np.uint64)
+        merged = np.array(
+            [[(int(c.psi_inv_rev[1]) * int(c.n_inv)) % c.modulus.value]
+             for c in contexts], dtype=np.uint64)
+        merged_sh = shoup_precompute(merged, moduli)
+        self.inv_stages = []
+        C = n // 2
+        while C >= (4 if self.lone else 2):
+            h = n // (2 * C)
+            rA = min(max(1, _PLANE_TILE // C), h) or 1
+            C2 = C // 2
+            rB = min(max(1, _PLANE_TILE // C2), 2 * h)
+            final = (not self.lone) and C2 == 1
+            if final:
+                sB = plane(merged, merged_sh, rB)
+            else:
+                sB = plane(ipsi[:, C2:2 * C2], ipsi_sh[:, C2:2 * C2], rB)
+            self.inv_stages.append((
+                C,
+                C * rA,
+                plane(ipsi[:, C:2 * C], ipsi_sh[:, C:2 * C], rA),
+                C2 * rB,
+                sB,
+                final,
+            ))
+            C //= 4
+        if self.lone:
+            self.inv_lone = plane(merged, merged_sh, self.tile_n)
+        self.ninv_plane = plane(n_inv, n_inv_sh, self.tile_n)
+
+        # ----- static pass tallies ---------------------------------------
+        # (dispatches, full-matrix pass equivalents) per stage group; the
+        # benchmark harness records these so pass-count regressions are
+        # visible without instrumenting the hot loop.
+        half = 0.5
+        fwd = []
+        if self.lone:
+            fwd.append(("lone", _SHOUP4_OPS + 3,
+                        (_SHOUP4_OPS + 3) * half))
+        for B, _, _, _, _ in self.fwd_stages:
+            fwd.append((f"radix4@B={B}", 2 * (_SHOUP4_OPS + 3),
+                        2 * (_SHOUP4_OPS + 3) * half))
+        fwd.append(("normalize", 2 * len(self.fwd_chain),
+                    2.0 * len(self.fwd_chain)))
+        inv = []
+        for C, _, _, _, _, final in self.inv_stages:
+            ops = 2 * (_SHOUP4_OPS + 7) + (_SHOUP4_OPS if final else 0)
+            inv.append((f"radix4@C={C}", ops, ops * half))
+        if self.lone:
+            inv.append(("lone", 2 * _SHOUP4_OPS + 5,
+                        (2 * _SHOUP4_OPS + 5) * half))
+        inv.append(("normalize", 2 * len(self.inv_chain),
+                    2.0 * len(self.inv_chain)))
+        self.pass_counts = {
+            "engine": "stockham-r4",
+            "forward": _tally(fwd),
+            "inverse": _tally(inv),
+        }
+
+    # ----- helpers -------------------------------------------------------
+
+    def _buffers(self, a: np.ndarray, swaps: int
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Ping/pong pair arranged so the result lands in a fresh array."""
+        L, n = self.num_limbs, self.n
+        fresh = np.empty((L, n), dtype=np.uint64)
+        if swaps % 2 == 0:
+            np.copyto(fresh, a)
+            return fresh, workspace_buffer("stk.pong", (L, n))
+        ping = workspace_buffer("stk.pong", (L, n))
+        np.copyto(ping, a)
+        return ping, fresh
+
+    def _mslice(self, length: int) -> tuple[np.ndarray, np.ndarray]:
+        return (self.m_plane[:, :length].reshape(self.num_limbs, 1, length),
+                self.m4_plane[:, :length].reshape(self.num_limbs, 1, length))
+
+    def _normalize(self, a: np.ndarray, chain: list[np.ndarray]
+                   ) -> np.ndarray:
+        L, n = self.num_limbs, self.n
+        t = self.tile_n
+        x = a.reshape(L, n // t, t)
+        scr = workspace_buffer("stk.corr", x.shape)
+        for plane in chain:
+            np.subtract(x, plane[:, None, :], out=scr)
+            np.minimum(x, scr, out=x)
+        return a
+
+    # ----- transforms ----------------------------------------------------
+
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        """Radix-4 Stockham forward NTT of a ``(num_limbs, n)`` matrix."""
+        L, n = self.num_limbs, self.n
+        a = np.asarray(a, dtype=np.uint64)
+        swaps = (1 if self.lone else 0) + len(self.fwd_stages)
+        cur, nxt = self._buffers(a, swaps)
+        if self.lone:
+            w, s_lo, s_hi = self.fwd_lone
+            h2 = n // 2
+            tl = min(self.tile_n, h2)
+            mI, m4I = self._mslice(tl)
+            u = cur[:, :h2].reshape(L, h2 // tl, tl)
+            v = cur[:, h2:].reshape(L, h2 // tl, tl)
+            t = _shoup4(v, w[:, None, :tl], s_lo[:, None, :tl],
+                        s_hi[:, None, :tl], mI,
+                        workspace_buffer("stk.t1", v.shape))
+            out = nxt.reshape(L, h2, 2)
+            np.add(u.reshape(L, h2), t.reshape(L, h2), out=out[:, :, 0])
+            tmp = np.add(u, m4I, out=workspace_buffer("stk.tmp", u.shape))
+            np.subtract(tmp.reshape(L, h2), t.reshape(L, h2),
+                        out=out[:, :, 1])
+            cur, nxt = nxt, cur
+        for B, I1, (w1, s1lo, s1hi), I2, (w2, s2lo, s2hi) \
+                in self.fwd_stages:
+            h = n // B
+            h4 = h // 4
+            half = n // 2
+            r1 = (L, half // I1, I1)
+            IN = cur.reshape(L, h, B)
+            u = IN[:, :h // 2, :].reshape(r1)
+            v = IN[:, h // 2:, :].reshape(r1)
+            mI, m4I = self._mslice(I1)
+            Y = workspace_buffer("stk.mid", (L, 4, h4 * B))
+            t = _shoup4(v, w1[:, None, :], s1lo[:, None, :],
+                        s1hi[:, None, :], mI,
+                        workspace_buffer("stk.t1", r1))
+            np.add(u, t, out=Y[:, 0:2].reshape(r1))
+            tmp = np.add(u, m4I, out=workspace_buffer("stk.tmp", r1))
+            np.subtract(tmp, t, out=Y[:, 2:4].reshape(r1))
+            # sub-stage 2: multiplicands are the odd quarters y1, y3
+            r2 = (L, 2, (h4 * B) // I2, I2)
+            yo = Y[:, 1::2].reshape(r2)
+            ye = Y[:, 0::2].reshape(r2)
+            mI2, m4I2 = self._mslice(I2)
+            t2 = _shoup4(yo, w2, s2lo, s2hi, mI2[:, None, :, :],
+                         workspace_buffer("stk.t2", r2))
+            OUT = nxt.reshape(L, h4, B, 4)
+            q4 = (L, 2, h4, B)
+            zp = np.moveaxis(OUT[:, :, :, 0::2], 3, 1)
+            zm = np.moveaxis(OUT[:, :, :, 1::2], 3, 1)
+            np.add(ye.reshape(q4), t2.reshape(q4), out=zp)
+            tmp = np.add(ye, m4I2[:, None, :, :],
+                         out=workspace_buffer("stk.tmp", r2))
+            np.subtract(tmp.reshape(q4), t2.reshape(q4), out=zm)
+            cur, nxt = nxt, cur
+        return self._normalize(cur, self.fwd_chain)
+
+    def inverse(self, a: np.ndarray) -> np.ndarray:
+        """Radix-4 Stockham inverse NTT (bit-reversed in, natural out)."""
+        L, n = self.num_limbs, self.n
+        a = np.asarray(a, dtype=np.uint64)
+        swaps = (1 if self.lone else 0) + len(self.inv_stages)
+        cur, nxt = self._buffers(a, swaps)
+        for C, IA, (wA, sAlo, sAhi), IB, (wB, sBlo, sBhi), final \
+                in self.inv_stages:
+            h = n // (2 * C)
+            C2 = C // 2
+            IN = cur.reshape(L, h, 2 * C)
+            MID = workspace_buffer("stk.mid", (L, 2 * h, C))
+            self._gs_substage(IN, MID.reshape(L, 2 * h, C), C, IA,
+                              wA, sAlo, sAhi, scale=None)
+            scale = self.ninv_plane if final else None
+            self._gs_substage(MID.reshape(L, 2 * h, C),
+                              nxt.reshape(L, 4 * h, C2), C2, IB,
+                              wB, sBlo, sBhi, scale=scale)
+            cur, nxt = nxt, cur
+        if self.lone:
+            h2 = n // 2
+            IN = cur.reshape(L, h2, 2)
+            tl = min(self.tile_n, h2)
+            rs = (L, h2 // tl, tl)
+            mI, m4I = self._mslice(tl)
+            U = workspace_buffer("stk.u", rs)
+            V = workspace_buffer("stk.v", rs)
+            np.copyto(U.reshape(L, h2), IN[:, :, 0])
+            np.copyto(V.reshape(L, h2), IN[:, :, 1])
+            W = nxt[:, :h2].reshape(rs)
+            np.add(U, V, out=W)
+            scr = workspace_buffer("stk.cw", rs)
+            np.subtract(W, m4I, out=scr)
+            np.minimum(W, scr, out=W)
+            wN, sNlo, sNhi = self.ninv_plane
+            # in-place is safe: _shoup4 reads v once more only in r = v*w
+            _shoup4(W, wN[:, None, :tl], sNlo[:, None, :tl],
+                    sNhi[:, None, :tl], mI, W)
+            np.add(U, m4I, out=U)
+            np.subtract(U, V, out=U)
+            wM, sMlo, sMhi = self.inv_lone
+            _shoup4(U, wM[:, None, :tl], sMlo[:, None, :tl],
+                    sMhi[:, None, :tl], mI, nxt[:, h2:].reshape(rs))
+            cur, nxt = nxt, cur
+        return self._normalize(cur, self.inv_chain)
+
+    def _gs_substage(self, IN: np.ndarray, OUT: np.ndarray, C2: int,
+                     I: int, w: np.ndarray, s_lo: np.ndarray,
+                     s_hi: np.ndarray, scale) -> None:
+        """One Gentleman-Sande stage: ``(L, h, 2*C2)`` -> ``(L, 2h, C2)``.
+
+        Gathers the interleaved column pairs into contiguous scratch,
+        writes the add branch (corrected once to stay below ``4m``) and
+        the twiddled difference branch as contiguous row slabs.  When
+        ``scale`` is given (the folded ``1/n`` of the final stage) the
+        add branch is additionally Shoup-multiplied by it.
+        """
+        L = IN.shape[0]
+        h = IN.shape[1]
+        rs = (L, (h * C2) // I, I)
+        mI, m4I = self._mslice(I)
+        U = workspace_buffer("stk.u", rs)
+        V = workspace_buffer("stk.v", rs)
+        np.copyto(U.reshape(L, h, C2), IN[:, :, 0::2])
+        np.copyto(V.reshape(L, h, C2), IN[:, :, 1::2])
+        W = OUT[:, :h, :].reshape(rs)
+        np.add(U, V, out=W)
+        scr = workspace_buffer("stk.cw", rs)
+        np.subtract(W, m4I, out=scr)
+        np.minimum(W, scr, out=W)
+        if scale is not None:
+            wN, sNlo, sNhi = scale
+            _shoup4(W, wN[:, None, :I], sNlo[:, None, :I],
+                    sNhi[:, None, :I], mI, W)
+        np.add(U, m4I, out=U)
+        np.subtract(U, V, out=U)
+        _shoup4(U, w[:, None, :], s_lo[:, None, :], s_hi[:, None, :],
+                mI, OUT[:, h:, :].reshape(rs))
+
+
+def _tally(stages: list[tuple[str, int, float]]) -> dict:
+    return {
+        "dispatches": sum(s[1] for s in stages),
+        "matrix_passes": round(sum(s[2] for s in stages), 1),
+        "per_stage": [{"stage": s[0], "dispatches": s[1],
+                       "matrix_passes": s[2]} for s in stages],
+    }
+
+
 @dataclass(frozen=True)
 class BatchedNttContext:
     """Stacked twiddle tables running one butterfly stage across all limbs.
@@ -166,8 +559,10 @@ class BatchedNttContext:
     per-prime :class:`NttContext` tables, and ``forward`` / ``inverse``
     transform a whole ``(num_limbs, n)`` residue matrix per call — the
     software counterpart of the NTTU applying the same stage to every
-    RNS lane simultaneously.  Outputs are bit-identical to running the
-    per-prime contexts row by row.
+    RNS lane simultaneously.  Transforms dispatch to the radix-4
+    Stockham engine (:class:`_StockhamPlan`) when the base's moduli fit
+    its relaxed lazy bounds, else to the strict radix-2 path.  Outputs
+    are bit-identical to running the per-prime contexts row by row.
     """
 
     moduli: ModulusVector
@@ -188,6 +583,9 @@ class BatchedNttContext:
     #: stage — provably stay below 2**64; one halving chain of
     #: conditional subtractions then normalizes the whole matrix.
     fwd_growth_ok: bool
+    #: Radix-4 Stockham schedule, or None when the moduli are too wide
+    #: for its relaxed lazy bounds (see :func:`stockham_gate`).
+    plan: "_StockhamPlan | None" = None
 
     @classmethod
     def from_contexts(cls, contexts: tuple[NttContext, ...]
@@ -201,6 +599,9 @@ class BatchedNttContext:
         psi_inv_last = np.array(
             [[[(int(c.psi_inv_rev[1]) * int(c.n_inv)) % c.modulus.value]]
              for c in contexts], dtype=np.uint64)
+        max_m = max(m.value for m in moduli.moduli)
+        plan = (_StockhamPlan(contexts, moduli)
+                if n >= 2 and stockham_gate(n, max_m) else None)
         return cls(
             moduli=moduli,
             n=n,
@@ -215,8 +616,8 @@ class BatchedNttContext:
             psi_inv_last=psi_inv_last,
             psi_inv_last_shoup=shoup_precompute(
                 psi_inv_last, moduli.expand(2)),
-            fwd_growth_ok=(2 * (n.bit_length() - 1) + 3)
-            * max(m.value for m in moduli.moduli) < (1 << 64),
+            fwd_growth_ok=(2 * (n.bit_length() - 1) + 3) * max_m < (1 << 64),
+            plan=plan,
         )
 
     @property
@@ -231,6 +632,42 @@ class BatchedNttContext:
     def forward(self, a: np.ndarray) -> np.ndarray:
         """Batched negacyclic NTT of a ``(num_limbs, n)`` matrix.
 
+        Dispatches to the radix-4 Stockham engine when the base's moduli
+        fit its lazy bounds, else to the strict radix-2 path.  Both are
+        bit-identical to the per-prime scalar contexts.
+        """
+        self._check_shape(a)
+        if self.plan is not None:
+            return self.plan.forward(a)
+        return self._forward_radix2(a)
+
+    def inverse(self, a: np.ndarray) -> np.ndarray:
+        """Batched inverse negacyclic NTT of a ``(num_limbs, n)`` matrix."""
+        self._check_shape(a)
+        if self.plan is not None:
+            return self.plan.inverse(a)
+        return self._inverse_radix2(a)
+
+    def pass_counts(self) -> dict:
+        """Static per-stage dispatch / matrix-pass tallies of the engine."""
+        if self.plan is not None:
+            return self.plan.pass_counts
+        k = self.n.bit_length() - 1
+        # strict radix-2 path: per stage 2 gathers, ~15-dispatch exact
+        # Shoup ladder over the half matrix, 3 butterfly ops.
+        per_stage = 2 + 15 + 3
+        return {
+            "engine": "radix2-strict",
+            "forward": _tally([(f"radix2@{i}", per_stage, per_stage * 0.5)
+                               for i in range(k)]),
+            "inverse": _tally([(f"radix2@{i}", per_stage + 2,
+                                (per_stage + 2) * 0.5)
+                               for i in range(k)]),
+        }
+
+    def _forward_radix2(self, a: np.ndarray) -> np.ndarray:
+        """Strict radix-2 forward (the PR-1 engine, any moduli < 2**62).
+
         Each stage gathers the butterfly halves into contiguous scratch,
         runs the element-wise passes at full memory speed, and writes
         the two results back — cheaper than letting every pass walk the
@@ -240,7 +677,6 @@ class BatchedNttContext:
         twiddle multiply tolerates any 64-bit input — and the matrix is
         normalized to canonical residues once at the end.
         """
-        self._check_shape(a)
         a = np.array(a, dtype=np.uint64, copy=True)
         limbs = self.num_limbs
         m3 = self.moduli.expand(2)
@@ -280,15 +716,14 @@ class BatchedNttContext:
             _correct_once(a, mv)
         return a
 
-    def inverse(self, a: np.ndarray) -> np.ndarray:
-        """Batched inverse negacyclic NTT of a ``(num_limbs, n)`` matrix.
+    def _inverse_radix2(self, a: np.ndarray) -> np.ndarray:
+        """Strict radix-2 inverse (the PR-1 engine, any moduli < 2**62).
 
-        Same lazy-reduction scheme as :meth:`forward`, with the final
-        1/n scaling folded into the last butterfly stage; residues stay
-        in ``[0, 2m)`` between stages and are normalized once at the
-        end.
+        Same lazy-reduction scheme as :meth:`_forward_radix2`, with the
+        final 1/n scaling folded into the last butterfly stage; residues
+        stay in ``[0, 2m)`` between stages and are normalized once at
+        the end.
         """
-        self._check_shape(a)
         a = np.array(a, dtype=np.uint64, copy=True)
         limbs = self.num_limbs
         m3 = self.moduli.expand(2)

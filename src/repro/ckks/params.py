@@ -232,6 +232,7 @@ class RingContext:
         self._p_inv_columns: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._rescale_inv_columns: dict[int, tuple[np.ndarray,
                                                    np.ndarray]] = {}
+        self._mod_up_plans: dict[int, tuple] = {}
 
     # ----- bases -------------------------------------------------------------
 
@@ -303,6 +304,34 @@ class RingContext:
             cached = scalar_columns(residues,
                                     tuple(p.value for p in base))
             self._rescale_inv_columns[level] = cached
+        return cached
+
+    def mod_up_plan(self, level: int) -> tuple:
+        """Cached per-slice ModUp layout over ``C_level + B``.
+
+        One entry per decomposition block:
+        ``(slice_base, complement_base, own_rows, conv_rows)`` where the
+        row lists place the block's own (NTT-reused) limbs and the
+        BConv-converted limbs inside the target-base residue matrix.
+        ``raise_decomposition`` walks this plan and runs one stacked
+        forward transform across every slice's converted limbs.
+        """
+        cached = self._mod_up_plans.get(level)
+        if cached is None:
+            target = self.base_qp(level)
+            plans = []
+            for start, stop in self.decomposition_blocks(level):
+                slice_base = self.base_q(level)[start:stop]
+                block_values = {p.value for p in slice_base}
+                complement = tuple(p for p in target
+                                   if p.value not in block_values)
+                own_rows = [i for i, p in enumerate(target)
+                            if p.value in block_values]
+                conv_rows = [i for i, p in enumerate(target)
+                             if p.value not in block_values]
+                plans.append((slice_base, complement, own_rows, conv_rows))
+            cached = tuple(plans)
+            self._mod_up_plans[level] = cached
         return cached
 
     def decomposition_blocks(self, level: int) -> list[tuple[int, int]]:

@@ -237,6 +237,71 @@ class RnsPolynomial:
         return RnsPolynomial(self.base, out, False)
 
 
+class StackedTransform:
+    """One shared batched NTT over several limb-stacked polynomials.
+
+    ModUp's per-slice complement conversions and ModDown's ``(b, a)``
+    accumulator pair each need the *same* transform applied to several
+    residue matrices; concatenating them along the limb axis and running
+    a single batched transform per base amortizes the per-stage NumPy
+    dispatch cost across every stacked limb — the software analogue of
+    the BTS NTTU streaming independent limb groups through one butterfly
+    schedule (and the transform-reuse FAB leans on to keep its NTT fed).
+    The stacked context is cached by the concatenated ``(q, psi)`` chain
+    like any other base, and outputs are bit-identical to transforming
+    each polynomial on its own.
+    """
+
+    @staticmethod
+    def _stacked_context(polys: list["RnsPolynomial"]):
+        return batched_ntt_context(
+            tuple(p.ntt for poly in polys for p in poly.base))
+
+    @staticmethod
+    def _validate(polys: list["RnsPolynomial"], is_ntt: bool) -> None:
+        if not polys:
+            raise ValueError("need at least one polynomial to stack")
+        n = polys[0].n
+        for p in polys:
+            if p.n != n:
+                raise ValueError("stacked polynomials must share a degree")
+            if p.is_ntt != is_ntt:
+                raise ValueError("stacked polynomials are in mixed domains")
+
+    @staticmethod
+    def _split(polys: list["RnsPolynomial"], out: np.ndarray,
+               is_ntt: bool) -> list["RnsPolynomial"]:
+        results = []
+        row = 0
+        for p in polys:
+            stop = row + p.num_limbs
+            results.append(RnsPolynomial(p.base, out[row:stop], is_ntt))
+            row = stop
+        return results
+
+    @classmethod
+    def forward(cls, polys: list["RnsPolynomial"]
+                ) -> list["RnsPolynomial"]:
+        """Batched forward NTT of every polynomial in one shared pass."""
+        cls._validate(polys, is_ntt=False)
+        if len(polys) == 1:
+            return [polys[0].to_ntt()]
+        ctx = cls._stacked_context(polys)
+        out = ctx.forward(np.concatenate([p.residues for p in polys]))
+        return cls._split(polys, out, is_ntt=True)
+
+    @classmethod
+    def inverse(cls, polys: list["RnsPolynomial"]
+                ) -> list["RnsPolynomial"]:
+        """Batched inverse NTT of every polynomial in one shared pass."""
+        cls._validate(polys, is_ntt=True)
+        if len(polys) == 1:
+            return [polys[0].from_ntt()]
+        ctx = cls._stacked_context(polys)
+        out = ctx.inverse(np.concatenate([p.residues for p in polys]))
+        return cls._split(polys, out, is_ntt=False)
+
+
 @lru_cache(maxsize=256)
 def _galois_permutation(n: int, galois_elt: int
                         ) -> tuple[np.ndarray, np.ndarray,

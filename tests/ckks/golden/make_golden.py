@@ -1,0 +1,110 @@
+"""Regenerate the frozen golden vectors (``golden_small.json``).
+
+Run from the repository root after an *intentional* numerics change::
+
+    PYTHONPATH=src python tests/ckks/golden/make_golden.py
+
+The pipeline (encode -> encrypt -> HMult -> rescale -> decrypt) is fully
+deterministic: prime generation is a fixed search, the key generator and
+samplers run from a seeded ``np.random.default_rng``, and every kernel
+is exact integer arithmetic.  ``tests/ckks/test_golden_vectors.py``
+replays the pipeline and compares the SHA-256 of every intermediate
+residue matrix, so a kernel rewrite that silently shifts any bit of the
+numerics fails loudly.  Do NOT regenerate to make a red test green
+unless you can explain exactly why the numerics were meant to change
+(see tests/README.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_small.json"
+
+PARAMS = dict(n=1 << 6, l=7, dnum=2, scale_bits=40, q0_bits=45,
+              p_bits=45, h=8)
+KEY_SEED = 2024
+MESSAGE_SEED = 11
+SCALE = 2.0 ** 40
+N_SLOTS = 16
+
+
+def _digest(poly) -> str:
+    """SHA-256 over the residue matrix bytes + base + domain flag."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(poly.residues).tobytes())
+    h.update(repr([p.value for p in poly.base]).encode())
+    h.update(b"ntt" if poly.is_ntt else b"coeff")
+    return h.hexdigest()
+
+
+def build_pipeline() -> dict:
+    from repro.ckks.encoder import Encoder
+    from repro.ckks.evaluator import Evaluator
+    from repro.ckks.keys import KeyGenerator
+    from repro.ckks.params import CkksParams, RingContext
+
+    params = CkksParams.functional(**PARAMS)
+    ring = RingContext(params)
+    kg = KeyGenerator(ring, seed=KEY_SEED)
+    ev = Evaluator(ring, relin_key=kg.gen_relinearization_key())
+    enc = Encoder(ring)
+
+    rng = np.random.default_rng(MESSAGE_SEED)
+    z0 = rng.normal(size=N_SLOTS) + 1j * rng.normal(size=N_SLOTS)
+    z1 = rng.normal(size=N_SLOTS) + 1j * rng.normal(size=N_SLOTS)
+
+    pt0 = enc.encode(z0, SCALE)
+    pt1 = enc.encode(z1, SCALE)
+    ct0 = kg.encrypt_symmetric(pt0.poly, SCALE, N_SLOTS)
+    ct1 = kg.encrypt_symmetric(pt1.poly, SCALE, N_SLOTS)
+    raw = ev.multiply(ct0, ct1, rescale=False)
+    prod = ev.rescale(raw)
+    decrypted = ev.decrypt(prod, kg.secret)
+    message = ev.decrypt_to_message(prod, kg.secret)
+
+    stages = {
+        "encode.pt0": _digest(pt0.poly),
+        "encode.pt1": _digest(pt1.poly),
+        "encrypt.ct0.b": _digest(ct0.b),
+        "encrypt.ct0.a": _digest(ct0.a),
+        "encrypt.ct1.b": _digest(ct1.b),
+        "encrypt.ct1.a": _digest(ct1.a),
+        "hmult.raw.b": _digest(raw.b),
+        "hmult.raw.a": _digest(raw.a),
+        "rescale.b": _digest(prod.b),
+        "rescale.a": _digest(prod.a),
+        "decrypt.pt": _digest(decrypted.poly),
+    }
+    return {
+        "schema": "ckks_golden/v1",
+        "params": PARAMS,
+        "key_seed": KEY_SEED,
+        "message_seed": MESSAGE_SEED,
+        "scale_log2": 40,
+        "n_slots": N_SLOTS,
+        "prime_chain": [p.value for p in ring.base_qp(ring.max_level)],
+        "stages": stages,
+        "expected_product": {
+            "real": [float(x) for x in (z0 * z1).real],
+            "imag": [float(x) for x in (z0 * z1).imag],
+        },
+        "decrypted_message": {
+            "real": [float(x) for x in message.real],
+            "imag": [float(x) for x in message.imag],
+        },
+    }
+
+
+def main() -> None:
+    payload = build_pipeline()
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

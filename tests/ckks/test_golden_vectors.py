@@ -1,0 +1,66 @@
+"""Replay the frozen golden vectors (see tests/ckks/golden/).
+
+Every intermediate of a fixed-seed encode -> encrypt -> HMult ->
+rescale -> decrypt pipeline must hash to exactly the checked-in value.
+A kernel rewrite that changes any output bit anywhere along the chain —
+NTT, BConv, modular arithmetic, sampling — fails here even if the
+decrypted message still looks numerically fine.  Regeneration is a
+deliberate act: ``PYTHONPATH=src python tests/ckks/golden/make_golden.py``.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+GOLDEN_PATH = (Path(__file__).resolve().parent / "golden"
+               / "golden_small.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def replayed(golden):
+    import sys
+    sys.path.insert(0, str(GOLDEN_PATH.parent))
+    try:
+        from make_golden import build_pipeline
+    finally:
+        sys.path.pop(0)
+    return build_pipeline()
+
+
+class TestGoldenVectors:
+    def test_prime_chain_is_stable(self, golden, replayed):
+        assert replayed["prime_chain"] == golden["prime_chain"]
+
+    def test_every_stage_hash_matches(self, golden, replayed):
+        mismatched = [name for name, digest in golden["stages"].items()
+                      if replayed["stages"].get(name) != digest]
+        assert not mismatched, (
+            f"golden-vector drift at stages {mismatched}: a kernel "
+            "change shifted the numerics; if intentional, regenerate "
+            "via tests/ckks/golden/make_golden.py and explain why in "
+            "the commit message")
+
+    def test_no_stage_disappeared(self, golden, replayed):
+        assert set(replayed["stages"]) == set(golden["stages"])
+
+    def test_decrypted_message_matches_frozen_values(self, golden,
+                                                     replayed):
+        for key in ("real", "imag"):
+            assert np.array_equal(
+                np.array(replayed["decrypted_message"][key]),
+                np.array(golden["decrypted_message"][key]))
+
+    def test_pipeline_is_numerically_sound(self, golden):
+        """The frozen ciphertext really decrypts to z0 * z1."""
+        got = (np.array(golden["decrypted_message"]["real"])
+               + 1j * np.array(golden["decrypted_message"]["imag"]))
+        want = (np.array(golden["expected_product"]["real"])
+                + 1j * np.array(golden["expected_product"]["imag"]))
+        assert np.max(np.abs(got - want)) < 1e-4

@@ -1,0 +1,194 @@
+"""Differential suite for the radix-4 Stockham NTT engine.
+
+The Stockham engine rewrites the numerical core of every transform, so
+it is locked down three ways:
+
+* hypothesis-driven bit-identity against the scalar ``NttContext``
+  oracle across random ring degrees (odd and even ``log2(N)``), limb
+  counts and modulus widths — including widths that force the strict
+  radix-2 fallback;
+* convolution correctness against the O(N^2) schoolbook reference;
+* structural checks: engine selection by :func:`stockham_gate`,
+  ping-pong buffers never mutating the input, and the static pass-count
+  report the benchmarks record.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks.modmath import mul_mod
+from repro.ckks.ntt import (
+    BatchedNttContext,
+    NttContext,
+    batched_ntt_context,
+    negacyclic_convolution_reference,
+    stockham_gate,
+)
+from repro.ckks.primes import ntt_friendly_primes
+
+#: (n, bits) -> tuple[NttContext, ...]; hypothesis re-draws the same
+#: configurations many times and context creation is O(n) per prime.
+_CTX_CACHE: dict = {}
+
+
+def _contexts(n: int, bits: int, limbs: int) -> tuple[NttContext, ...]:
+    key = (n, bits)
+    cached = _CTX_CACHE.get(key)
+    if cached is None:
+        primes = ntt_friendly_primes(bits, 4, n)
+        cached = tuple(NttContext.create(q, n) for q in primes)
+        _CTX_CACHE[key] = cached
+    return cached[:limbs]
+
+
+def _random_matrix(ctxs, rng) -> np.ndarray:
+    n = ctxs[0].n
+    return np.stack([rng.integers(0, c.modulus.value, size=n,
+                                  dtype=np.uint64) for c in ctxs])
+
+
+class TestDifferentialVsScalarOracle:
+    """The batched engine must match the per-limb oracle bit for bit."""
+
+    @given(exp=st.integers(min_value=4, max_value=12),
+           bits=st.sampled_from([30, 42, 50, 58]),
+           limbs=st.integers(min_value=1, max_value=4),
+           seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_forward_bit_identical(self, exp, bits, limbs, seed):
+        ctxs = _contexts(1 << exp, bits, limbs)
+        batched = batched_ntt_context(ctxs)
+        a = _random_matrix(ctxs, np.random.default_rng(seed))
+        got = batched.forward(a)
+        ref = np.stack([c.forward(a[i]) for i, c in enumerate(ctxs)])
+        assert np.array_equal(got, ref)
+
+    @given(exp=st.integers(min_value=4, max_value=12),
+           bits=st.sampled_from([30, 42, 50, 58]),
+           limbs=st.integers(min_value=1, max_value=4),
+           seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_bit_identical_and_roundtrip(self, exp, bits, limbs,
+                                                 seed):
+        ctxs = _contexts(1 << exp, bits, limbs)
+        batched = batched_ntt_context(ctxs)
+        a = _random_matrix(ctxs, np.random.default_rng(seed))
+        fwd = np.stack([c.forward(a[i]) for i, c in enumerate(ctxs)])
+        got = batched.inverse(fwd)
+        ref = np.stack([c.inverse(fwd[i]) for i, c in enumerate(ctxs)])
+        assert np.array_equal(got, ref)
+        assert np.array_equal(got, a)
+
+    @pytest.mark.parametrize("exp", [4, 5, 6, 7, 10, 11])
+    def test_odd_and_even_log2_n(self, exp):
+        """The lone radix-2 fix-up stage (odd log2) matches the oracle."""
+        ctxs = _contexts(1 << exp, 50, 3)
+        batched = batched_ntt_context(ctxs)
+        rng = np.random.default_rng(exp)
+        a = _random_matrix(ctxs, rng)
+        fwd = batched.forward(a)
+        assert np.array_equal(
+            fwd, np.stack([c.forward(a[i]) for i, c in enumerate(ctxs)]))
+        assert np.array_equal(batched.inverse(fwd), a)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_strict_fallback_matches_oracle(self, seed):
+        """60-bit moduli exceed the 4m bounds and take the strict path."""
+        n = 256
+        primes = ntt_friendly_primes(60, 2, n)
+        ctxs = tuple(NttContext.create(q, n) for q in primes)
+        batched = batched_ntt_context(ctxs)
+        assert batched.plan is None
+        a = _random_matrix(ctxs, np.random.default_rng(seed))
+        fwd = batched.forward(a)
+        assert np.array_equal(
+            fwd, np.stack([c.forward(a[i]) for i, c in enumerate(ctxs)]))
+        assert np.array_equal(batched.inverse(fwd), a)
+
+
+class TestConvolution:
+    @given(exp=st.integers(min_value=4, max_value=6),
+           seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_schoolbook_reference(self, exp, seed):
+        n = 1 << exp
+        ctxs = _contexts(n, 42, 2)
+        batched = batched_ntt_context(ctxs)
+        rng = np.random.default_rng(seed)
+        a = _random_matrix(ctxs, rng)
+        b = _random_matrix(ctxs, rng)
+        prod = batched.inverse(mul_mod(batched.forward(a),
+                                       batched.forward(b),
+                                       batched.moduli))
+        for i, c in enumerate(ctxs):
+            ref = negacyclic_convolution_reference(a[i], b[i],
+                                                   c.modulus.value)
+            assert np.array_equal(prod[i], ref)
+
+
+class TestEngineStructure:
+    def test_gate_selects_engine(self):
+        assert stockham_gate(2048, (1 << 50) - 27)
+        assert stockham_gate(2048, (1 << 58) - 1)
+        assert not stockham_gate(2048, 1 << 60)
+        # the forward growth bound tightens with the stage count
+        assert stockham_gate(16, (1 << 59) - 1)
+        assert not stockham_gate(1 << 12, 1 << 59)
+
+    def test_input_not_mutated_by_ping_pong(self):
+        ctxs = _contexts(128, 50, 2)
+        batched = batched_ntt_context(ctxs)
+        assert batched.plan is not None
+        rng = np.random.default_rng(7)
+        a = _random_matrix(ctxs, rng)
+        saved = a.copy()
+        fwd = batched.forward(a)
+        assert np.array_equal(a, saved)
+        batched.inverse(fwd)
+        assert np.array_equal(a, saved)
+
+    def test_outputs_are_fresh_arrays(self):
+        """Results must not alias the reusable ping-pong workspace."""
+        ctxs = _contexts(64, 50, 2)
+        batched = batched_ntt_context(ctxs)
+        rng = np.random.default_rng(8)
+        a = _random_matrix(ctxs, rng)
+        first = batched.forward(a)
+        snapshot = first.copy()
+        batched.forward(_random_matrix(ctxs, rng))  # would clobber a view
+        assert np.array_equal(first, snapshot)
+        inv_first = batched.inverse(first)
+        inv_snapshot = inv_first.copy()
+        batched.inverse(snapshot)
+        assert np.array_equal(inv_first, inv_snapshot)
+
+    def test_pass_counts_report(self):
+        ctxs = _contexts(1 << 11, 50, 2)
+        report = batched_ntt_context(ctxs).pass_counts()
+        assert report["engine"] == "stockham-r4"
+        for direction in ("forward", "inverse"):
+            assert report[direction]["dispatches"] > 0
+            assert report[direction]["matrix_passes"] > 0
+            assert report[direction]["per_stage"]
+        strict = batched_ntt_context(
+            tuple(NttContext.create(q, 64)
+                  for q in ntt_friendly_primes(60, 1, 64))).pass_counts()
+        assert strict["engine"] == "radix2-strict"
+
+    def test_radix4_halves_stage_dispatches(self):
+        """The fused engine must dispatch fewer kernels than radix-2."""
+        ctxs = _contexts(1 << 10, 50, 2)   # even log2: purely radix-4
+        report = batched_ntt_context(ctxs).pass_counts()
+        strict = batched_ntt_context(
+            tuple(NttContext.create(q, 1 << 10)
+                  for q in ntt_friendly_primes(60, 2, 1 << 10))
+        ).pass_counts()
+        assert (report["forward"]["dispatches"]
+                < strict["forward"]["dispatches"])
+
+    def test_empty_context_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedNttContext.from_contexts(())

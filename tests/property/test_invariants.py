@@ -163,3 +163,122 @@ class TestCiphertextInvariants:
         ab = ev.decrypt_to_message(ev.multiply(ct0, ct1), kg.secret)
         ba = ev.decrypt_to_message(ev.multiply(ct1, ct0), kg.secret)
         assert np.max(np.abs(ab - ba)) < 1e-6
+
+
+# ---- stacked-transform / base-conversion invariants -------------------------------
+
+
+def _random_poly(ring, base, rng, is_ntt=False):
+    from repro.ckks.rns import RnsPolynomial
+    residues = np.stack([rng.integers(0, p.value, size=ring.n,
+                                      dtype=np.uint64) for p in base])
+    return RnsPolynomial(base, residues, is_ntt)
+
+
+class TestStackedTransformInvariants:
+    @given(st.integers(min_value=0, max_value=2**32),
+           st.integers(min_value=2, max_value=4))
+    @settings(max_examples=15, deadline=None)
+    def test_stack_forward_split_equals_per_poly(self, seed, count):
+        """stack -> forward -> split must be bit-identical per polynomial."""
+        from repro.ckks.rns import StackedTransform
+        from tests.property._shared import shared_setup
+        ring, _, _, _ = shared_setup()
+        rng = np.random.default_rng(seed)
+        bases = [ring.base_q(2 + (i % (ring.max_level - 1)))
+                 for i in range(count)]
+        polys = [_random_poly(ring, b, rng) for b in bases]
+        stacked = StackedTransform.forward(polys)
+        for poly, got in zip(polys, stacked):
+            solo = poly.to_ntt()
+            assert got.base == solo.base
+            assert got.is_ntt
+            assert np.array_equal(got.residues, solo.residues)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=15, deadline=None)
+    def test_stack_inverse_roundtrip(self, seed):
+        from repro.ckks.rns import StackedTransform
+        from tests.property._shared import shared_setup
+        ring, _, _, _ = shared_setup()
+        rng = np.random.default_rng(seed)
+        polys = [_random_poly(ring, ring.base_qp(3), rng) for _ in range(3)]
+        back = StackedTransform.inverse(StackedTransform.forward(polys))
+        for poly, got in zip(polys, back):
+            assert not got.is_ntt
+            assert np.array_equal(got.residues, poly.residues)
+
+    def test_mixed_domains_rejected(self):
+        from repro.ckks.rns import StackedTransform
+        from tests.property._shared import shared_setup
+        ring, _, _, _ = shared_setup()
+        rng = np.random.default_rng(0)
+        a = _random_poly(ring, ring.base_q(2), rng, is_ntt=False)
+        b = _random_poly(ring, ring.base_q(2), rng, is_ntt=True)
+        with pytest.raises(ValueError):
+            StackedTransform.forward([a, b])
+        with pytest.raises(ValueError):
+            StackedTransform.forward([])
+
+
+class TestModUpModDownInvariants:
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=10, deadline=None)
+    def test_mod_up_represents_x_plus_u_qblock(self, seed):
+        """ModUp output is X + u * Q_block with the HPS-bounded |u|."""
+        import math
+        from repro.ckks.keyswitch import mod_up
+        from repro.ckks.rns import RnsPolynomial, crt_reconstruct
+        from tests.property._shared import shared_setup
+        ring, _, _, _ = shared_setup()
+        rng = np.random.default_rng(seed)
+        level = int(rng.integers(1, ring.max_level + 1))
+        slice_base, _, _, _ = ring.mod_up_plan(level)[0]
+        coeffs = rng.integers(-(1 << 20), 1 << 20, size=ring.n)
+        x = RnsPolynomial.from_signed_coeffs(coeffs, slice_base)
+        raised = mod_up(x.to_ntt(), level, ring)
+        assert raised.base == ring.base_qp(level)
+        recon = crt_reconstruct(raised.from_ntt())
+        q_block = math.prod(p.value for p in slice_base)
+        for got, c in zip(recon, coeffs):
+            residue = int(c) % q_block
+            diff = int(got) - residue
+            assert diff % q_block == 0
+            assert abs(diff // q_block) <= len(slice_base)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=10, deadline=None)
+    def test_mod_down_inverts_multiply_by_p_at_every_level(self, seed):
+        """mod_down(X * P) == X exactly, for every level."""
+        from repro.ckks.keyswitch import mod_down
+        from repro.ckks.rns import RnsPolynomial
+        from tests.property._shared import shared_setup
+        ring, _, _, _ = shared_setup()
+        rng = np.random.default_rng(seed)
+        coeffs = rng.integers(-(1 << 30), 1 << 30, size=ring.n)
+        for level in range(ring.max_level + 1):
+            x_qp = RnsPolynomial.from_signed_coeffs(
+                coeffs, ring.base_qp(level))
+            y = x_qp.mul_int(ring.p_product).to_ntt()
+            got = mod_down(y, level, ring).from_ntt()
+            want = RnsPolynomial.from_signed_coeffs(
+                coeffs, ring.base_q(level))
+            assert got.base == want.base
+            assert np.array_equal(got.residues, want.residues)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=10, deadline=None)
+    def test_mod_down_pair_bit_identical_to_singles(self, seed):
+        from repro.ckks.keyswitch import mod_down, mod_down_pair
+        from tests.property._shared import shared_setup
+        ring, _, _, _ = shared_setup()
+        rng = np.random.default_rng(seed)
+        for level in (0, 2, ring.max_level):
+            base = ring.base_qp(level)
+            pb = _random_poly(ring, base, rng, is_ntt=True)
+            pa = _random_poly(ring, base, rng, is_ntt=True)
+            got_b, got_a = mod_down_pair(pb, pa, level, ring)
+            want_b = mod_down(pb, level, ring)
+            want_a = mod_down(pa, level, ring)
+            assert np.array_equal(got_b.residues, want_b.residues)
+            assert np.array_equal(got_a.residues, want_a.residues)
