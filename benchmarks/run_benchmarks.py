@@ -1,8 +1,9 @@
 """Machine-readable wall-clock benchmarks of the functional CKKS hot paths.
 
-Times the kernel engine (NTT, HMult, HRot, small bootstrap) and writes
-``BENCH_functional.json`` mapping kernel -> median seconds, so every
-future PR has a perf trajectory to regress against::
+Times the kernel engine (NTT, HMult, HRot, hoisted rotation batches,
+small bootstrap) and writes ``BENCH_functional.json`` mapping
+kernel -> median seconds, so every future PR has a perf trajectory to
+regress against::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py
     PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke   # CI
@@ -73,6 +74,13 @@ def _median_seconds(fn, reps: int, warmup: int = 1) -> float:
     return statistics.median(samples)
 
 
+#: BSGS-sized rotation set for the hoisting benchmark: the baby + giant
+#: amounts of a 64-diagonal transform (what one CoeffToSlot level of a
+#: 64-slot bootstrap streams through the key-switch path).
+ROTATION_BATCH_AMOUNTS = tuple(sorted(
+    {b for b in range(1, 8)} | {8 * g for g in range(1, 8)}))
+
+
 def build_hmult_fixture():
     from repro.ckks.encoder import Encoder
     from repro.ckks.evaluator import Evaluator
@@ -85,6 +93,7 @@ def build_hmult_fixture():
     kg = KeyGenerator(ring, seed=1)
     ev = Evaluator(ring, relin_key=kg.gen_relinearization_key(),
                    rotation_keys={1: kg.gen_rotation_key(1)})
+    kg.ensure_rotation_keys(ev, ROTATION_BATCH_AMOUNTS)
     enc = Encoder(ring)
     rng = np.random.default_rng(0)
     n_slots = params.slots_max
@@ -131,6 +140,30 @@ def bench_hmult_rotate(ev, ct, ct_other,
     }
 
 
+def bench_rotation_batch(ev, ct, reps: int) -> dict[str, tuple[float, int]]:
+    """Hoisted vs sequential HRot over a BSGS-sized rotation set.
+
+    ``rotation_batch_hoisted`` shares one decompose/ModUp of ``ct.a``
+    across all amounts (``Evaluator.rotate_hoisted``);
+    ``rotation_batch_sequential`` pays it per rotation.  Both produce
+    bit-identical ciphertexts, so the ratio is pure hoisting win — the
+    kernel that gates the CoeffToSlot/SlotToCoeff baby-step path.
+    """
+    amounts = list(ROTATION_BATCH_AMOUNTS)
+
+    def sequential():
+        for amount in amounts:
+            ev.rotate(ct, amount)
+
+    return {
+        "rotation_batch_hoisted":
+            (_median_seconds(lambda: ev.rotate_hoisted(ct, amounts), reps),
+             reps),
+        "rotation_batch_sequential":
+            (_median_seconds(sequential, reps), reps),
+    }
+
+
 def bench_bootstrap_small(reps: int) -> dict[str, tuple[float, int]]:
     from repro.ckks.bootstrap import BootstrapConfig, Bootstrapper
     from repro.ckks.encoder import Encoder
@@ -157,11 +190,27 @@ def bench_bootstrap_small(reps: int) -> dict[str, tuple[float, int]]:
     def run():
         result[0] = bs.bootstrap(ct)
 
-    out = {"bootstrap_small": (_median_seconds(run, reps, warmup=0), reps)}
+    # warmup=1 (like every other kernel): the steady-state pipeline is
+    # what the trajectory tracks; the first run additionally builds the
+    # per-level stacked-NTT twiddle planes, a one-time context cost.
+    out = {"bootstrap_small": (_median_seconds(run, reps, warmup=1), reps)}
     got = ev.decrypt_to_message(result[0], kg.secret)
     err = float(np.max(np.abs(got - z)))
     if err > 5e-2:  # sanity: a fast-but-wrong bootstrap must not pass
         raise AssertionError(f"bootstrap error {err} out of tolerance")
+
+    # CoeffToSlot at 32 slots: one BSGS matrix with a 7-rotation hoisted
+    # baby-step group — the direct gate on the hoisted BSGS path (the
+    # 4-slot bootstrap above only has a single baby rotation).
+    bs32 = Bootstrapper(ev, BootstrapConfig(
+        n_slots=32, sine=SineConfig(k_range=12, degree=63,
+                                    double_angles=2)))
+    bs32.generate_keys(kg)
+    z32 = np.linspace(-0.4, 0.4, 32) + 0j
+    ct32 = kg.encrypt_symmetric(enc.encode(z32, 2.0 ** 40).poly,
+                                2.0 ** 40, 32)
+    out["coeff_to_slot_32"] = (
+        _median_seconds(lambda: bs32.coeff_to_slot(ct32), reps), reps)
     return out
 
 
@@ -256,6 +305,9 @@ def main() -> None:
     ntt_reps = reps if args.reps is not None else max(reps, 21)
     kernels.update(bench_ntt(ring, ntt_reps))
     kernels.update(bench_hmult_rotate(ev, ct, ct_other, reps))
+    kernels.update(bench_rotation_batch(ev, ct,
+                                        max(1, reps if args.smoke
+                                            else reps // 2)))
     if not args.smoke:
         kernels.update(bench_bootstrap_small(max(1, reps // 3)))
 

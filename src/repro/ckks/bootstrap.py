@@ -104,17 +104,22 @@ class Bootstrapper:
             step *= 2
         return amounts
 
-    def generate_keys(self, keygen: KeyGenerator) -> None:
-        """Populate the evaluator with every key bootstrapping needs."""
+    def generate_keys(self, keygen: KeyGenerator,
+                      extra_rotations=()) -> None:
+        """Populate the evaluator with every key bootstrapping needs.
+
+        ``extra_rotations`` lets the caller fold an application's own
+        rotation amounts (BSGS plans, runtime programs) into the same
+        union, so amounts shared between bootstrapping and the app are
+        keyed exactly once.
+        """
         ev = self.evaluator
         if ev.relin_key is None:
             ev.relin_key = keygen.gen_relinearization_key()
         if ev.conjugation_key is None:
             ev.conjugation_key = keygen.gen_conjugation_key()
-        for amount in sorted(self.required_rotations(self.ring.n,
-                                                     self.config.n_slots)):
-            if amount not in ev.rotation_keys:
-                ev.rotation_keys[amount] = keygen.gen_rotation_key(amount)
+        amounts = self.required_rotations(self.ring.n, self.config.n_slots)
+        keygen.ensure_rotation_keys(ev, amounts | set(extra_rotations))
 
     # ----- transform construction -------------------------------------------------
 

@@ -196,9 +196,29 @@ class Evaluator:
 
     def _apply_galois(self, ct: Ciphertext, galois_elt: int,
                       evk: EvaluationKey) -> Ciphertext:
-        b_rot = ct.b.from_ntt().galois(galois_elt).to_ntt()
-        a_rot = ct.a.from_ntt().galois(galois_elt).to_ntt()
-        ks_b, ks_a = key_switch(a_rot, evk, ct.level, self.ring)
+        from repro.ckks.keyswitch import hoist_decomposition
+
+        hoisted = hoist_decomposition(ct.a, ct.level, self.ring)
+        return self._galois_from_hoisted(ct, ct.b.from_ntt(), hoisted,
+                                         galois_elt, evk)
+
+    def _galois_from_hoisted(self, ct: Ciphertext, b_coeff, hoisted,
+                             galois_elt: int,
+                             evk: EvaluationKey) -> Ciphertext:
+        """Finish a galois op from a hoisted decomposition of ``ct.a``.
+
+        Every galois op — single HRot, HConj, and each rotation of a
+        hoisted batch — funnels through this one path, which is what
+        makes :meth:`rotate_hoisted` *bit-identical* to sequential
+        :meth:`rotate` calls: the only difference between the two is
+        whether the hoisted halves are shared or recomputed, and both
+        halves are deterministic.
+        """
+        from repro.ckks.keyswitch import key_switch_raised, raise_hoisted
+
+        raised = raise_hoisted(hoisted, galois_elt, ct.level, self.ring)
+        ks_b, ks_a = key_switch_raised(raised, evk, ct.level, self.ring)
+        b_rot = b_coeff.galois(galois_elt).to_ntt()
         # (b', a') decrypts under s(X^g); fold the key-switch so the result
         # decrypts under s:  b_out - a_out*s = b' - (ks_b - ks_a*s) = m(X^g).
         return Ciphertext(b_rot.sub(ks_b), ks_a.neg(), ct.scale, ct.n_slots)
@@ -219,14 +239,14 @@ class Evaluator:
         """Many rotations of one ciphertext, sharing a single ModUp.
 
         The hoisting optimization of [12] (also used by Lattigo): the
-        expensive decompose-and-raise step runs once on ``ct.a``, and
-        each rotation then only permutes the raised slices (the
-        automorphism commutes with the coefficient-wise ModUp),
-        multiplies with its own evk and mods down.  Functionally
-        identical to calling :meth:`rotate` per amount.
+        expensive decompose-and-convert step (one iNTT of ``ct.a`` plus
+        every ModUp BConv) runs once, and each rotation then only
+        permutes the coefficient-domain slices, transforms them forward,
+        multiplies with its own evk and mods down.  Bit-identical to
+        calling :meth:`rotate` per amount — both run the same
+        :meth:`_galois_from_hoisted` path.
         """
-        from repro.ckks.keyswitch import key_switch_raised, \
-            raise_decomposition
+        from repro.ckks.keyswitch import hoist_decomposition
 
         unique = sorted({a % ct.n_slots for a in amounts})
         out: dict[int, Ciphertext] = {}
@@ -240,19 +260,13 @@ class Evaluator:
                 pending.append(amount)
         if not pending:
             return out
-        raised = raise_decomposition(ct.a, ct.level, self.ring)
-        raised_coeff = [r.from_ntt() for r in raised]
+        hoisted = hoist_decomposition(ct.a, ct.level, self.ring)
         b_coeff = ct.b.from_ntt()
         for amount in pending:
             galois_elt = pow(5, amount, 2 * self.ring.n)
-            rot_slices = [r.galois(galois_elt).to_ntt()
-                          for r in raised_coeff]
-            ks_b, ks_a = key_switch_raised(
-                rot_slices, self.rotation_keys[amount], ct.level,
-                self.ring)
-            b_rot = b_coeff.galois(galois_elt).to_ntt()
-            out[amount] = Ciphertext(b_rot.sub(ks_b), ks_a.neg(),
-                                     ct.scale, ct.n_slots)
+            out[amount] = self._galois_from_hoisted(
+                ct, b_coeff, hoisted, galois_elt,
+                self.rotation_keys[amount])
         return out
 
     def conjugate(self, ct: Ciphertext) -> Ciphertext:

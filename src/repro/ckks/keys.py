@@ -98,6 +98,12 @@ class KeyGenerator:
         self.secret = SecretKey(
             RnsPolynomial.from_signed_coeffs(secret_coeffs,
                                              full_base).to_ntt())
+        # evk dedupe: every galois key is cached by its galois element
+        # (and the relin key as a singleton), so bootstrap stages and
+        # BSGS plans that share rotation amounts never regenerate an
+        # identical evk — each one is ~dnum full-base ct pairs of work.
+        self._galois_keys: dict[int, EvaluationKey] = {}
+        self._relin_key: EvaluationKey | None = None
 
     # ----- public / encryption ------------------------------------------------
 
@@ -152,8 +158,10 @@ class KeyGenerator:
 
     def gen_relinearization_key(self) -> EvaluationKey:
         """evk_mult: switches the s^2 component of a tensor product."""
-        s = self.secret.poly
-        return self.gen_switching_key(s.mul(s))
+        if self._relin_key is None:
+            s = self.secret.poly
+            self._relin_key = self.gen_switching_key(s.mul(s))
+        return self._relin_key
 
     def gen_rotation_key(self, amount: int) -> EvaluationKey:
         """evk_rot^(r): switches s(X^(5^r)) back to s."""
@@ -165,10 +173,31 @@ class KeyGenerator:
         return self.gen_galois_key(2 * self.ring.n - 1)
 
     def gen_galois_key(self, galois_elt: int) -> EvaluationKey:
-        target = (self.secret.poly.from_ntt()
-                  .galois(galois_elt)
-                  .to_ntt())
-        return self.gen_switching_key(target)
+        cached = self._galois_keys.get(galois_elt)
+        if cached is None:
+            target = (self.secret.poly.from_ntt()
+                      .galois(galois_elt)
+                      .to_ntt())
+            cached = self.gen_switching_key(target)
+            self._galois_keys[galois_elt] = cached
+        return cached
+
+    def ensure_rotation_keys(self, evaluator,
+                             amounts) -> dict[int, EvaluationKey]:
+        """Populate an evaluator with the union of rotation amounts.
+
+        Callers collect every amount a whole program will need —
+        bootstrap stages, BSGS plans, runtime rotation batches — and
+        make one call, so shared amounts are keyed once (and the keygen
+        cache guarantees an identical evk is never regenerated even
+        across evaluators).  Amount 0 is a no-op rotation and skipped.
+        Returns the evaluator's (now complete) rotation-key dict.
+        """
+        for amount in sorted({int(a) for a in amounts}):
+            if amount and amount not in evaluator.rotation_keys:
+                evaluator.rotation_keys[amount] = \
+                    self.gen_rotation_key(amount)
+        return evaluator.rotation_keys
 
     # ----- direct (secret-key) encryption, used by tests -------------------------
 

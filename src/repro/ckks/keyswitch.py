@@ -14,6 +14,12 @@ limb axis and runs one :class:`~repro.ckks.rns.StackedTransform` pass;
 :func:`mod_down_pair` does the same for the two halves of a key-switch
 accumulator (one stacked iNTT, one coefficient-stacked BConv, one
 stacked NTT).  Both are bit-identical to the per-polynomial path.
+
+Hoisting: for galois ops (HRot/HConj) the decompose-and-convert half is
+rotation-independent, so :func:`hoist_decomposition` computes it once in
+the coefficient domain and :func:`raise_hoisted` finishes it per galois
+element — one rotation pays one stacked forward transform, and a BSGS
+group of rotations shares the iNTT and every BConv.
 """
 
 from __future__ import annotations
@@ -124,6 +130,57 @@ def mod_down_pair(poly_b: RnsPolynomial, poly_a: RnsPolynomial, level: int,
         q_part = RnsPolynomial(base_q, poly.residues[:level + 1], True)
         outs.append(q_part.sub(corr).mul_scalar_columns(cols, cols_shoup))
     return outs[0], outs[1]
+
+
+def hoist_decomposition(poly: RnsPolynomial, level: int, ring: RingContext
+                        ) -> tuple[tuple[RnsPolynomial, RnsPolynomial], ...]:
+    """The rotation-independent half of a galois key-switch.
+
+    Runs one shared iNTT of ``poly`` and the per-slice BConv of ModUp,
+    but stops *before* the forward transform: the returned
+    ``(own_coeff, converted_coeff)`` pairs stay in the coefficient
+    domain, where the automorphism is a cheap permutation.  Hoisting
+    [12] computes this once per ciphertext and shares it across every
+    rotation of a BSGS group; :func:`raise_hoisted` finishes the job for
+    one galois element.  (Applying the automorphism *after* ModUp flips
+    the slice representative from ``[g(a)]_{Q_j}`` to ``-[a]_{Q_j}``
+    permuted; the two differ by a multiple of ``Q_j``, which the evk
+    gadget absorbs up to noise — same guarantee as classic hoisting.)
+    """
+    if not poly.is_ntt:
+        raise ValueError("hoist_decomposition expects an NTT polynomial")
+    coeff = poly.from_ntt()  # one batched iNTT shared by every rotation
+    parts = []
+    for slice_base, complement, _, _ in ring.mod_up_plan(level):
+        own = coeff.restrict(slice_base)
+        parts.append((own, base_convert(own, complement)))
+    return tuple(parts)
+
+
+def raise_hoisted(parts: tuple[tuple[RnsPolynomial, RnsPolynomial], ...],
+                  galois_elt: int, level: int, ring: RingContext
+                  ) -> list[RnsPolynomial]:
+    """Permute hoisted slices by ``X -> X^galois_elt`` and NTT them.
+
+    The rotation-dependent half of a hoisted key-switch: applies the
+    automorphism to every own/converted coefficient block of
+    :func:`hoist_decomposition` and runs one stacked forward transform
+    over all of them (the same ``beta * (level+1+k)`` limb rows the
+    non-hoisted path transforms, in a single dispatch).  The result
+    feeds :func:`key_switch_raised` unchanged.
+    """
+    plan = ring.mod_up_plan(level)
+    rotated: list[RnsPolynomial] = []
+    for own, converted in parts:
+        rotated.append(own.galois(galois_elt))
+        rotated.append(converted.galois(galois_elt))
+    ntts = StackedTransform.forward(rotated)
+    target_base = ring.base_qp(level)
+    return [
+        _assemble_raised(target_base, ntts[2 * i], ntts[2 * i + 1],
+                         own_rows, conv_rows)
+        for i, (_, _, own_rows, conv_rows) in enumerate(plan)
+    ]
 
 
 def raise_decomposition(poly: RnsPolynomial, level: int,

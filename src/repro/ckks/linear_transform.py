@@ -81,11 +81,11 @@ class LinearTransform:
             raise ValueError(
                 f"transform is {n}-slot but ciphertext has {ct.n_slots}")
         g = bsgs_split(n)
-        # Baby steps: rot_b(ct) for every live baby index.
+        # Baby steps: rot_b(ct) for every live baby index, hoisted — the
+        # whole group shares one decompose/ModUp of ct.a (Section 3.3's
+        # "long sequence of HRots" collapses to one shared raise).
         baby_needed = sorted({d % g for d in self.diagonals})
-        babies: dict[int, Ciphertext] = {}
-        for b in baby_needed:
-            babies[b] = ct.clone() if b == 0 else evaluator.rotate(ct, b)
+        babies = evaluator.rotate_hoisted(ct, baby_needed)
 
         # Giant steps: group diagonals by their giant offset.
         groups: dict[int, list[int]] = {}

@@ -1,0 +1,37 @@
+"""Homomorphic program runtime: op-graph IR, planner, executor, lowering.
+
+Record a CKKS computation once as a lazy op graph, then get both a
+functional result (executed against the :mod:`repro.ckks` evaluator with
+hoisted rotation batches, lazy rescale and automatic bootstrap
+placement) and a cycle-level BTS timing estimate (lowered to the
+:mod:`repro.core` simulator's HEOp trace) from the same definition.
+"""
+
+from repro.runtime.executor import ExecutionError, execute
+from repro.runtime.ir import Expr, Node, OpCode, Program
+from repro.runtime.lowering import LoweredProgram, lower_to_trace
+from repro.runtime.planner import (
+    NodeMeta,
+    Plan,
+    PlannerConfig,
+    PlanningError,
+    RotationBatch,
+    plan_program,
+)
+
+__all__ = [
+    "ExecutionError",
+    "Expr",
+    "LoweredProgram",
+    "Node",
+    "NodeMeta",
+    "OpCode",
+    "Plan",
+    "PlannerConfig",
+    "PlanningError",
+    "Program",
+    "RotationBatch",
+    "execute",
+    "lower_to_trace",
+    "plan_program",
+]

@@ -1,0 +1,166 @@
+"""Plan executor: runs a planned op graph against the functional library.
+
+The executor is deliberately thin — all scheduling decisions (rescale
+placement, bootstrap insertion, rotation batching) were made by the
+planner; here every node becomes exactly one
+:class:`~repro.ckks.evaluator.Evaluator` call, except rotation batches,
+which collapse into a single
+:meth:`~repro.ckks.evaluator.Evaluator.rotate_hoisted` call per source
+ciphertext (one shared decompose/ModUp for the whole group).
+
+Two runtime guarantees:
+
+- **Reference counting** — intermediate ciphertexts are dropped at their
+  last use (the software analogue of the deterministic-dataflow
+  scratchpad management of Section 5.3), so peak memory follows the
+  program's live set, not its length.
+- **Metadata validation** — after every node the produced ciphertext's
+  level must equal the planned level and its scale must match the
+  planned scale (the planner tracks scales with the ring's actual prime
+  values, so disagreement means a planner/evaluator semantics drift —
+  fail loudly rather than decrypt garbage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.evaluator import SCALE_RTOL, Evaluator
+from repro.runtime.ir import OpCode
+from repro.runtime.planner import Plan
+
+
+class ExecutionError(RuntimeError):
+    """Executed state diverged from the plan (or a key/input is missing)."""
+
+
+def execute(plan: Plan, evaluator: Evaluator,
+            inputs: dict[str, Ciphertext],
+            bootstrapper=None,
+            validate: bool = True) -> dict[str, Ciphertext]:
+    """Run ``plan`` and return the named output ciphertexts.
+
+    ``inputs`` maps the program's input names to ciphertexts encrypted
+    at the planner's assumed input level/scale.  ``bootstrapper`` is
+    required iff the plan contains BOOTSTRAP nodes (its evaluator must
+    be ``evaluator``).
+    """
+    program, config = plan.program, plan.config
+    missing = set(program.inputs) - set(inputs)
+    if missing:
+        raise ExecutionError(f"missing program inputs: {sorted(missing)}")
+
+    refcount: dict[int, int] = {}
+    for nid in plan.order:
+        for arg in plan.nodes[nid].args:
+            refcount[arg] = refcount.get(arg, 0) + 1
+    for out_id in plan.outputs.values():
+        refcount[out_id] = refcount.get(out_id, 0) + 1
+
+    values: dict[int, Ciphertext] = {}
+    batch_results: dict[int, dict[int, Ciphertext]] = {}
+    batch_pending: dict[int, int] = {
+        i: len(b.members) for i, b in enumerate(plan.batches)}
+
+    def consume(nid: int) -> Ciphertext:
+        ct = values[nid]
+        refcount[nid] -= 1
+        if refcount[nid] == 0:
+            del values[nid]
+        return ct
+
+    for nid in plan.order:
+        node = plan.nodes[nid]
+        op = node.op
+        meta = plan.meta[nid]
+        if op is OpCode.INPUT:
+            ct = inputs[node.name]
+            if ct.n_slots != program.n_slots:
+                raise ExecutionError(
+                    f"input {node.name!r} has {ct.n_slots} slots, program "
+                    f"declares {program.n_slots}")
+            if ct.level < meta.level:
+                raise ExecutionError(
+                    f"input {node.name!r} at level {ct.level}, planner "
+                    f"assumed {meta.level}")
+            if ct.level > meta.level:
+                ct = evaluator.drop_to_level(ct, meta.level)
+            if abs(ct.scale - meta.scale) > SCALE_RTOL * meta.scale:
+                raise ExecutionError(
+                    f"input {node.name!r} at scale {ct.scale:.6g}, planner "
+                    f"assumed {meta.scale:.6g}")
+            result = ct
+        elif op is OpCode.HMULT:
+            result = evaluator.multiply(consume(node.args[0]),
+                                        consume(node.args[1]),
+                                        rescale=False)
+        elif op is OpCode.PMULT:
+            ct = consume(node.args[0])
+            pt = evaluator.encoder.encode(
+                np.asarray(node.payload, dtype=np.complex128),
+                meta.enc_scale, level=ct.level)
+            result = evaluator.multiply_plain(ct, pt)
+        elif op is OpCode.CMULT:
+            result = evaluator.multiply_scalar(
+                consume(node.args[0]), node.payload, scale=meta.enc_scale)
+        elif op is OpCode.HADD:
+            result = evaluator.add(consume(node.args[0]),
+                                   consume(node.args[1]))
+        elif op is OpCode.HSUB:
+            result = evaluator.sub(consume(node.args[0]),
+                                   consume(node.args[1]))
+        elif op is OpCode.NEG:
+            result = evaluator.negate(consume(node.args[0]))
+        elif op is OpCode.HROT:
+            batch_index = plan.batch_of.get(nid)
+            if batch_index is None:
+                result = evaluator.rotate(consume(node.args[0]),
+                                          node.rotation)
+            else:
+                hoisted = batch_results.get(batch_index)
+                if hoisted is None:
+                    batch = plan.batches[batch_index]
+                    source = values[batch.source]  # consumed per member
+                    hoisted = evaluator.rotate_hoisted(
+                        source, batch.amounts(plan.nodes))
+                    batch_results[batch_index] = hoisted
+                consume(node.args[0])
+                result = hoisted[node.rotation]
+                batch_pending[batch_index] -= 1
+                if batch_pending[batch_index] == 0:
+                    del batch_results[batch_index]  # free unconsumed rots
+        elif op is OpCode.CONJ:
+            result = evaluator.conjugate(consume(node.args[0]))
+        elif op is OpCode.RESCALE:
+            result = evaluator.rescale(consume(node.args[0]))
+        elif op is OpCode.BOOTSTRAP:
+            if bootstrapper is None:
+                raise ExecutionError(
+                    "plan contains bootstrap nodes but no bootstrapper "
+                    "was provided")
+            ct = consume(node.args[0])
+            if ct.level > 0:
+                ct = evaluator.drop_to_level(ct, 0)
+            result = bootstrapper.bootstrap(ct)
+        else:  # pragma: no cover - enum is closed
+            raise ExecutionError(f"unhandled op {op}")
+
+        if validate:
+            if result.level != meta.level:
+                raise ExecutionError(
+                    f"node {nid} ({op.value}) produced level "
+                    f"{result.level}, planned {meta.level}")
+            if abs(result.scale - meta.scale) > SCALE_RTOL * meta.scale:
+                raise ExecutionError(
+                    f"node {nid} ({op.value}) produced scale "
+                    f"{result.scale:.6g}, planned {meta.scale:.6g}")
+        if refcount.get(nid, 0) > 0:
+            values[nid] = result
+
+    outputs: dict[str, Ciphertext] = {}
+    for name, nid in plan.outputs.items():
+        if nid not in values:  # pragma: no cover - refcounts pin outputs
+            raise ExecutionError(f"output {name!r} was freed before return")
+        outputs[name] = values[nid]
+    return outputs

@@ -1,0 +1,219 @@
+"""Lazy op-graph IR for whole homomorphic programs.
+
+BTS is motivated by *programs* — bootstrapping and HELR/ResNet are long
+sequences of primitive HE ops whose cost is dominated by shared
+key-switching structure (Section 3.3).  This module records a CKKS
+computation as a DAG of :class:`Node` records instead of executing it
+eagerly, so the planner (:mod:`repro.runtime.planner`) can see the whole
+program at once: place rescales lazily, batch rotations that share a
+source into one hoisted ModUp, drop dead values, and insert bootstraps
+when the level budget runs out.  The same graph then has two backends —
+functional execution against the :class:`~repro.ckks.evaluator.Evaluator`
+(:mod:`repro.runtime.executor`) and lowering to the ``HEOp`` trace the
+BTS cycle simulator consumes (:mod:`repro.runtime.lowering`).
+
+Programs are built through :class:`Expr` handles with ordinary operator
+overloading::
+
+    prog = Program(n_slots=16)
+    x = prog.input("x")
+    w = prog.input("w")
+    acc = x * w                       # HMult (no eager rescale)
+    for step in (1, 2, 4, 8):
+        acc = acc + acc.rotate(step)  # rotation batch candidates
+    prog.output("dot", acc)
+
+Nodes carry only *what* to compute (op, operands, rotation amount,
+plaintext payload); level and scale metadata is assigned by the planner,
+never stored in the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+
+class OpCode(str, Enum):
+    """Primitive IR node kinds (the Section 2.3 ops plus bootstrap)."""
+
+    INPUT = "input"
+    HADD = "hadd"
+    HSUB = "hsub"
+    NEG = "neg"
+    HMULT = "hmult"
+    PMULT = "pmult"
+    CMULT = "cmult"
+    HROT = "hrot"
+    CONJ = "conj"
+    RESCALE = "rescale"
+    BOOTSTRAP = "bootstrap"
+
+    @property
+    def is_mult(self) -> bool:
+        """Ops that multiply scales (and therefore interact with rescale)."""
+        return self in (OpCode.HMULT, OpCode.PMULT, OpCode.CMULT)
+
+    @property
+    def needs_evk(self) -> bool:
+        """Ops that key-switch (HMult and the galois ops)."""
+        return self in (OpCode.HMULT, OpCode.HROT, OpCode.CONJ)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One IR node: pure data, no execution state.
+
+    ``payload`` holds the plaintext operand of PMULT (a slot vector) or
+    CMULT (one scalar); ``payload_scale`` optionally pins its encoding
+    scale (``None`` lets the planner pick the level's prime, the exact
+    scale-management default the evaluator uses).  ``name`` labels
+    INPUT nodes.
+    """
+
+    id: int
+    op: OpCode
+    args: tuple[int, ...]
+    rotation: int = 0
+    payload: object = None
+    payload_scale: float | None = None
+    name: str = ""
+
+    def with_args(self, args: tuple[int, ...]) -> "Node":
+        return Node(self.id, self.op, args, self.rotation, self.payload,
+                    self.payload_scale, self.name)
+
+
+class Expr:
+    """Builder handle: wraps (program, node id) with operator sugar."""
+
+    __slots__ = ("program", "node_id")
+
+    #: keep numpy from broadcasting ``ndarray * Expr`` element-wise:
+    #: ufuncs return NotImplemented so ``__rmul__`` sees the whole array
+    #: and emits one PMULT instead of one CMULT per slot.
+    __array_ufunc__ = None
+
+    def __init__(self, program: "Program", node_id: int) -> None:
+        self.program = program
+        self.node_id = node_id
+
+    # ----- arithmetic --------------------------------------------------------
+
+    def _binary(self, op: OpCode, other: "Expr") -> "Expr":
+        if not isinstance(other, Expr):
+            raise TypeError(f"{op.value} needs two ciphertext expressions")
+        if other.program is not self.program:
+            raise ValueError("expressions belong to different programs")
+        return self.program._emit(op, (self.node_id, other.node_id))
+
+    def __add__(self, other: "Expr") -> "Expr":
+        return self._binary(OpCode.HADD, other)
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return self._binary(OpCode.HSUB, other)
+
+    def __neg__(self) -> "Expr":
+        return self.program._emit(OpCode.NEG, (self.node_id,))
+
+    def __mul__(self, other) -> "Expr":
+        if isinstance(other, Expr):
+            return self._binary(OpCode.HMULT, other)
+        if isinstance(other, (int, float, complex)):
+            return self.program._emit(OpCode.CMULT, (self.node_id,),
+                                      payload=complex(other))
+        if isinstance(other, (np.ndarray, list, tuple)):
+            vec = np.asarray(other, dtype=np.complex128)
+            if vec.shape != (self.program.n_slots,):
+                raise ValueError(
+                    f"plaintext vector must have {self.program.n_slots} "
+                    f"slots, got shape {vec.shape}")
+            return self.program._emit(OpCode.PMULT, (self.node_id,),
+                                      payload=vec)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    # ----- structural ops ----------------------------------------------------
+
+    def rotate(self, amount: int) -> "Expr":
+        """HRot by ``amount`` slots (0 mod n_slots folds to identity)."""
+        amount = amount % self.program.n_slots
+        if amount == 0:
+            return self
+        return self.program._emit(OpCode.HROT, (self.node_id,),
+                                  rotation=amount)
+
+    def conjugate(self) -> "Expr":
+        return self.program._emit(OpCode.CONJ, (self.node_id,))
+
+    def rescale(self) -> "Expr":
+        """Explicit HRescale (the planner also inserts these lazily)."""
+        return self.program._emit(OpCode.RESCALE, (self.node_id,))
+
+    def bootstrap(self) -> "Expr":
+        """Explicit bootstrap (the planner also inserts these on demand)."""
+        return self.program._emit(OpCode.BOOTSTRAP, (self.node_id,))
+
+
+@dataclass
+class Program:
+    """A recorded op graph: append-only node list plus named endpoints.
+
+    Nodes are stored in creation order, which is always a valid
+    topological order (an ``Expr`` can only reference already-created
+    nodes), so passes walk ``nodes`` front to back.
+    """
+
+    n_slots: int
+    name: str = "program"
+    nodes: list[Node] = field(default_factory=list)
+    inputs: dict[str, int] = field(default_factory=dict)
+    outputs: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_slots < 1 or self.n_slots & (self.n_slots - 1):
+            raise ValueError("n_slots must be a power of two")
+
+    # ----- construction ------------------------------------------------------
+
+    def _emit(self, op: OpCode, args: tuple[int, ...], *, rotation: int = 0,
+              payload: object = None, payload_scale: float | None = None,
+              name: str = "") -> Expr:
+        for arg in args:
+            if not 0 <= arg < len(self.nodes):
+                raise ValueError(f"unknown operand node {arg}")
+        node = Node(len(self.nodes), op, args, rotation, payload,
+                    payload_scale, name)
+        self.nodes.append(node)
+        return Expr(self, node.id)
+
+    def input(self, name: str) -> Expr:
+        """Declare a named ciphertext input."""
+        if name in self.inputs:
+            raise ValueError(f"duplicate input {name!r}")
+        expr = self._emit(OpCode.INPUT, (), name=name)
+        self.inputs[name] = expr.node_id
+        return expr
+
+    def output(self, name: str, expr: Expr) -> None:
+        """Mark ``expr`` as a named program result (roots liveness)."""
+        if expr.program is not self:
+            raise ValueError("expression belongs to a different program")
+        if name in self.outputs:
+            raise ValueError(f"duplicate output {name!r}")
+        self.outputs[name] = expr.node_id
+
+    # ----- queries -----------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def required_rotations(self) -> set[int]:
+        """Every HRot amount the un-planned graph mentions."""
+        return {n.rotation for n in self.nodes if n.op is OpCode.HROT}
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,116 @@
+"""Lowering: compile a planned op graph to the BTS accelerator trace IR.
+
+One program definition, two backends: :mod:`repro.runtime.executor`
+produces the functional result, and this pass produces the
+:class:`~repro.workloads.trace.Trace` of :class:`HEOp` records that
+:class:`~repro.core.simulator.BtsSimulator` executes for a cycle-level
+timing estimate.
+
+Lowering contract (what each IR node becomes):
+
+=========  ==========================================================
+IR node    HEOp emission
+=========  ==========================================================
+INPUT      a fresh ciphertext id (no op; the trace assumes residency)
+HMULT      ``HMult`` at the planned (min-operand) level
+PMULT      ``PMult`` with a stable plaintext-operand id per node
+CMULT      ``CMult``
+HADD       ``HAdd``
+HSUB       ``HAdd`` (same element-wise cost shape on the MMAU)
+NEG        ``CMult`` (one scalar pass over both components)
+HROT       ``HRot`` with the node's rotation amount
+CONJ       ``HConj``
+RESCALE    ``HRescale`` at the *input's* level (the level it divides)
+BOOTSTRAP  the full analytic pipeline of
+           :class:`~repro.workloads.bootstrap_trace.BootstrapTraceBuilder`
+           (ModRaise/SubSum/CtS/EvalMod/StC), spliced in place
+=========  ==========================================================
+
+Rotation batches do **not** collapse in the lowered trace: the BTS
+hardware model executes every HRot's key-switch individually (hoisting
+is a software-runtime optimization the paper's accelerator does not
+model), so the simulator sees the same op stream the paper schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckks.params import CkksParams
+from repro.runtime.ir import OpCode
+from repro.runtime.planner import Plan, PlanningError
+from repro.workloads.bootstrap_trace import BootstrapPhases, \
+    BootstrapTraceBuilder
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class LoweredProgram:
+    """A lowered trace plus the node-id -> ciphertext-id mapping."""
+
+    trace: Trace
+    ct_ids: dict[int, int]
+
+    def summary(self) -> dict[str, int]:
+        return self.trace.summary()
+
+
+def lower_to_trace(plan: Plan, params: CkksParams | None = None,
+                   phases: BootstrapPhases | None = None,
+                   phase: str | None = None) -> LoweredProgram:
+    """Compile ``plan`` into an accelerator trace.
+
+    ``params`` (+ optional ``phases``) configures the bootstrap
+    expansion and is required iff the plan contains BOOTSTRAP nodes; the
+    builder's output level must agree with the planner's
+    ``bootstrap_level`` so the op levels of the spliced pipeline line up
+    with the surrounding program.
+    """
+    program = plan.program
+    phase = phase if phase is not None else f"app.{program.name}"
+    trace = Trace(name=program.name)
+    builder: BootstrapTraceBuilder | None = None
+    if any(plan.nodes[nid].op is OpCode.BOOTSTRAP for nid in plan.order):
+        if params is None:
+            raise PlanningError(
+                "plan contains bootstrap nodes: lowering needs CkksParams "
+                "for the bootstrap trace expansion")
+        builder = BootstrapTraceBuilder(params, phases,
+                                        n_slots=program.n_slots)
+        if plan.config.bootstrap_level is not None \
+                and builder.output_level != plan.config.bootstrap_level:
+            raise PlanningError(
+                f"bootstrap trace lands at level {builder.output_level} "
+                f"but the plan assumed {plan.config.bootstrap_level}")
+
+    ct_ids: dict[int, int] = {}
+    for nid in plan.order:
+        node = plan.nodes[nid]
+        meta = plan.meta[nid]
+        op = node.op
+        if op is OpCode.INPUT:
+            ct_ids[nid] = trace.new_ct()
+            continue
+        args = tuple(ct_ids[a] for a in node.args)
+        if op is OpCode.HMULT:
+            out = trace.hmult(args[0], args[1], meta.level, phase=phase)
+        elif op is OpCode.PMULT:
+            out = trace.pmult(args[0], meta.level, phase=phase)
+        elif op in (OpCode.CMULT, OpCode.NEG):
+            out = trace.cmult(args[0], meta.level, phase=phase)
+        elif op in (OpCode.HADD, OpCode.HSUB):
+            out = trace.hadd(args[0], args[1], meta.level, phase=phase)
+        elif op is OpCode.HROT:
+            out = trace.hrot(args[0], node.rotation, meta.level,
+                             phase=phase)
+        elif op is OpCode.CONJ:
+            out = trace.hconj(args[0], meta.level, phase=phase)
+        elif op is OpCode.RESCALE:
+            out = trace.hrescale(args[0], meta.level + 1, phase=phase)
+        elif op is OpCode.BOOTSTRAP:
+            assert builder is not None
+            out = builder.emit(trace, args[0])
+        else:  # pragma: no cover - enum is closed
+            raise PlanningError(f"unhandled op {op}")
+        ct_ids[nid] = out
+    return LoweredProgram(trace=trace, ct_ids=ct_ids)

@@ -26,7 +26,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.ckks.params import CkksParams
+from repro.runtime.ir import Program
 from repro.workloads.bootstrap_trace import BootstrapPhases, \
     BootstrapTraceBuilder
 from repro.workloads.trace import Trace
@@ -145,3 +148,122 @@ def build_helr_trace(params: CkksParams,
 
     return HelrWorkload(trace=trace, params=params, config=config,
                         bootstrap_count=boots)
+
+
+def helr_data_ct_count(config: HelrConfig, n_slots: int) -> int:
+    """Ciphertexts needed to pack the batch matrix at ``n_slots`` slots."""
+    return max(1, math.ceil(config.batch * config.padded_features
+                            / n_slots))
+
+
+def build_helr_program(config: HelrConfig, n_slots: int,
+                       learning_rate: float = 0.01,
+                       momentum_gamma: float = 0.9) -> Program:
+    """The HELR iteration as a runtime op-graph program.
+
+    The *executable* twin of :func:`build_helr_trace`: the same
+    per-iteration structure (inner products with a rotate-and-add column
+    reduction, a polynomial sigmoid consuming ``sigmoid_depth`` levels,
+    the gradient row reduction, and the Nesterov update), recorded as a
+    lazy IR so the planner places rescales, batches rotations, and
+    inserts bootstraps automatically.  The sigmoid is evaluated as one
+    squaring per level — build the analytic trace with
+    ``sigmoid_mults=1`` to compare op counts exactly.
+
+    :func:`helr_program_reference` mirrors the recorded arithmetic in
+    NumPy; a functional execution must match it slot for slot.
+    """
+    prog = Program(n_slots=n_slots, name="helr")
+    data = [prog.input(f"data{i}")
+            for i in range(helr_data_ct_count(config, n_slots))]
+    weights = prog.input("weights")
+    momentum = prog.input("momentum")
+    col_steps = int(math.log2(config.padded_features))
+    row_steps = int(math.log2(config.batch))
+
+    for _ in range(config.iterations):
+        # 1. inner products: X_i * beta, rotate-reduce over columns.
+        partials = []
+        for data_ct in data:
+            acc = data_ct * weights
+            for step in range(col_steps):
+                acc = acc + acc.rotate(1 << step)
+            partials.append(acc)
+        z = partials[0]
+        for part in partials[1:]:
+            z = z + part
+        # 2. sigmoid surrogate: one squaring per multiplicative level.
+        for _ in range(config.sigmoid_depth):
+            z = z * z
+        # 3. gradient: sigma * X_i, rotate-reduce over rows.
+        grads = []
+        for data_ct in data:
+            g = z * data_ct
+            for step in range(row_steps):
+                amount = ((1 << step) * config.padded_features) % n_slots
+                if amount == 0:
+                    # stride wrapped the ciphertext; cross-ct adds below
+                    continue
+                g = g + g.rotate(amount)
+            grads.append(g)
+        grad = grads[0]
+        for g in grads[1:]:
+            grad = grad + g
+        # 4. Nesterov update of weights and momentum.
+        step_ct = grad * learning_rate
+        weights = momentum * momentum_gamma + step_ct
+        momentum = weights + step_ct
+
+    prog.output("weights", weights)
+    prog.output("momentum", momentum)
+    return prog
+
+
+def helr_program_reference(inputs: dict[str, np.ndarray],
+                           config: HelrConfig, n_slots: int,
+                           learning_rate: float = 0.01,
+                           momentum_gamma: float = 0.9
+                           ) -> dict[str, np.ndarray]:
+    """NumPy mirror of :func:`build_helr_program` (slot semantics).
+
+    ``inputs`` maps the program's input names to length-``n_slots``
+    vectors; HRot by ``r`` is ``np.roll(v, -r)``, matching CKKS slot
+    rotation.  Kept structurally parallel to the builder so the two
+    cannot drift apart silently.
+    """
+    data = [np.asarray(inputs[f"data{i}"], dtype=np.complex128)
+            for i in range(helr_data_ct_count(config, n_slots))]
+    weights = np.asarray(inputs["weights"], dtype=np.complex128)
+    momentum = np.asarray(inputs["momentum"], dtype=np.complex128)
+    col_steps = int(math.log2(config.padded_features))
+    row_steps = int(math.log2(config.batch))
+
+    for _ in range(config.iterations):
+        partials = []
+        for data_vec in data:
+            acc = data_vec * weights
+            for step in range(col_steps):
+                acc = acc + np.roll(acc, -(1 << step))
+            partials.append(acc)
+        z = partials[0]
+        for part in partials[1:]:
+            z = z + part
+        for _ in range(config.sigmoid_depth):
+            z = z * z
+        grads = []
+        for data_vec in data:
+            g = z * data_vec
+            for step in range(row_steps):
+                amount = ((1 << step) * config.padded_features) % n_slots
+                if amount == 0:
+                    continue
+                g = g + np.roll(g, -amount)
+            grads.append(g)
+        grad = grads[0]
+        for g in grads[1:]:
+            grad = grad + g
+        step_vec = grad * learning_rate
+        weights = momentum * momentum_gamma + step_vec
+        momentum = weights + step_vec
+
+    return {"weights": weights, "momentum": momentum}

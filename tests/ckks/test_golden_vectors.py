@@ -14,6 +14,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+
 GOLDEN_PATH = (Path(__file__).resolve().parent / "golden"
                / "golden_small.json")
 

@@ -2,11 +2,15 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.ckks.keyswitch import (
+    hoist_decomposition,
     key_switch,
     key_switch_raised,
     raise_decomposition,
+    raise_hoisted,
 )
 from repro.ckks.rns import RnsPolynomial
 from tests.conftest import encrypt_message
@@ -126,3 +130,54 @@ class TestHoistedRotation:
         got = small_evaluator.decrypt_to_message(hoisted[1],
                                                  small_keys.secret)
         assert np.max(np.abs(got - np.roll(z, -1))) < 1e-6
+
+
+@pytest.mark.slow
+class TestHoistedBitIdentity:
+    """Invariant: rotate_hoisted(ct, rots) == {r: rotate(ct, r)} bitwise.
+
+    Both paths funnel through ``Evaluator._galois_from_hoisted``; the
+    only difference is whether the decompose/ModUp half is shared, and
+    that half is a deterministic function of ``ct.a``.  Any residue
+    mismatch means the shared half leaked rotation-dependent state.
+    """
+
+    @given(amounts=st.lists(st.sampled_from([1, 2, 3, 4, 8, 16]),
+                            min_size=1, max_size=5),
+           seed=st.integers(min_value=0, max_value=2 ** 16),
+           level_drop=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_bit_identical_to_sequential(self, amounts, seed, level_drop,
+                                         small_evaluator, small_keys,
+                                         small_encoder, small_params):
+        gen = np.random.default_rng(seed)
+        z = gen.normal(size=small_params.slots_max) \
+            + 1j * gen.normal(size=small_params.slots_max)
+        ct = encrypt_message(small_keys, small_encoder, z, SCALE)
+        if level_drop:
+            ct = small_evaluator.drop_to_level(ct, ct.level - level_drop)
+        hoisted = small_evaluator.rotate_hoisted(ct, amounts)
+        for amount in set(amounts):
+            want = small_evaluator.rotate(ct, amount)
+            got = hoisted[amount]
+            assert got.level == want.level
+            assert got.scale == want.scale
+            assert np.array_equal(got.b.residues, want.b.residues)
+            assert np.array_equal(got.a.residues, want.a.residues)
+
+    def test_hoist_halves_compose_to_full_raise(self, small_ring):
+        """hoist + raise(galois=1) reproduces raise_decomposition."""
+        level = 4
+        poly = _uniform(small_ring, small_ring.base_q(level), 11)
+        parts = hoist_decomposition(poly, level, small_ring)
+        raised = raise_hoisted(parts, 1, level, small_ring)
+        want = raise_decomposition(poly, level, small_ring)
+        assert len(raised) == len(want)
+        for got, expect in zip(raised, want):
+            assert got.base == expect.base
+            assert np.array_equal(got.residues, expect.residues)
+
+    def test_hoist_requires_ntt(self, small_ring):
+        poly = _uniform(small_ring, small_ring.base_q(2), 12).from_ntt()
+        with pytest.raises(ValueError):
+            hoist_decomposition(poly, 2, small_ring)

@@ -107,3 +107,55 @@ class TestSymmetricEncryption:
         pt = small_encoder.encode(z, 2.0 ** 40)
         ct = small_keys.encrypt_symmetric(pt.poly, pt.scale, 8)
         assert ct.n_slots == 8
+
+
+class TestEvkDedupe:
+    """Identical evks are generated once and shared (PR-3 satellite)."""
+
+    def test_rotation_key_cached_by_amount(self, small_ring):
+        from repro.ckks.keys import KeyGenerator
+        kg = KeyGenerator(small_ring, seed=99)
+        assert kg.gen_rotation_key(2) is kg.gen_rotation_key(2)
+
+    def test_relinearization_key_cached(self, small_ring):
+        from repro.ckks.keys import KeyGenerator
+        kg = KeyGenerator(small_ring, seed=99)
+        assert kg.gen_relinearization_key() is kg.gen_relinearization_key()
+
+    def test_conjugation_and_rotation_share_galois_cache(self, small_ring):
+        from repro.ckks.keys import KeyGenerator
+        kg = KeyGenerator(small_ring, seed=99)
+        conj = kg.gen_conjugation_key()
+        assert kg.gen_galois_key(2 * small_ring.n - 1) is conj
+
+    def test_ensure_rotation_keys_unions_and_skips_existing(
+            self, small_ring):
+        from repro.ckks.evaluator import Evaluator
+        from repro.ckks.keys import KeyGenerator
+        kg = KeyGenerator(small_ring, seed=99)
+        ev = Evaluator(small_ring)
+        first = kg.ensure_rotation_keys(ev, [1, 2, 0, 2])
+        assert set(first) == {1, 2}  # amount 0 skipped, dupes folded
+        existing = ev.rotation_keys[1]
+        kg.ensure_rotation_keys(ev, {1, 3})
+        assert ev.rotation_keys[1] is existing
+        assert set(ev.rotation_keys) == {1, 2, 3}
+
+    def test_bootstrap_generate_keys_accepts_extra_rotations(
+            self, small_ring):
+        from repro.ckks.bootstrap import BootstrapConfig, Bootstrapper
+        from repro.ckks.evaluator import Evaluator
+        from repro.ckks.keys import KeyGenerator
+        from repro.ckks.sine import SineConfig
+        kg = KeyGenerator(small_ring, seed=99)
+        ev = Evaluator(small_ring)
+        bs = Bootstrapper(ev, BootstrapConfig(
+            n_slots=4, sine=SineConfig(k_range=12, degree=1,
+                                       double_angles=0)))
+        bs.generate_keys(kg, extra_rotations={5, 1})
+        required = bs.required_rotations(small_ring.n, 4)
+        assert required | {5, 1} <= set(ev.rotation_keys)
+        # shared amounts were keyed once: the evaluator holds the
+        # keygen's cached object for every amount
+        for amount, evk in ev.rotation_keys.items():
+            assert kg.gen_rotation_key(amount) is evk

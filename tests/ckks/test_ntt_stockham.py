@@ -18,6 +18,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+pytestmark = pytest.mark.slow  # hypothesis differential sweep runs nightly
+
 from repro.ckks.modmath import mul_mod
 from repro.ckks.ntt import (
     BatchedNttContext,

@@ -5,6 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+pytestmark = pytest.mark.slow  # full hypothesis sweep runs nightly
+
 from repro.analysis.bounds import min_nttu
 from repro.analysis.complexity import hmult_complexity
 from repro.analysis.parameters import log_pq_of

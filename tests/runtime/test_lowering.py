@@ -1,0 +1,192 @@
+"""Lowering tests: IR -> HEOp trace contract, plus the HELR twin paths."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.params import CkksParams
+from repro.core.simulator import BtsSimulator
+from repro.runtime import (
+    PlannerConfig,
+    PlanningError,
+    Program,
+    plan_program,
+    lower_to_trace,
+)
+from repro.workloads.bootstrap_trace import BootstrapPhases
+from repro.workloads.helr import (
+    HelrConfig,
+    build_helr_program,
+    build_helr_trace,
+)
+from repro.workloads.trace import OpKind
+
+#: shallow bootstrap pipeline that fits the small test parameter sets
+SMALL_PHASES = BootstrapPhases(cts_levels=1, stc_levels=1, sine_degree=3,
+                               double_angles=0, margin_levels=0)
+
+
+def _app_counts(trace):
+    out = {}
+    for op in trace.ops:
+        if op.phase.startswith("app."):
+            out[op.kind.value] = out.get(op.kind.value, 0) + 1
+    return out
+
+
+def _app_rotations(trace):
+    return sorted(op.rotation for op in trace.ops
+                  if op.phase.startswith("app.")
+                  and op.kind is OpKind.HROT)
+
+
+class TestLoweringContract:
+    def make_plan(self):
+        prog = Program(n_slots=8, name="contract")
+        x = prog.input("x")
+        y = prog.input("y")
+        expr = (x * y + x.rotate(2) - y.conjugate()) * 0.5
+        expr = -(expr * expr)
+        prog.output("out", expr)
+        return plan_program(prog, PlannerConfig(
+            max_level=6, scale_bits=40,
+            q_values=(2.0 ** 50,) + (2.0 ** 40,) * 6))
+
+    def test_op_mapping(self):
+        plan = self.make_plan()
+        trace = lower_to_trace(plan).trace
+        counts = trace.summary()
+        # HSUB lowers to HAdd, NEG lowers to CMult (cost-shape mapping)
+        assert counts["HMult"] == 2
+        assert counts["HRot"] == 1
+        assert counts["HConj"] == 1
+        assert counts["HAdd"] == plan.summary()["hadd"] \
+            + plan.summary()["hsub"]
+        assert counts["CMult"] == plan.summary()["cmult"] \
+            + plan.summary()["neg"]
+        assert counts["HRescale"] == plan.summary()["rescale"]
+        assert "ModRaise" not in counts
+
+    def test_rescale_emitted_at_input_level(self):
+        plan = self.make_plan()
+        trace = lower_to_trace(plan).trace
+        for op in trace.ops:
+            if op.kind is OpKind.HRESCALE:
+                # HRescale executes at the level it divides away
+                assert op.level >= 1
+
+    def test_levels_never_negative_and_dataflow_closed(self):
+        plan = self.make_plan()
+        lowered = lower_to_trace(plan)
+        defined = set(lowered.ct_ids.values())
+        for op in lowered.trace.ops:
+            assert op.level >= 0
+            defined.add(op.output)
+            for ct in op.inputs:
+                assert ct in defined
+        assert len(lowered.ct_ids) == len(plan.order)
+
+    def test_simulator_executes_lowered_trace(self):
+        plan = self.make_plan()
+        trace = lower_to_trace(plan).trace
+        report = BtsSimulator(CkksParams.ins2()).run(trace)
+        assert report.total_seconds > 0
+        assert sum(report.op_counts.values()) == len(trace.ops)
+
+    def test_bootstrap_requires_params(self):
+        prog = Program(n_slots=8, name="boot")
+        x = prog.input("x")
+        prog.output("out", x.bootstrap())
+        plan = plan_program(prog, PlannerConfig(
+            max_level=14, scale_bits=40,
+            q_values=(2.0 ** 50,) + (2.0 ** 40,) * 14,
+            bootstrap_level=8))
+        with pytest.raises(PlanningError):
+            lower_to_trace(plan)
+
+    def test_bootstrap_expansion_level_mismatch_rejected(self):
+        prog = Program(n_slots=8, name="boot")
+        x = prog.input("x")
+        prog.output("out", x.bootstrap())
+        plan = plan_program(prog, PlannerConfig(
+            max_level=14, scale_bits=40,
+            q_values=(2.0 ** 50,) + (2.0 ** 40,) * 14,
+            bootstrap_level=5))  # SMALL_PHASES lands at 14 - 6 = 8
+        params = CkksParams.functional(n=1 << 8, l=14, dnum=2)
+        with pytest.raises(PlanningError):
+            lower_to_trace(plan, params=params, phases=SMALL_PHASES)
+
+    def test_bootstrap_expands_to_analytic_pipeline(self):
+        prog = Program(n_slots=8, name="boot")
+        x = prog.input("x")
+        prog.output("out", x.bootstrap())
+        params = CkksParams.functional(n=1 << 8, l=14, dnum=2)
+        plan = plan_program(prog, PlannerConfig(
+            max_level=14, scale_bits=40,
+            q_values=(2.0 ** 50,) + (2.0 ** 40,) * 14,
+            bootstrap_level=14 - SMALL_PHASES.total_levels))
+        trace = lower_to_trace(plan, params=params,
+                               phases=SMALL_PHASES).trace
+        assert trace.count(OpKind.MODRAISE) == 1
+        assert trace.count(OpKind.HCONJ) >= 1  # EvalMod's conjugate
+        phases = {op.phase for op in trace.ops}
+        assert any(p.startswith("boot.") for p in phases)
+
+
+class TestHelrRuntimeTwin:
+    """build_helr_program lowers to the same app schedule as the
+    hand-built analytic trace (sigmoid compared at sigmoid_mults=1)."""
+
+    CONFIG = HelrConfig(iterations=2, batch=16, features=6,
+                        padded_features=8, sigmoid_depth=1,
+                        sigmoid_mults=1)
+
+    def test_app_phase_op_counts_match_analytic(self):
+        params = CkksParams.functional(n=1 << 8, l=14, dnum=2)
+        prog = build_helr_program(self.CONFIG, params.slots_max)
+        plan = plan_program(prog, PlannerConfig.from_params(params))
+        runtime_trace = lower_to_trace(plan).trace
+        analytic = build_helr_trace(params, self.CONFIG,
+                                    phases=SMALL_PHASES).trace
+        assert _app_counts(runtime_trace) == _app_counts(analytic)
+        assert _app_rotations(runtime_trace) == _app_rotations(analytic)
+
+    def test_lazy_rescale_no_worse_than_analytic(self):
+        params = CkksParams.functional(n=1 << 8, l=14, dnum=2)
+        prog = build_helr_program(self.CONFIG, params.slots_max)
+        plan = plan_program(prog, PlannerConfig.from_params(params))
+        analytic = build_helr_trace(params, self.CONFIG,
+                                    phases=SMALL_PHASES).trace
+        runtime_rescales = plan.summary()["rescale"]
+        analytic_rescales = _app_counts(analytic)["HRescale"]
+        assert runtime_rescales <= analytic_rescales
+
+    def test_automatic_bootstraps_no_more_frequent_than_analytic(self):
+        """Lazy placement refreshes at most as often as the analytic
+        headroom rule (which preemptively bootstraps both state cts
+        whenever an iteration might not fit)."""
+        config = HelrConfig(iterations=6, batch=16, features=6,
+                            padded_features=8, sigmoid_depth=1,
+                            sigmoid_mults=1)
+        params = CkksParams.functional(n=1 << 8, l=14, dnum=2)
+        start = params.l - SMALL_PHASES.total_levels
+        prog = build_helr_program(config, params.slots_max)
+        plan = plan_program(prog, PlannerConfig.from_params(
+            params, boot_levels=SMALL_PHASES.total_levels,
+            input_level=start))
+        analytic = build_helr_trace(params, config, phases=SMALL_PHASES)
+        assert 0 < plan.inserted_bootstraps <= analytic.bootstrap_count
+        assert plan.min_level() >= 0
+        # the lowered trace expands each bootstrap into the analytic
+        # pipeline, so ModRaise counts the refreshes
+        lowered = lower_to_trace(plan, params=params, phases=SMALL_PHASES)
+        assert lowered.trace.count(OpKind.MODRAISE) == \
+            plan.inserted_bootstraps
+
+    def test_simulated_timing_report(self):
+        params = CkksParams.functional(n=1 << 8, l=14, dnum=2)
+        prog = build_helr_program(self.CONFIG, params.slots_max)
+        plan = plan_program(prog, PlannerConfig.from_params(params))
+        trace = lower_to_trace(plan).trace
+        report = BtsSimulator(CkksParams.ins2()).run(trace)
+        assert report.total_seconds > 0
+        assert report.op_counts["HRot"] == _app_counts(trace)["HRot"]
