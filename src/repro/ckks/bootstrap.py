@@ -196,19 +196,32 @@ class Bootstrapper:
         return cts.apply(self.evaluator, ct)
 
     def _mul_by_i(self, ct: Ciphertext) -> Ciphertext:
-        """Multiply every slot by i: the monomial shift c(X) -> c(X)*X^(N/2)."""
+        """Multiply every slot by i: the monomial shift c(X) -> c(X)*X^(N/2).
+
+        Runs entirely in the NTT domain: the monomial evaluates to
+        ``+/-psi^(N/2)`` at every evaluation point (split by the
+        bit-reversed layout's halves), so the shift is two broadcast
+        Shoup multiplies with the cached
+        :meth:`~repro.ckks.params.RingContext.i_monomial_columns` —
+        bit-identical to the old iNTT -> negacyclic roll -> NTT route,
+        without the transform round-trip.
+        """
         half = self.ring.n // 2
 
         def shift(poly: RnsPolynomial) -> RnsPolynomial:
-            from repro.ckks.modmath import neg_mod
+            from repro.ckks.modmath import mul_mod_shoup
 
-            coeff = poly.from_ntt()
-            rolled = np.roll(coeff.residues, half, axis=1)
-            # Wrapped-around coefficients pick up the negacyclic sign.
-            head = rolled[:, :half]
-            neg_mod(head, coeff.moduli, out=head)
-            coeff.residues = rolled
-            return coeff.to_ntt()
+            if not poly.is_ntt:
+                raise ValueError("_mul_by_i expects NTT-domain halves")
+            r_cols, r_shoup, nr_cols, nr_shoup = \
+                self.ring.i_monomial_columns(poly.base)
+            out = np.empty_like(poly.residues)
+            moduli = poly.moduli
+            mul_mod_shoup(poly.residues[:, :half], r_cols, r_shoup,
+                          moduli, out=out[:, :half])
+            mul_mod_shoup(poly.residues[:, half:], nr_cols, nr_shoup,
+                          moduli, out=out[:, half:])
+            return RnsPolynomial(poly.base, out, is_ntt=True)
 
         return Ciphertext(shift(ct.b), shift(ct.a), ct.scale, ct.n_slots)
 

@@ -196,31 +196,51 @@ class Evaluator:
 
     def _apply_galois(self, ct: Ciphertext, galois_elt: int,
                       evk: EvaluationKey) -> Ciphertext:
-        from repro.ckks.keyswitch import hoist_decomposition
+        from repro.ckks.keyswitch import raise_decomposition
 
-        hoisted = hoist_decomposition(ct.a, ct.level, self.ring)
-        return self._galois_from_hoisted(ct, ct.b.from_ntt(), hoisted,
-                                         galois_elt, evk)
+        raised = raise_decomposition(ct.a, ct.level, self.ring)
+        return self._galois_from_raised(ct, raised, galois_elt, evk)
+
+    def _galois_from_raised(self, ct: Ciphertext, raised,
+                            galois_elt: int,
+                            evk: EvaluationKey) -> Ciphertext:
+        """Finish a galois op from NTT-domain raised slices of ``ct.a``.
+
+        The BTS evaluation-domain path: the automorphism lands on the
+        *raised* slices and on ``ct.b`` as a pure evaluation-point
+        gather (no iNTT/NTT round-trip anywhere), then the evk inner
+        product and ModDown finish the key-switch.  Every galois op —
+        single HRot, HConj, and each member of a hoisted batch — funnels
+        through this one path, which keeps hoisted batches
+        *bit-identical* to sequential calls: the only difference is
+        whether ``raised`` is shared or recomputed, and it is a
+        deterministic function of ``ct.a``.
+        """
+        from repro.ckks.keyswitch import galois_raised, key_switch_raised
+
+        rotated = galois_raised(raised, galois_elt)
+        ks_b, ks_a = key_switch_raised(rotated, evk, ct.level, self.ring)
+        b_rot = ct.b.galois(galois_elt)  # NTT-domain gather
+        # (b', a') decrypts under s(X^g); fold the key-switch so the result
+        # decrypts under s:  b_out - a_out*s = b' - (ks_b - ks_a*s) = m(X^g).
+        return Ciphertext(b_rot.sub(ks_b), ks_a.neg(), ct.scale, ct.n_slots)
 
     def _galois_from_hoisted(self, ct: Ciphertext, b_coeff, hoisted,
                              galois_elt: int,
                              evk: EvaluationKey) -> Ciphertext:
-        """Finish a galois op from a hoisted decomposition of ``ct.a``.
+        """Coefficient-domain hoisted galois (the PR-3 differential oracle).
 
-        Every galois op — single HRot, HConj, and each rotation of a
-        hoisted batch — funnels through this one path, which is what
-        makes :meth:`rotate_hoisted` *bit-identical* to sequential
-        :meth:`rotate` calls: the only difference between the two is
-        whether the hoisted halves are shared or recomputed, and both
-        halves are deterministic.
+        Permutes the hoisted coefficient-domain slices and pays one
+        stacked forward NTT per galois element.  Bit-identical to
+        :meth:`_galois_from_raised`; kept callable (``domain="coeff"``)
+        so the permutation-oracle test tier and the
+        ``rotation_batch_hoisted`` benchmark can still exercise it.
         """
         from repro.ckks.keyswitch import key_switch_raised, raise_hoisted
 
         raised = raise_hoisted(hoisted, galois_elt, ct.level, self.ring)
         ks_b, ks_a = key_switch_raised(raised, evk, ct.level, self.ring)
         b_rot = b_coeff.galois(galois_elt).to_ntt()
-        # (b', a') decrypts under s(X^g); fold the key-switch so the result
-        # decrypts under s:  b_out - a_out*s = b' - (ks_b - ks_a*s) = m(X^g).
         return Ciphertext(b_rot.sub(ks_b), ks_a.neg(), ct.scale, ct.n_slots)
 
     def rotate(self, ct: Ciphertext, amount: int) -> Ciphertext:
@@ -234,19 +254,33 @@ class Evaluator:
         return self._apply_galois(ct, galois_elt,
                                   self.rotation_keys[amount])
 
-    def rotate_hoisted(self, ct: Ciphertext,
-                       amounts: list[int]) -> dict[int, Ciphertext]:
-        """Many rotations of one ciphertext, sharing a single ModUp.
+    def galois_hoisted(self, ct: Ciphertext, amounts: list[int],
+                       conjugate: bool = False, domain: str = "ntt"
+                       ) -> tuple[dict[int, Ciphertext],
+                                  Ciphertext | None]:
+        """Many galois ops on one ciphertext, sharing one decomposition.
 
-        The hoisting optimization of [12] (also used by Lattigo): the
-        expensive decompose-and-convert step (one iNTT of ``ct.a`` plus
-        every ModUp BConv) runs once, and each rotation then only
-        permutes the coefficient-domain slices, transforms them forward,
-        multiplies with its own evk and mods down.  Bit-identical to
-        calling :meth:`rotate` per amount — both run the same
-        :meth:`_galois_from_hoisted` path.
+        The hoisting optimization of [12] (also used by Lattigo),
+        upgraded to the BTS evaluation-domain form: with
+        ``domain="ntt"`` (default) the *entire* raise — iNTT, every
+        ModUp BConv, and the stacked forward transform — runs once, and
+        each galois element only gathers the raised NTT-domain slices,
+        multiplies with its own evk and mods down.  ``domain="coeff"``
+        selects the PR-3 oracle route, which re-runs the forward
+        transform per element.  Both are bit-identical to sequential
+        :meth:`rotate` / :meth:`conjugate` calls.
+
+        Returns ``(rotations, conjugated)`` where ``rotations`` maps
+        each requested amount to its rotated ciphertext and
+        ``conjugated`` is the HConj result (``None`` unless
+        ``conjugate=True``).
         """
-        from repro.ckks.keyswitch import hoist_decomposition
+        if domain not in ("ntt", "coeff"):
+            raise ValueError(f"unknown galois domain {domain!r}")
+        from repro.ckks.keyswitch import (
+            hoist_decomposition,
+            raise_decomposition,
+        )
 
         unique = sorted({a % ct.n_slots for a in amounts})
         out: dict[int, Ciphertext] = {}
@@ -258,16 +292,47 @@ class Evaluator:
                 raise ValueError(f"no rotation key for amount {amount}")
             else:
                 pending.append(amount)
-        if not pending:
-            return out
-        hoisted = hoist_decomposition(ct.a, ct.level, self.ring)
-        b_coeff = ct.b.from_ntt()
-        for amount in pending:
-            galois_elt = pow(5, amount, 2 * self.ring.n)
-            out[amount] = self._galois_from_hoisted(
-                ct, b_coeff, hoisted, galois_elt,
-                self.rotation_keys[amount])
-        return out
+        if conjugate and self.conjugation_key is None:
+            raise ValueError("conjugation key not available")
+        if not pending and not conjugate:
+            return out, None
+        jobs = [(pow(5, amount, 2 * self.ring.n),
+                 self.rotation_keys[amount], amount)
+                for amount in pending]
+        if conjugate:
+            jobs.append((2 * self.ring.n - 1, self.conjugation_key, None))
+        if domain == "ntt":
+            raised = raise_decomposition(ct.a, ct.level, self.ring)
+
+            def finish(galois_elt: int, evk: EvaluationKey) -> Ciphertext:
+                return self._galois_from_raised(ct, raised, galois_elt,
+                                                evk)
+        else:
+            hoisted = hoist_decomposition(ct.a, ct.level, self.ring)
+            b_coeff = ct.b.from_ntt()
+
+            def finish(galois_elt: int, evk: EvaluationKey) -> Ciphertext:
+                return self._galois_from_hoisted(ct, b_coeff, hoisted,
+                                                 galois_elt, evk)
+        conjugated: Ciphertext | None = None
+        for galois_elt, evk, amount in jobs:
+            result = finish(galois_elt, evk)
+            if amount is None:
+                conjugated = result
+            else:
+                out[amount] = result
+        return out, conjugated
+
+    def rotate_hoisted(self, ct: Ciphertext, amounts: list[int],
+                       domain: str = "ntt") -> dict[int, Ciphertext]:
+        """Many rotations of one ciphertext, sharing a single raise.
+
+        Thin wrapper over :meth:`galois_hoisted` (rotations only); see
+        there for the domain semantics.  Bit-identical to calling
+        :meth:`rotate` per amount.
+        """
+        rotations, _ = self.galois_hoisted(ct, amounts, domain=domain)
+        return rotations
 
     def conjugate(self, ct: Ciphertext) -> Ciphertext:
         """HConj: complex-conjugate every slot (galois element 2N-1)."""

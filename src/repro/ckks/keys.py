@@ -175,10 +175,12 @@ class KeyGenerator:
     def gen_galois_key(self, galois_elt: int) -> EvaluationKey:
         cached = self._galois_keys.get(galois_elt)
         if cached is None:
-            target = (self.secret.poly.from_ntt()
-                      .galois(galois_elt)
-                      .to_ntt())
-            cached = self.gen_switching_key(target)
+            # The secret lives in the NTT domain; the automorphism image
+            # s(X^g) is the evaluation-point gather of its NTT values
+            # (bit-identical to the old iNTT -> permute -> NTT route),
+            # so evk generation never leaves the evaluation domain.
+            cached = self.gen_switching_key(
+                self.secret.poly.galois(galois_elt))
             self._galois_keys[galois_elt] = cached
         return cached
 

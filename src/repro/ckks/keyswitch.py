@@ -16,10 +16,28 @@ accumulator (one stacked iNTT, one coefficient-stacked BConv, one
 stacked NTT).  Both are bit-identical to the per-polynomial path.
 
 Hoisting: for galois ops (HRot/HConj) the decompose-and-convert half is
-rotation-independent, so :func:`hoist_decomposition` computes it once in
-the coefficient domain and :func:`raise_hoisted` finishes it per galois
-element — one rotation pays one stacked forward transform, and a BSGS
-group of rotations shares the iNTT and every BConv.
+rotation-independent.  Two hoisted routes coexist:
+
+* **NTT-domain hoisting (the production path, BTS Section 4.1):** the
+  full :func:`raise_decomposition` — iNTT, every BConv, *and* the one
+  stacked forward transform — is rotation-independent, because the
+  automorphism acts on the raised NTT-domain slices as a pure
+  evaluation-point gather (:func:`galois_raised` /
+  :meth:`~repro.ckks.rns.RnsPolynomial.galois`).  A rotation then costs
+  one index gather + the evk inner product + ModDown; no transform at
+  all.
+* **Coefficient-domain hoisting (the PR-3 path, retained as the
+  differential oracle):** :func:`hoist_decomposition` stops before the
+  forward transform, :func:`raise_hoisted` permutes in the coefficient
+  domain and pays one stacked forward NTT per galois element.  Both
+  routes are bit-identical (gather after the transform == transform
+  after the permute), which the permutation-oracle test tier enforces.
+
+Double-hoisting: :func:`key_switch_accumulate` exposes the evk inner
+product *without* the trailing ModDown, so a BSGS giant-step group can
+accumulate its plaintext-weighted baby terms in the extended base
+C_level + B and pay a single ModDown per group (see
+:meth:`~repro.ckks.linear_transform.LinearTransform.apply`).
 """
 
 from __future__ import annotations
@@ -134,7 +152,7 @@ def mod_down_pair(poly_b: RnsPolynomial, poly_a: RnsPolynomial, level: int,
 
 def hoist_decomposition(poly: RnsPolynomial, level: int, ring: RingContext
                         ) -> tuple[tuple[RnsPolynomial, RnsPolynomial], ...]:
-    """The rotation-independent half of a galois key-switch.
+    """The rotation-independent half of a *coefficient-domain* hoist.
 
     Runs one shared iNTT of ``poly`` and the per-slice BConv of ModUp,
     but stops *before* the forward transform: the returned
@@ -146,6 +164,11 @@ def hoist_decomposition(poly: RnsPolynomial, level: int, ring: RingContext
     the slice representative from ``[g(a)]_{Q_j}`` to ``-[a]_{Q_j}``
     permuted; the two differ by a multiple of ``Q_j``, which the evk
     gadget absorbs up to noise — same guarantee as classic hoisting.)
+
+    This is the PR-3 hoisting route, retained as the differential oracle
+    for the NTT-domain path (:func:`raise_decomposition` +
+    :func:`galois_raised`), which additionally hoists the forward
+    transform itself and is what production galois ops run.
     """
     if not poly.is_ntt:
         raise ValueError("hoist_decomposition expects an NTT polynomial")
@@ -194,6 +217,13 @@ def raise_decomposition(poly: RnsPolynomial, level: int,
     limbs ride one stacked forward transform (the ModUp half of the
     transform-reuse trick; one batched iNTT is already shared on the way
     down).
+
+    The result doubles as the *NTT-domain hoisted state*: because the
+    automorphism is an evaluation-point gather on NTT-domain slices
+    (:func:`galois_raised`), every rotation of a batch reuses these
+    raised slices directly — including the forward transform, which the
+    coefficient-domain hoist (:func:`hoist_decomposition`) must re-run
+    per rotation.
     """
     if not poly.is_ntt:
         raise ValueError("raise_decomposition expects an NTT polynomial")
@@ -211,10 +241,57 @@ def raise_decomposition(poly: RnsPolynomial, level: int,
     ]
 
 
-def key_switch_raised(raised: list[RnsPolynomial], evk: EvaluationKey,
-                      level: int, ring: RingContext
-                      ) -> tuple[RnsPolynomial, RnsPolynomial]:
-    """Finish key-switching from pre-raised slices (x evk, ModDown)."""
+def p_scaled_extension(poly: RnsPolynomial, level: int,
+                       ring: RingContext) -> RnsPolynomial:
+    """Embed a base-``C_level`` polynomial into ``C_level + B`` as ``P * poly``.
+
+    The q-prime rows are Shoup-multiplied by the cached ``P mod q_i``
+    columns; the special-prime rows are zero (``P = 0 mod p_j``).  The
+    result lives in the same ``P``-scaled representation as a
+    :func:`key_switch_accumulate` pair, so the two can be combined
+    linearly before a single shared :func:`mod_down_pair` — the
+    double-hoisting identity ``mod_down(P*x + acc) == x + mod_down(acc)``
+    up to the BConv approximation the special modulus absorbs.
+    """
+    if not poly.is_ntt:
+        raise ValueError("p_scaled_extension expects an NTT polynomial")
+    target_base = ring.base_qp(level)
+    cols, cols_shoup = ring.p_scalar_columns(level)
+    residues = np.zeros((len(target_base), poly.n), dtype=np.uint64)
+    mul_mod_shoup(poly.residues, cols, cols_shoup, poly.moduli,
+                  out=residues[:level + 1])
+    return RnsPolynomial(target_base, residues, is_ntt=True)
+
+
+def galois_raised(raised: list[RnsPolynomial],
+                  galois_elt: int) -> list[RnsPolynomial]:
+    """Apply ``X -> X^galois_elt`` to pre-raised slices, NTT domain.
+
+    The rotation-dependent half of an NTT-domain hoisted key-switch:
+    every slice of a :func:`raise_decomposition` result is permuted by
+    the cached evaluation-point gather — no transform, no sign
+    corrections.  Feeding the output to :func:`key_switch_raised` is
+    bit-identical to raising the coefficient-permuted polynomial from
+    scratch (and to the :func:`raise_hoisted` oracle), because the
+    automorphism commutes with the coefficient-wise ModUp and the
+    gather commutes with the forward NTT.
+    """
+    return [piece.galois(galois_elt) for piece in raised]
+
+
+def key_switch_accumulate(raised: list[RnsPolynomial], evk: EvaluationKey,
+                          level: int, ring: RingContext
+                          ) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """The evk inner product of a key-switch, *without* ModDown.
+
+    Returns the ``(b, a)`` accumulator pair over the extended working
+    base C_level + B; it represents ``P`` times the key-switch
+    contribution.  Callers either hand the pair straight to
+    :func:`mod_down_pair` (what :func:`key_switch_raised` does) or — the
+    double-hoisting trick — keep several such pairs in the extended
+    base, combine them linearly (plaintext multiplies, additions), and
+    ModDown once for the whole combination.
+    """
     if len(raised) > evk.dnum:
         raise ValueError("evk has fewer slices than the decomposition")
     working_base = ring.base_qp(level)
@@ -233,6 +310,14 @@ def key_switch_raised(raised: list[RnsPolynomial], evk: EvaluationKey,
         mul_mod_shoup(slice_poly.residues, evk_a.residues, a_shoup,
                       moduli, out=prod)
         add_mod(acc_a.residues, prod, moduli, out=acc_a.residues)
+    return acc_b, acc_a
+
+
+def key_switch_raised(raised: list[RnsPolynomial], evk: EvaluationKey,
+                      level: int, ring: RingContext
+                      ) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """Finish key-switching from pre-raised slices (x evk, ModDown)."""
+    acc_b, acc_a = key_switch_accumulate(raised, evk, level, ring)
     return mod_down_pair(acc_b, acc_a, level, ring)
 
 

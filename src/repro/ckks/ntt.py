@@ -55,6 +55,7 @@ Two batched datapaths coexist:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -82,6 +83,42 @@ def bit_reverse_indices(n: int) -> np.ndarray:
         rev = (rev << 1) | (idx & 1)
         idx >>= 1
     return rev
+
+
+@lru_cache(maxsize=256)
+def ntt_galois_permutation(n: int, galois_elt: int) -> np.ndarray:
+    """Evaluation-point gather realizing ``X -> X^g`` in the NTT domain.
+
+    The negacyclic NTT used here evaluates the polynomial at the odd
+    powers of the 2N-th root ``psi``; output slot ``t`` (bit-reversed
+    layout) holds ``a(psi^(2*brv(t)+1))``.  The automorphism
+    ``phi_g: a(X) -> a(X^g)`` therefore only *relabels* evaluation
+    points: ``phi_g(a)(psi^e) = a(psi^(e*g mod 2N))``, and since ``g``
+    is odd the map ``e -> e*g`` permutes the odd exponents.  This
+    returns the gather index array ``perm`` with
+
+        NTT(phi_g(a)) == NTT(a)[..., perm]
+
+    bit for bit — no sign flips (unlike the coefficient-domain
+    permutation), because negacyclic wrap-around signs are already baked
+    into the evaluation values.  This is how BTS applies automorphisms
+    without leaving the evaluation domain (Section 4.1): the hardware's
+    PE-PE NoC shuffle is this gather; here it is one NumPy take along
+    the coefficient axis, shared by every RNS limb.
+
+    The permutation depends only on ``(n, galois_elt)`` — not on the
+    moduli — so one cached table serves every base, and it is identical
+    for the Stockham and strict radix-2 engines (both emit the same
+    bit-reversed order).
+    """
+    if galois_elt % 2 == 0:
+        raise ValueError("galois element must be odd")
+    rev = bit_reverse_indices(n)
+    exps = 2 * rev + 1                       # exponent held by each slot
+    src_exps = (exps * galois_elt) % (2 * n)  # exponent phi_g needs there
+    perm = rev[(src_exps - 1) // 2]
+    perm.setflags(write=False)
+    return perm
 
 
 @dataclass(frozen=True)

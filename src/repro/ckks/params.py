@@ -230,9 +230,11 @@ class RingContext:
         self.p_primes: tuple[PrimeContext, ...] = tuple(
             make(v, "p", i) for i, v in enumerate(special))
         self._p_inv_columns: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._p_columns: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._rescale_inv_columns: dict[int, tuple[np.ndarray,
                                                    np.ndarray]] = {}
         self._mod_up_plans: dict[int, tuple] = {}
+        self._i_monomial_columns: dict[tuple, tuple] = {}
 
     # ----- bases -------------------------------------------------------------
 
@@ -288,6 +290,53 @@ class RingContext:
             cached = scalar_columns(residues,
                                     tuple(p.value for p in base))
             self._p_inv_columns[level] = cached
+        return cached
+
+    def p_scalar_columns(self, level: int) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``P mod q_i`` columns (+ Shoup) over ``C_level``.
+
+        The double-hoisted BSGS path embeds a base-``C_level``
+        polynomial into the extended working base as ``P * poly`` (the
+        special-prime rows are zero because ``P`` vanishes there), so it
+        can be combined with not-yet-ModDown'd key-switch accumulators;
+        see :func:`~repro.ckks.keyswitch.p_scaled_extension`.
+        """
+        cached = self._p_columns.get(level)
+        if cached is None:
+            base = self.base_q(level)
+            residues = tuple(self.p_product % p.value for p in base)
+            cached = scalar_columns(residues,
+                                    tuple(p.value for p in base))
+            self._p_columns[level] = cached
+        return cached
+
+    def i_monomial_columns(self, base: tuple[PrimeContext, ...]
+                           ) -> tuple[np.ndarray, np.ndarray,
+                                      np.ndarray, np.ndarray]:
+        """Cached NTT-domain ``X^(N/2)`` multiplier columns for ``base``.
+
+        Slot-wise multiplication by ``i`` is the monomial product
+        ``m(X) * X^(N/2)``.  In the NTT domain that is a point-wise
+        multiply by ``psi^(e_t * N/2)`` where ``e_t = 2*brv(t) + 1`` is
+        the evaluation exponent of slot ``t`` — and since ``e_t`` is
+        odd, the multiplier is ``psi^(N/2)`` on the slots with even
+        ``brv(t)`` (the first half of the bit-reversed layout) and
+        ``-psi^(N/2)`` on the rest.  Returns
+        ``(r_cols, r_shoup, neg_r_cols, neg_r_shoup)`` — one scalar
+        column pair per half — so the whole shift is two broadcast Shoup
+        multiplies instead of an iNTT -> roll -> NTT round-trip.
+        """
+        key = tuple(p.value for p in base)
+        cached = self._i_monomial_columns.get(key)
+        if cached is None:
+            values = tuple(p.value for p in base)
+            roots = tuple(pow(p.ntt.psi, self.n // 2, p.value)
+                          for p in base)
+            neg_roots = tuple((p.value - r) % p.value
+                              for p, r in zip(base, roots))
+            cached = (*scalar_columns(roots, values),
+                      *scalar_columns(neg_roots, values))
+            self._i_monomial_columns[key] = cached
         return cached
 
     def rescale_inv_scalar_columns(self, level: int

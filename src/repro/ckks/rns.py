@@ -48,7 +48,7 @@ from repro.ckks.modmath import (
     sum128,
     workspace_buffer,
 )
-from repro.ckks.ntt import batched_ntt_context
+from repro.ckks.ntt import batched_ntt_context, ntt_galois_permutation
 from repro.ckks.params import PrimeContext
 
 
@@ -217,13 +217,23 @@ class RnsPolynomial:
     def galois(self, galois_elt: int) -> "RnsPolynomial":
         """Apply the automorphism X -> X^galois_elt (Eq. 5 generalized).
 
-        Operates in the coefficient domain: coefficient i moves to index
-        ``i * g mod 2N`` with a sign flip when the destination wraps past N
-        (negacyclic ring).  The permutation and the sign flip are applied
-        to the whole residue matrix at once.
+        In the coefficient domain, coefficient i moves to index
+        ``i * g mod 2N`` with a sign flip when the destination wraps past
+        N (negacyclic ring); the permutation and the sign flip are
+        applied to the whole residue matrix at once.
+
+        In the NTT domain the automorphism only relabels evaluation
+        points, so it is a single sign-free gather of the NTT values
+        (:func:`~repro.ckks.ntt.ntt_galois_permutation`) — the BTS
+        Section 4.1 trick that lets rotations skip the per-op
+        iNTT -> permute -> NTT round-trip entirely.  Both paths produce
+        bit-identical residues for NTT-domain operands (gather after the
+        forward transform == transform after the coefficient permute).
         """
         if self.is_ntt:
-            raise ValueError("apply automorphism in the coefficient domain")
+            perm = ntt_galois_permutation(self.n, galois_elt)
+            return RnsPolynomial(
+                self.base, np.take(self.residues, perm, axis=1), True)
         pos_src, pos_dst, neg_src, neg_dst = _galois_permutation(
             self.n, galois_elt)
         out = np.empty_like(self.residues)
@@ -235,6 +245,18 @@ class RnsPolynomial:
                                    (self.num_limbs, len(neg_src))))
             out[:, neg_dst] = neg_mod(gathered, self.moduli, out=gathered)
         return RnsPolynomial(self.base, out, False)
+
+    def galois_coeff(self, galois_elt: int) -> "RnsPolynomial":
+        """Force the coefficient-domain automorphism (test oracle hook).
+
+        The NTT-domain gather in :meth:`galois` is differentially tested
+        against this explicit coefficient-domain route
+        (iNTT -> permute -> NTT); production code should just call
+        :meth:`galois`.
+        """
+        if not self.is_ntt:
+            return self.galois(galois_elt)
+        return self.from_ntt().galois(galois_elt).to_ntt()
 
 
 class StackedTransform:

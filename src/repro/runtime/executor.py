@@ -3,10 +3,12 @@
 The executor is deliberately thin — all scheduling decisions (rescale
 placement, bootstrap insertion, rotation batching) were made by the
 planner; here every node becomes exactly one
-:class:`~repro.ckks.evaluator.Evaluator` call, except rotation batches,
-which collapse into a single
-:meth:`~repro.ckks.evaluator.Evaluator.rotate_hoisted` call per source
-ciphertext (one shared decompose/ModUp for the whole group).
+:class:`~repro.ckks.evaluator.Evaluator` call, except galois batches
+(HRot and Conj nodes sharing a source), which collapse into a single
+:meth:`~repro.ckks.evaluator.Evaluator.galois_hoisted` call per source
+ciphertext: the raised NTT-domain decomposition stays alive across the
+whole batch, and every member is an evaluation-point gather + evk
+product + ModDown.
 
 Two runtime guarantees:
 
@@ -59,9 +61,10 @@ def execute(plan: Plan, evaluator: Evaluator,
         refcount[out_id] = refcount.get(out_id, 0) + 1
 
     values: dict[int, Ciphertext] = {}
-    batch_results: dict[int, dict[int, Ciphertext]] = {}
+    batch_results: dict[int, tuple] = {}
     batch_pending: dict[int, int] = {
-        i: len(b.members) for i, b in enumerate(plan.batches)}
+        i: len(b.members) + len(b.conj_members)
+        for i, b in enumerate(plan.batches)}
 
     def consume(nid: int) -> Ciphertext:
         ct = values[nid]
@@ -112,26 +115,32 @@ def execute(plan: Plan, evaluator: Evaluator,
                                    consume(node.args[1]))
         elif op is OpCode.NEG:
             result = evaluator.negate(consume(node.args[0]))
-        elif op is OpCode.HROT:
+        elif op in (OpCode.HROT, OpCode.CONJ):
             batch_index = plan.batch_of.get(nid)
             if batch_index is None:
-                result = evaluator.rotate(consume(node.args[0]),
-                                          node.rotation)
+                if op is OpCode.HROT:
+                    result = evaluator.rotate(consume(node.args[0]),
+                                              node.rotation)
+                else:
+                    result = evaluator.conjugate(consume(node.args[0]))
             else:
-                hoisted = batch_results.get(batch_index)
-                if hoisted is None:
+                cached = batch_results.get(batch_index)
+                if cached is None:
                     batch = plan.batches[batch_index]
                     source = values[batch.source]  # consumed per member
-                    hoisted = evaluator.rotate_hoisted(
-                        source, batch.amounts(plan.nodes))
-                    batch_results[batch_index] = hoisted
+                    # One NTT-domain raise of source.a serves every
+                    # rotation and conjugation of the batch.
+                    cached = evaluator.galois_hoisted(
+                        source, batch.amounts(plan.nodes),
+                        conjugate=bool(batch.conj_members))
+                    batch_results[batch_index] = cached
+                rotations, conjugated = cached
                 consume(node.args[0])
-                result = hoisted[node.rotation]
+                result = (rotations[node.rotation] if op is OpCode.HROT
+                          else conjugated)
                 batch_pending[batch_index] -= 1
                 if batch_pending[batch_index] == 0:
                     del batch_results[batch_index]  # free unconsumed rots
-        elif op is OpCode.CONJ:
-            result = evaluator.conjugate(consume(node.args[0]))
         elif op is OpCode.RESCALE:
             result = evaluator.rescale(consume(node.args[0]))
         elif op is OpCode.BOOTSTRAP:

@@ -19,12 +19,14 @@ executable :class:`Plan` in one forward walk plus two cheap analyses:
    ``bootstrap_level``.  Insertion is also cached per source node:
    weights and momentum in a training loop are each refreshed once per
    exhaustion, mirroring the hand-scheduled workload traces.
-4. **Rotation-batch detection** — planned HRot nodes that share a
-   source ciphertext are grouped into :class:`RotationBatch` records;
-   the executor runs each group through
-   :meth:`~repro.ckks.evaluator.Evaluator.rotate_hoisted`, sharing one
-   decompose/ModUp across the whole group (Section 3.3's dominant
-   structure).
+4. **Rotation-batch detection** — planned HRot *and* Conj nodes that
+   share a source ciphertext are grouped into :class:`RotationBatch`
+   records; the executor runs each group through
+   :meth:`~repro.ckks.evaluator.Evaluator.galois_hoisted`, which keeps
+   one NTT-domain raised decomposition alive across the whole batch
+   (Section 3.3's dominant structure): every member is an
+   evaluation-point gather + evk product + ModDown, with no transform
+   of its own.
 """
 
 from __future__ import annotations
@@ -105,10 +107,18 @@ class NodeMeta:
 
 @dataclass(frozen=True)
 class RotationBatch:
-    """HRot nodes sharing one source ciphertext (one hoisted ModUp)."""
+    """Galois nodes sharing one source ciphertext (one hoisted raise).
+
+    ``members`` are HROT nodes, ``conj_members`` CONJ nodes; all of
+    them share a single NTT-domain raised decomposition of the source's
+    ``a`` half (``Evaluator.galois_hoisted``), so each member costs one
+    evaluation-point gather + evk product + ModDown instead of a full
+    decompose/ModUp of its own.
+    """
 
     source: int
     members: tuple[int, ...]
+    conj_members: tuple[int, ...] = ()
 
     def amounts(self, nodes: dict[int, Node]) -> list[int]:
         return sorted({nodes[m].rotation for m in self.members})
@@ -327,17 +337,22 @@ class _Planner:
         return live
 
     def _detect_rotation_batches(self, plan: Plan) -> None:
-        groups: dict[int, list[int]] = {}
+        groups: dict[int, tuple[list[int], list[int]]] = {}
         for nid in plan.order:
             node = plan.nodes[nid]
             if node.op is OpCode.HROT:
-                groups.setdefault(node.args[0], []).append(nid)
-        for source, members in groups.items():
-            if len(members) < 2:
+                groups.setdefault(node.args[0], ([], []))[0].append(nid)
+            elif node.op is OpCode.CONJ:
+                groups.setdefault(node.args[0], ([], []))[1].append(nid)
+        for source, (rots, conjs) in groups.items():
+            # Any two galois ops on one source share the raised
+            # decomposition, so CONJ nodes join their source's batch.
+            if len(rots) + len(conjs) < 2:
                 continue
             index = len(plan.batches)
-            plan.batches.append(RotationBatch(source, tuple(members)))
-            for member in members:
+            plan.batches.append(
+                RotationBatch(source, tuple(rots), tuple(conjs)))
+            for member in rots + conjs:
                 plan.batch_of[member] = index
 
 

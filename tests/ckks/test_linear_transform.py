@@ -123,3 +123,92 @@ class TestHomomorphicApply:
     def test_required_rotations_subset(self):
         lt = LinearTransform.from_matrix(np.eye(16, dtype=complex))
         assert lt.required_rotations() == set()
+
+
+class TestDoubleHoisting:
+    """Lazy giant-step accumulation vs the eager reference path.
+
+    Double-hoisting reorders where the ModDown BConv approximation
+    enters (once per giant group instead of once per baby step), so the
+    two routes are not bit-identical — they must agree at the message
+    level to far below the noise floor, at every level, including rings
+    where level truncation leaves a ragged decomposition tail.
+    """
+
+    def test_matches_eager_reference_dense(self, small_ring, small_keys,
+                                           small_encoder, rng):
+        from repro.ckks.evaluator import Evaluator
+
+        n = 16
+        amounts = bsgs_rotations(n, n)
+        ev = Evaluator(
+            small_ring,
+            relin_key=small_keys.gen_relinearization_key(),
+            rotation_keys={r: small_keys.gen_rotation_key(r)
+                           for r in amounts})
+        mat = (rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))) / n
+        z = rng.normal(size=n) + 1j * rng.normal(size=n)
+        lt = LinearTransform.from_matrix(mat)
+        for level in (small_ring.max_level, small_ring.max_level - 1, 3):
+            ct = ev.drop_to_level(
+                encrypt_message(small_keys, small_encoder, z, SCALE),
+                level)
+            lazy = lt.apply(ev, ct, double_hoist=True)
+            eager = lt.apply(ev, ct, double_hoist=False)
+            assert lazy.level == eager.level
+            assert lazy.scale == eager.scale
+            got = ev.decrypt_to_message(lazy, small_keys.secret)
+            want = ev.decrypt_to_message(eager, small_keys.secret)
+            assert np.max(np.abs(got - want)) < 1e-7, level
+            assert np.max(np.abs(got - mat @ z)) < 1e-4, level
+
+    def test_p_scaled_extension_roundtrip(self, small_ring, rng):
+        """mod_down(P * poly) == poly exactly (the baby-0 identity)."""
+        from repro.ckks.keyswitch import mod_down, p_scaled_extension
+        from repro.ckks.rns import RnsPolynomial
+
+        level = 4
+        base = small_ring.base_q(level)
+        poly = RnsPolynomial(base, np.stack([
+            rng.integers(0, p.value, size=small_ring.n, dtype=np.uint64)
+            for p in base]), is_ntt=True)
+        extended = p_scaled_extension(poly, level, small_ring)
+        assert np.all(extended.residues[level + 1:] == 0)
+        back = mod_down(extended, level, small_ring)
+        assert np.array_equal(back.residues, poly.residues)
+
+    def test_p_scaled_extension_requires_ntt(self, small_ring, rng):
+        from repro.ckks.keyswitch import p_scaled_extension
+        from repro.ckks.rns import RnsPolynomial
+
+        base = small_ring.base_q(2)
+        poly = RnsPolynomial(base, np.stack([
+            rng.integers(0, p.value, size=small_ring.n, dtype=np.uint64)
+            for p in base]), is_ntt=False)
+        with pytest.raises(ValueError):
+            p_scaled_extension(poly, 2, small_ring)
+
+    def test_accumulate_then_moddown_equals_key_switch_raised(
+            self, small_ring, small_keys, rng):
+        """key_switch_raised == mod_down_pair(key_switch_accumulate)."""
+        from repro.ckks.keyswitch import (
+            key_switch_accumulate,
+            key_switch_raised,
+            mod_down_pair,
+            raise_decomposition,
+        )
+        from repro.ckks.rns import RnsPolynomial
+
+        level = 4
+        evk = small_keys.gen_relinearization_key()
+        base = small_ring.base_q(level)
+        poly = RnsPolynomial(base, np.stack([
+            rng.integers(0, p.value, size=small_ring.n, dtype=np.uint64)
+            for p in base]), is_ntt=True)
+        raised = raise_decomposition(poly, level, small_ring)
+        b1, a1 = key_switch_raised(raised, evk, level, small_ring)
+        acc_b, acc_a = key_switch_accumulate(raised, evk, level,
+                                             small_ring)
+        b2, a2 = mod_down_pair(acc_b, acc_a, level, small_ring)
+        assert np.array_equal(b1.residues, b2.residues)
+        assert np.array_equal(a1.residues, a2.residues)

@@ -151,10 +151,20 @@ class TestGalois:
         a = _random_poly(small_ring_module, 2, rng)
         assert np.array_equal(a.galois(1).residues, a.residues)
 
-    def test_requires_coeff_domain(self, small_ring_module, rng):
+    def test_ntt_domain_matches_coeff_oracle(self, small_ring_module, rng):
+        """NTT-domain galois is the evaluation-point gather of the oracle."""
+        a = _random_poly(small_ring_module, 2, rng)
+        for g in (5, 13, 2 * small_ring_module.n - 1):
+            want = a.galois(g).to_ntt()
+            got = a.to_ntt().galois(g)
+            assert got.is_ntt
+            assert np.array_equal(got.residues, want.residues)
+
+    def test_galois_coeff_oracle_hook(self, small_ring_module, rng):
+        """galois_coeff forces the iNTT -> permute -> NTT route."""
         a = _random_poly(small_ring_module, 2, rng).to_ntt()
-        with pytest.raises(ValueError):
-            a.galois(5)
+        assert np.array_equal(a.galois_coeff(5).residues,
+                              a.galois(5).residues)
 
     def test_rejects_even_element(self, small_ring_module, rng):
         a = _random_poly(small_ring_module, 2, rng)

@@ -79,6 +79,46 @@ class TestMachine:
         assert utils["HBM"] == 0.0
 
 
+class TestDependencyOrder:
+    """Reservation timelines must respect dependencies and FIFO order."""
+
+    def test_never_starts_before_earliest(self):
+        r = Resource("x", log_events=True)
+        starts = [r.reserve(1.0, earliest=e)[0]
+                  for e in (0.0, 5.0, 2.0, 7.5)]
+        for start, earliest in zip(starts, (0.0, 5.0, 2.0, 7.5)):
+            assert start >= earliest
+
+    def test_fifo_never_reorders(self):
+        """A later request never starts before an earlier one ended."""
+        r = Resource("x", log_events=True)
+        for duration, earliest in ((2.0, 0.0), (1.0, 0.5), (3.0, 0.0),
+                                   (0.5, 10.0), (1.0, 0.0)):
+            r.reserve(duration, earliest=earliest)
+        for prev, cur in zip(r.events, r.events[1:]):
+            assert cur.start >= prev.end
+
+    def test_timeline_intervals_never_overlap(self):
+        r = Resource("x", log_events=True)
+        for i in range(10):
+            r.reserve(0.5 + 0.1 * i, earliest=0.3 * i)
+        spans = sorted((e.start, e.end) for e in r.events)
+        for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+            assert s1 >= e0
+
+    def test_reservation_sequence_deterministic(self):
+        """The same request sequence yields the same timeline, twice."""
+        requests = [(1.5, 0.0), (0.5, 3.0), (2.0, 1.0), (0.0, 9.0),
+                    (1.0, 2.5)]
+
+        def run():
+            r = Resource("x", log_events=True)
+            return [r.reserve(d, earliest=e) for d, e in requests], \
+                r.free_at, r.busy_time
+
+        assert run() == run()
+
+
 class TestScratchpadProfile:
     def test_peak(self):
         p = ScratchpadProfile()

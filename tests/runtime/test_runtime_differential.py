@@ -153,6 +153,106 @@ class TestRandomDagDifferential:
             assert_ct_equal(got[name], want[name])
 
 
+@st.composite
+def rotation_heavy_descriptors(draw):
+    """DAGs guaranteed to form big rotation batches.
+
+    Each descriptor yields one shared source expression, >= 4 distinct
+    rotation amounts applied to it (the planner must detect one batch
+    covering them all, exercised through the NTT-domain hoisted path),
+    optionally a conjugation of the same source riding the batch, and a
+    combining tail.
+    """
+    amounts = draw(st.lists(st.sampled_from(KEYED_AMOUNTS), min_size=4,
+                            max_size=len(KEYED_AMOUNTS), unique=True))
+    with_conj = draw(st.booleans())
+    tail = draw(st.sampled_from(["sum", "pairwise", "weighted"]))
+    prep = draw(st.sampled_from(["input", "scaled", "sum"]))
+    return amounts, with_conj, tail, prep
+
+
+def build_rotation_heavy(amounts, with_conj, tail, prep, n_slots):
+    prog = Program(n_slots=n_slots, name="rotation-heavy")
+    x = prog.input("x")
+    y = prog.input("y")
+    if prep == "scaled":
+        src = x * 0.5
+    elif prep == "sum":
+        src = x + y
+    else:
+        src = x
+    rotated = [src.rotate(a) for a in amounts]
+    if with_conj:
+        rotated.append(src.conjugate())
+    if tail == "sum":
+        acc = rotated[0]
+        for term in rotated[1:]:
+            acc = acc + term
+    elif tail == "pairwise":
+        acc = rotated[0] - rotated[-1]
+        for term in rotated[1:-1]:
+            acc = acc + term
+    else:
+        acc = rotated[0]
+        for i, term in enumerate(rotated[1:]):
+            acc = acc + term * (0.25 * (i + 1))
+    prog.output("out", acc)
+    return prog
+
+
+class TestRotationHeavyDagDifferential:
+    """Big rotation batches through the NTT-domain path vs eager calls."""
+
+    @given(rows=rotation_heavy_descriptors())
+    @settings(max_examples=15, deadline=None)
+    def test_batched_execution_matches_naive(self, rows, small_ring,
+                                             small_evaluator, small_keys,
+                                             small_encoder):
+        amounts, with_conj, tail, prep = rows
+        prog = build_rotation_heavy(amounts, with_conj, tail, prep,
+                                    small_ring.params.slots_max)
+        plan = plan_program(prog, PlannerConfig.from_ring(small_ring))
+        # The planner must fold every rotation (and the conjugation,
+        # when present) of the shared source into one batch.
+        batches = [b for b in plan.batches
+                   if len(b.members) + len(b.conj_members) >= 4]
+        assert batches, "expected a rotation batch of >= 4 members"
+        batch = batches[0]
+        assert len(batch.amounts(plan.nodes)) >= 4
+        if with_conj:
+            assert batch.conj_members
+
+        rng = np.random.default_rng(7)
+        n = small_ring.params.slots_max
+        inputs = {
+            name: encrypt_message(
+                small_keys, small_encoder,
+                rng.normal(size=n) * 0.3 + 1j * rng.normal(size=n) * 0.3,
+                SCALE)
+            for name in prog.inputs
+        }
+        got = execute(plan, small_evaluator, inputs)
+        want = reference_execute(plan, small_evaluator, inputs)
+        for name in got:
+            assert_ct_equal(got[name], want[name])
+
+    def test_conj_only_pair_batches(self, small_ring, small_evaluator,
+                                    small_keys, small_encoder, rng):
+        """Two CONJ nodes on one source share a single raise."""
+        n = small_ring.params.slots_max
+        prog = Program(n_slots=n, name="conj-pair")
+        x = prog.input("x")
+        prog.output("out", x.conjugate() + (x.conjugate() * 0.5))
+        plan = plan_program(prog, PlannerConfig.from_ring(small_ring))
+        assert any(len(b.conj_members) >= 2 for b in plan.batches)
+        z = rng.normal(size=n) * 0.3 + 1j * rng.normal(size=n) * 0.3
+        inputs = {"x": encrypt_message(small_keys, small_encoder, z,
+                                       SCALE)}
+        got = execute(plan, small_evaluator, inputs)
+        want = reference_execute(plan, small_evaluator, inputs)
+        assert_ct_equal(got["out"], want["out"])
+
+
 class TestBsgsStyleProgram:
     """A BSGS-shaped program: the rotation batch must hoist AND agree."""
 
