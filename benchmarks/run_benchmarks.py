@@ -1,9 +1,10 @@
 """Machine-readable wall-clock benchmarks of the functional CKKS hot paths.
 
 Times the kernel engine (NTT, HMult, HRot, hoisted rotation batches,
-small bootstrap) and writes ``BENCH_functional.json`` mapping
-kernel -> median seconds, so every future PR has a perf trajectory to
-regress against::
+small bootstrap) plus the serving layer (wire round-trip, batched vs
+unbatched scheduler throughput) and writes ``BENCH_functional.json``
+mapping kernel -> median seconds, so every future PR has a perf
+trajectory to regress against::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py
     PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke   # CI
@@ -175,6 +176,65 @@ def bench_rotation_batch(ev, ct, reps: int) -> dict[str, tuple[float, int]]:
     }
 
 
+def bench_service(ring, reps: int) -> dict[str, tuple[float, int]]:
+    """Serving-layer kernels: wire round-trip and scheduler throughput.
+
+    ``service_roundtrip`` serializes + deserializes one full-level
+    ciphertext (validation included: CRC, digest, residue ranges).
+    ``service_throughput_batched`` / ``_unbatched`` measure one batch
+    window of 8 concurrent small rotation programs submitted by one
+    tenant against a *shared* input ciphertext — with coalescing on, the
+    scheduler runs one hoisted raise for the union of all 8 jobs'
+    rotation amounts; off, every job pays its own raise.  The two
+    kernels produce byte-identical result blobs (hoisted == sequential,
+    bit for bit), so their ratio is a pure scheduling win.
+    """
+    from repro.runtime import Program
+    from repro.service import FheServer, JobRequest, ServiceConfig
+    from repro.service.server import TenantClient
+    from repro.service.wire import deserialize_ciphertext, \
+        serialize_ciphertext, serialize_params
+
+    params = ring.params
+    client = TenantClient("bench", serialize_params(params), seed=3,
+                          ring=ring)
+    n_slots = params.slots_max
+    vec = np.linspace(-0.4, 0.4, n_slots)
+    blob = client.encrypt_blob(vec)
+    ct = deserialize_ciphertext(blob, ring)
+
+    def roundtrip():
+        deserialize_ciphertext(serialize_ciphertext(ct, params), ring)
+
+    out = {"service_roundtrip": (_median_seconds(roundtrip, reps), reps)}
+
+    def make_program(index: int) -> Program:
+        amounts = [ROTATION_BATCH_AMOUNTS[(3 * index + j) % 14]
+                   for j in range(3)]
+        prog = Program(n_slots=n_slots, name=f"svc{index}")
+        x = prog.input("x")
+        acc = x * 0.5
+        for amount in amounts:
+            acc = acc + x.rotate(amount) * 0.25
+        prog.output("out", acc)
+        return prog
+
+    requests = [JobRequest("bench", make_program(i), {"x": blob})
+                for i in range(8)]
+    for label, coalesce in (("service_throughput_batched", True),
+                            ("service_throughput_unbatched", False)):
+        server = FheServer(params, ServiceConfig(
+            workers=1, max_batch=8, coalesce=coalesce), ring=ring)
+        server.open_session("bench")
+        server.register_keys("bench", relin=client.relin_blob(),
+                             galois=client.galois_blob(
+                                 ROTATION_BATCH_AMOUNTS))
+        out[label] = (_median_seconds(lambda: server.serve(requests),
+                                      reps), reps)
+        server.shutdown()
+    return out
+
+
 def bench_bootstrap_small(reps: int) -> dict[str, tuple[float, int]]:
     from repro.ckks.bootstrap import BootstrapConfig, Bootstrapper
     from repro.ckks.encoder import Encoder
@@ -319,6 +379,8 @@ def main() -> None:
     kernels.update(bench_rotation_batch(ev, ct,
                                         max(1, reps if args.smoke
                                             else reps // 2)))
+    kernels.update(bench_service(ring, max(1, reps if args.smoke
+                                           else reps // 2)))
     if not args.smoke:
         kernels.update(bench_bootstrap_small(max(1, reps // 3)))
 

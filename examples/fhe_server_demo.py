@@ -1,0 +1,168 @@
+"""Multi-tenant FHE serving demo: two clients, one shared server.
+
+The BTS deployment shape end to end, across a (simulated) process
+boundary — everything between client and server is a wire blob:
+
+1. the server publishes its parameter set; each tenant builds the
+   identical ring, generates keys locally, and uploads relin + galois
+   bundles (secret keys never leave the client);
+2. both tenants submit HELR-style training jobs *concurrently* (one
+   encrypted logistic-regression iteration: inner products with
+   rotate-reduce, polynomial sigmoid, gradient, Nesterov update), plus
+   repeated stencil queries that the scheduler coalesces into shared
+   hoisted rotation batches;
+3. every job is priced on the BTS cycle model before running (cost
+   admission), compiled plans are cached by structural hash, and each
+   tenant decrypts + verifies its own results against the NumPy
+   reference.
+
+Usage:  PYTHONPATH=src python examples/fhe_server_demo.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.ckks.params import CkksParams
+from repro.runtime import Program
+from repro.service import FheServer, JobRequest, ServiceConfig, TenantClient
+from repro.workloads.helr import HelrConfig, build_helr_program, \
+    helr_program_reference
+
+N_SLOTS = 16
+HELR = HelrConfig(iterations=1, batch=4, features=3, padded_features=4,
+                  sigmoid_depth=1)
+
+
+def stencil_program(amounts, name):
+    """A small rotation-heavy query (coalesces across jobs)."""
+    prog = Program(n_slots=N_SLOTS, name=name)
+    x = prog.input("x")
+    acc = x * 0.5
+    for amount in amounts:
+        acc = acc + x.rotate(amount) * 0.25
+    prog.output("out", acc)
+    return prog
+
+
+def stencil_reference(vec, amounts):
+    acc = vec * 0.5
+    for amount in amounts:
+        acc = acc + np.roll(vec, -amount) * 0.25
+    return acc
+
+
+def tenant_workload(client: TenantClient, seed: int):
+    """(requests, verifier) for one tenant: 1 HELR job + 3 stencils."""
+    rng = np.random.default_rng(seed)
+    helr_prog = build_helr_program(HELR, N_SLOTS)
+    helr_inputs = {name: rng.normal(size=N_SLOTS) * 0.2
+                   for name in helr_prog.inputs}
+    requests = [JobRequest(client.tenant_id, helr_prog,
+                           {name: client.encrypt_blob(vec)
+                            for name, vec in helr_inputs.items()})]
+    vec = rng.normal(size=N_SLOTS) * 0.3
+    blob = client.encrypt_blob(vec)  # one upload, three queries
+    stencils = [(f"{client.tenant_id}-stencil{i}", [1 + i, 2 + i])
+                for i in range(3)]
+    requests += [JobRequest(client.tenant_id,
+                            stencil_program(amounts, name),
+                            {"x": blob})
+                 for name, amounts in stencils]
+
+    def verify(results) -> float:
+        worst = 0.0
+        helr_ref = helr_program_reference(helr_inputs, HELR, N_SLOTS)
+        for name in ("weights", "momentum"):
+            got = client.decrypt_blob(results[0].outputs[name])
+            worst = max(worst, float(np.max(np.abs(got - helr_ref[name]))))
+        for result, (_, amounts) in zip(results[1:], stencils):
+            got = client.decrypt_blob(result.outputs["out"])
+            ref = stencil_reference(vec, amounts)
+            worst = max(worst, float(np.max(np.abs(got - ref))))
+        return worst
+
+    return requests, verify
+
+
+async def run_demo(server: FheServer, workloads) -> dict[str, list]:
+    """Submit every tenant's jobs concurrently through the scheduler."""
+    server.scheduler.start()
+    try:
+        tenants = list(workloads)
+        gathered = await asyncio.gather(*(
+            asyncio.gather(*(server.submit(req)
+                             for req in workloads[tenant][0]))
+            for tenant in tenants))
+        return dict(zip(tenants, gathered))
+    finally:
+        await server.scheduler.stop()
+
+
+def main() -> None:
+    params = CkksParams.functional(n=1 << 10, l=10, dnum=2)
+    print(f"server params: N=2^10, L={params.l}, dnum={params.dnum} "
+          f"(digest {params.digest[:12]}…)")
+    server = FheServer(params, ServiceConfig(
+        workers=2, max_batch=8, max_job_seconds=0.05))
+
+    print("\n-- tenant onboarding (keys travel as wire blobs) --")
+    workloads = {}
+    for tenant, seed in (("alice", 7), ("bob", 13)):
+        t0 = time.perf_counter()
+        client = TenantClient(tenant, server.params_blob(), seed=seed,
+                              ring=server.ring)
+        server.open_session(tenant, client.hello_blob())
+        requests, verify = tenant_workload(client, seed)
+        amounts = set()
+        for req in requests:
+            amounts |= req.program.required_rotations()
+        galois = client.galois_blob(amounts)
+        stats = server.register_keys(tenant, relin=client.relin_blob(),
+                                     galois=galois)
+        workloads[tenant] = (requests, verify)
+        print(f"  {tenant}: {len(galois) / 1e6:.2f} MB galois bundle, "
+              f"{stats['stored']} evks stored, "
+              f"{len(requests)} jobs queued "
+              f"({time.perf_counter() - t0:.2f}s)")
+
+    print("\n-- concurrent service (both tenants in flight) --")
+    t0 = time.perf_counter()
+    results = asyncio.run(run_demo(server, workloads))
+    wall = time.perf_counter() - t0
+    total_jobs = sum(len(reqs) for reqs, _ in workloads.values())
+    for tenant, tenant_results in results.items():
+        for result in tenant_results:
+            est = (f"{result.estimated_seconds * 1e6:7.1f} us BTS est."
+                   if result.estimated_seconds is not None else "")
+            print(f"  {tenant:5s} {result.program_name:18s} "
+                  f"{result.wall_seconds * 1e3:7.1f} ms wall  {est}"
+                  f"  cache_hit={result.plan_cache_hit}"
+                  f"  coalesced={result.coalesced}")
+    print(f"  {total_jobs} jobs in {wall:.2f}s "
+          f"({total_jobs / wall:.1f} jobs/s)")
+
+    print("\n-- decrypt + verify (each tenant, own secret key) --")
+    for tenant, (_, verify) in workloads.items():
+        err = verify(results[tenant])
+        status = "OK" if err < 1e-2 else "FAIL"
+        print(f"  {tenant}: max |error| vs NumPy reference = "
+              f"{err:.2e}  {status}")
+        if err >= 1e-2:
+            raise SystemExit(f"{tenant}: verification failed")
+
+    stats = server.stats()
+    print(f"\nserver stats: {stats['scheduler']['jobs_completed']} jobs, "
+          f"plan cache {stats['scheduler']['plan_cache']['hits']} hits / "
+          f"{stats['scheduler']['plan_cache']['misses']} misses, "
+          f"{stats['scheduler']['coalesced_raises']} coalesced raises, "
+          f"{stats['registry']['galois_bytes'] / 1e6:.1f} MB galois keys "
+          f"for {stats['registry']['tenants']} tenants")
+    server.shutdown()
+
+
+if __name__ == "__main__":
+    main()

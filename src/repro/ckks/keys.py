@@ -12,6 +12,7 @@ it without any big-integer polynomial arithmetic.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,6 +22,25 @@ from repro.ckks.modmath import shoup_precompute
 from repro.ckks.params import PrimeContext, RingContext
 from repro.ckks.random_sampler import Sampler
 from repro.ckks.rns import RnsPolynomial
+
+
+def canonical_rotation(n: int, amount: int) -> int:
+    """Reduce a rotation amount to its canonical range [0, N/2).
+
+    The slot generator 5 has multiplicative order N/2 modulo 2N, so
+    amounts congruent mod N/2 (including negative ones) realize the
+    *same* automorphism ``X -> X^(5^amount)`` and share one evk.  This
+    is the single definition every layer (keygen, key registry, wire
+    uploads) normalizes through.
+
+    Note the reduction is automorphism-preserving, not slot-semantic:
+    rotating a *sparsely packed* ciphertext (n_slots < N/2) by a raw
+    amount ``a`` uses the key for ``a % n_slots``, which only the
+    caller's slot count can determine — the runtime IR reduces program
+    rotations mod ``n_slots`` at construction, so every amount reaching
+    the planner/scheduler is already in slot-canonical form.
+    """
+    return int(amount) % (n // 2)
 
 
 @dataclass
@@ -102,8 +122,16 @@ class KeyGenerator:
         # (and the relin key as a singleton), so bootstrap stages and
         # BSGS plans that share rotation amounts never regenerate an
         # identical evk — each one is ~dnum full-base ct pairs of work.
+        # The lock serializes cache misses: the serving scheduler runs
+        # jobs on a worker pool, and two programs racing on the same
+        # missing element must not both generate (and sample!) an evk.
         self._galois_keys: dict[int, EvaluationKey] = {}
         self._relin_key: EvaluationKey | None = None
+        self._galois_lock = threading.Lock()
+        #: calls to :meth:`gen_switching_key` (cache misses only) — lets
+        #: tests and the key registry assert that interleaved programs
+        #: never regenerate an existing evk.
+        self.switching_keys_generated = 0
 
     # ----- public / encryption ------------------------------------------------
 
@@ -144,6 +172,7 @@ class KeyGenerator:
         full_base = ring.base_qp(ring.max_level)
         if target.base != full_base:
             raise ValueError("target key must live on the full C_L + B base")
+        self.switching_keys_generated += 1
         s = self.secret.poly
         slices = []
         for block in ring.decomposition_blocks(ring.max_level):
@@ -159,13 +188,24 @@ class KeyGenerator:
     def gen_relinearization_key(self) -> EvaluationKey:
         """evk_mult: switches the s^2 component of a tensor product."""
         if self._relin_key is None:
-            s = self.secret.poly
-            self._relin_key = self.gen_switching_key(s.mul(s))
+            with self._galois_lock:
+                if self._relin_key is None:
+                    s = self.secret.poly
+                    self._relin_key = self.gen_switching_key(s.mul(s))
         return self._relin_key
+
+    def canonical_rotation(self, amount: int) -> int:
+        """Reduce a rotation amount to its canonical range [0, N/2).
+
+        See :func:`canonical_rotation` — this is the bound form for
+        this keygen's ring degree.
+        """
+        return canonical_rotation(self.ring.n, amount)
 
     def gen_rotation_key(self, amount: int) -> EvaluationKey:
         """evk_rot^(r): switches s(X^(5^r)) back to s."""
-        galois_elt = pow(5, amount, 2 * self.ring.n)
+        galois_elt = pow(5, self.canonical_rotation(amount),
+                         2 * self.ring.n)
         return self.gen_galois_key(galois_elt)
 
     def gen_conjugation_key(self) -> EvaluationKey:
@@ -175,13 +215,18 @@ class KeyGenerator:
     def gen_galois_key(self, galois_elt: int) -> EvaluationKey:
         cached = self._galois_keys.get(galois_elt)
         if cached is None:
-            # The secret lives in the NTT domain; the automorphism image
-            # s(X^g) is the evaluation-point gather of its NTT values
-            # (bit-identical to the old iNTT -> permute -> NTT route),
-            # so evk generation never leaves the evaluation domain.
-            cached = self.gen_switching_key(
-                self.secret.poly.galois(galois_elt))
-            self._galois_keys[galois_elt] = cached
+            with self._galois_lock:
+                cached = self._galois_keys.get(galois_elt)
+                if cached is not None:  # lost the race, winner generated
+                    return cached
+                # The secret lives in the NTT domain; the automorphism
+                # image s(X^g) is the evaluation-point gather of its NTT
+                # values (bit-identical to the old iNTT -> permute -> NTT
+                # route), so evk generation never leaves the evaluation
+                # domain.
+                cached = self.gen_switching_key(
+                    self.secret.poly.galois(galois_elt))
+                self._galois_keys[galois_elt] = cached
         return cached
 
     def ensure_rotation_keys(self, evaluator,
@@ -190,16 +235,38 @@ class KeyGenerator:
 
         Callers collect every amount a whole program will need —
         bootstrap stages, BSGS plans, runtime rotation batches — and
-        make one call, so shared amounts are keyed once (and the keygen
-        cache guarantees an identical evk is never regenerated even
-        across evaluators).  Amount 0 is a no-op rotation and skipped.
-        Returns the evaluator's (now complete) rotation-key dict.
+        make one call; a session serving several programs makes several
+        calls against the same evaluator, and an evk that any earlier
+        union (or another evaluator of the same keygen) already produced
+        is never regenerated: amounts are canonicalized to [0, N/2)
+        first (congruent amounts share an automorphism — see
+        :func:`canonical_rotation` — so a raw ``-1`` keys the entry a
+        fully-packed ciphertext's ``amount % n_slots`` lookup actually
+        hits, instead of a dead ``-1`` entry), and the keygen's
+        galois-element cache dedupes across calls and evaluators.
+        Sparse-packing callers must pass amounts already reduced mod
+        their slot count (the runtime IR always does).  Amount 0 is a
+        no-op rotation and skipped.  Returns the evaluator's (now
+        complete) rotation-key dict.
         """
-        for amount in sorted({int(a) for a in amounts}):
+        for amount in sorted({self.canonical_rotation(a) for a in amounts}):
             if amount and amount not in evaluator.rotation_keys:
                 evaluator.rotation_keys[amount] = \
                     self.gen_rotation_key(amount)
         return evaluator.rotation_keys
+
+    def rotation_keys_for(self, amounts) -> dict[int, EvaluationKey]:
+        """The rotation-key bundle for a set of amounts (for the wire).
+
+        Serving-layer clients use this to build the galois-key upload
+        for a program union without holding an evaluator; the same
+        canonicalization and caching as :meth:`ensure_rotation_keys`
+        applies, so interleaved uploads re-serialize cached objects
+        instead of regenerating them.
+        """
+        return {amount: self.gen_rotation_key(amount)
+                for amount in sorted({self.canonical_rotation(a)
+                                      for a in amounts}) if amount}
 
     # ----- direct (secret-key) encryption, used by tests -------------------------
 

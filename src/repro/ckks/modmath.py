@@ -34,6 +34,7 @@ reuse scratch buffers instead of allocating temporaries per stage.
 from __future__ import annotations
 
 import sys
+import threading
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -55,8 +56,8 @@ def _as_u64(a: np.ndarray | int) -> np.ndarray:
     return np.asarray(a, dtype=np.uint64)
 
 
-class _Workspace:
-    """Reusable scratch buffers for kernel temporaries.
+class _Workspace(threading.local):
+    """Reusable scratch buffers for kernel temporaries (per thread).
 
     Residue matrices at batched shapes (e.g. 17 x 2048 words = 272 KiB)
     sit above glibc's mmap threshold, so naively allocating the ~10
@@ -66,9 +67,14 @@ class _Workspace:
     ever requested and re-sliced per call.  Buffers never escape the
     kernel that requested them (results go to caller ``out=`` arrays or
     fresh allocations), so tags cannot alias across nested calls.
-    """
 
-    __slots__ = ("_bufs",)
+    The workspace is ``threading.local``: the serving scheduler executes
+    jobs on a worker pool, and two threads sharing one scratch buffer
+    would silently corrupt each other's kernels mid-flight.  Each worker
+    pays its own (bounded) scratch footprint instead; every other shared
+    cache on the hot path (twiddle planes, BConv tables, evk
+    restrictions) is compute-once read-only and therefore race-benign.
+    """
 
     def __init__(self) -> None:
         self._bufs: dict[str, np.ndarray] = {}

@@ -22,7 +22,9 @@ reproduces the paper's log PQ values of 3090 / 3210 / 3160 exactly.
 
 from __future__ import annotations
 
+import hashlib
 import math
+import struct
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -90,6 +92,32 @@ class CkksParams:
     def slots_max(self) -> int:
         """Maximum packable message slots: N/2."""
         return self.n // 2
+
+    # ----- content identity --------------------------------------------------
+
+    @cached_property
+    def digest_bytes(self) -> bytes:
+        """16-byte content digest of every computation-relevant field.
+
+        Two parameter sets with equal digests generate *identical* rings:
+        prime search (:func:`~repro.ckks.primes.ntt_friendly_primes`) is a
+        deterministic function of the bit widths and counts hashed here,
+        so ciphertexts, keys and plans are interchangeable exactly when
+        the digests match.  ``name`` is cosmetic and deliberately
+        excluded.  The digest is the wire-format compatibility check
+        (:mod:`repro.service.wire`) and part of the planner's plan-cache
+        key — mismatched-params material fails loudly instead of
+        decoding garbage.
+        """
+        packed = struct.pack("<QQQQQQQd", self.n, self.l, self.dnum,
+                             self.scale_bits, self.q0_bits, self.p_bits,
+                             self.h, self.sigma)
+        return hashlib.sha256(b"CkksParams/v1" + packed).digest()[:16]
+
+    @property
+    def digest(self) -> str:
+        """Hex form of :attr:`digest_bytes` (32 hex chars)."""
+        return self.digest_bytes.hex()
 
     def beta(self, level: int | None = None) -> int:
         """Number of decomposition blocks at ``level`` (default: max L)."""

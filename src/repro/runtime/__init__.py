@@ -13,10 +13,13 @@ from repro.runtime.lowering import LoweredProgram, lower_to_trace
 from repro.runtime.planner import (
     NodeMeta,
     Plan,
+    PlanCache,
     PlannerConfig,
     PlanningError,
     RotationBatch,
+    plan_cache_key,
     plan_program,
+    structural_hash,
 )
 
 __all__ = [
@@ -27,11 +30,14 @@ __all__ = [
     "NodeMeta",
     "OpCode",
     "Plan",
+    "PlanCache",
     "PlannerConfig",
     "PlanningError",
     "Program",
     "RotationBatch",
     "execute",
     "lower_to_trace",
+    "plan_cache_key",
     "plan_program",
+    "structural_hash",
 ]

@@ -37,16 +37,54 @@ class ExecutionError(RuntimeError):
     """Executed state diverged from the plan (or a key/input is missing)."""
 
 
+def _seeded_result(plan: Plan, node, seeded_galois) -> Ciphertext | None:
+    """Look up a cross-job precomputed galois result for ``node``.
+
+    Only galois ops applied *directly to an INPUT node* are seedable:
+    that is the (tenant, source-ciphertext) granularity the scheduler
+    coalesces on, and the only place where two jobs can provably share
+    an operand.
+    """
+    if not seeded_galois:
+        return None
+    src = plan.nodes[node.args[0]]
+    if src.op is not OpCode.INPUT:
+        return None
+    entry = seeded_galois.get(src.name)
+    if entry is None:
+        return None
+    rotations, conjugated = entry
+    if node.op is OpCode.CONJ:
+        return conjugated
+    return rotations.get(node.rotation)
+
+
 def execute(plan: Plan, evaluator: Evaluator,
             inputs: dict[str, Ciphertext],
             bootstrapper=None,
-            validate: bool = True) -> dict[str, Ciphertext]:
+            validate: bool = True,
+            seeded_galois: dict[str, tuple[dict[int, Ciphertext],
+                                           Ciphertext | None]] | None = None
+            ) -> dict[str, Ciphertext]:
     """Run ``plan`` and return the named output ciphertexts.
 
     ``inputs`` maps the program's input names to ciphertexts encrypted
     at the planner's assumed input level/scale.  ``bootstrapper`` is
     required iff the plan contains BOOTSTRAP nodes (its evaluator must
     be ``evaluator``).
+
+    ``seeded_galois`` maps an *input name* to pre-computed galois
+    results ``(rotations, conjugated)`` for that input ciphertext —
+    exactly the return shape of
+    :meth:`~repro.ckks.evaluator.Evaluator.galois_hoisted`.  The serving
+    scheduler uses this to coalesce rotation batches *across jobs*: when
+    several queued jobs rotate the same source ciphertext, one hoisted
+    raise serves the union of their amounts and each executor consumes
+    the shared results instead of raising again.  Galois ops whose
+    amount is not seeded fall back to the normal (per-plan batched)
+    path, and seeded results flow through the same per-node level/scale
+    validation as everything else — since hoisted galois is bit-identical
+    to sequential, seeding never changes a single output bit.
     """
     program, config = plan.program, plan.config
     missing = set(program.inputs) - set(inputs)
@@ -116,8 +154,16 @@ def execute(plan: Plan, evaluator: Evaluator,
         elif op is OpCode.NEG:
             result = evaluator.negate(consume(node.args[0]))
         elif op in (OpCode.HROT, OpCode.CONJ):
+            seeded = _seeded_result(plan, node, seeded_galois)
             batch_index = plan.batch_of.get(nid)
-            if batch_index is None:
+            if seeded is not None:
+                consume(node.args[0])
+                result = seeded
+                if batch_index is not None:
+                    batch_pending[batch_index] -= 1
+                    if batch_pending[batch_index] == 0:
+                        batch_results.pop(batch_index, None)
+            elif batch_index is None:
                 if op is OpCode.HROT:
                     result = evaluator.rotate(consume(node.args[0]),
                                               node.rotation)

@@ -31,7 +31,12 @@ executable :class:`Plan` in one forward walk plus two cheap analyses:
 
 from __future__ import annotations
 
+import hashlib
+import struct
+from collections import OrderedDict
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.ckks.evaluator import SCALE_RTOL
 from repro.runtime.ir import Node, OpCode, Program
@@ -359,3 +364,109 @@ class _Planner:
 def plan_program(program: Program, config: PlannerConfig) -> Plan:
     """Run every planner pass; raises :class:`PlanningError` on failure."""
     return _Planner(program, config).run()
+
+
+# ----- plan caching (the serving layer's compile cache) ----------------------
+
+def structural_hash(program: Program) -> str:
+    """Content hash of a program's *structure* (SHA-256 hex).
+
+    Two programs hash equal iff they would plan identically: same slot
+    count, same node list (op, operands, rotation amount, plaintext
+    payload bits, payload scale) and same named endpoints.  Input
+    *names* are included (they key the executor's input binding) but
+    ciphertext contents are not — the whole point is that one compiled
+    plan serves every request that runs the same computation on
+    different data.  Payloads hash by exact float bit pattern, so two
+    programs multiplying by almost-equal constants do not collide.
+    """
+    h = hashlib.sha256()
+    h.update(struct.pack("<QQ", program.n_slots, len(program.nodes)))
+    for node in program.nodes:
+        h.update(node.op.value.encode())
+        h.update(struct.pack(f"<q{len(node.args)}q", node.rotation,
+                             *node.args))
+        if node.payload is None:
+            h.update(b"\x00")
+        elif isinstance(node.payload, complex):
+            h.update(struct.pack("<dd", node.payload.real,
+                                 node.payload.imag))
+        else:
+            h.update(np.ascontiguousarray(
+                np.asarray(node.payload, dtype=np.complex128)).tobytes())
+        h.update(struct.pack("<d", -1.0 if node.payload_scale is None
+                             else node.payload_scale))
+        h.update(node.name.encode() + b"\x00")
+    for label, endpoints in (("in", program.inputs),
+                             ("out", program.outputs)):
+        for name in sorted(endpoints):
+            h.update(f"{label}:{name}:{endpoints[name]}".encode())
+    return h.hexdigest()
+
+
+def plan_cache_key(program: Program, config: PlannerConfig,
+                   params_digest: str = "") -> str:
+    """Cache key: structural hash x planner configuration x ring identity.
+
+    ``params_digest`` is :attr:`repro.ckks.params.CkksParams.digest`;
+    folding it in means a cache shared by several parameter sets (or a
+    server restarted onto new params) can never hand out a plan whose
+    level/scale metadata was inferred for a different moduli chain.
+    """
+    h = hashlib.sha256()
+    h.update(structural_hash(program).encode())
+    h.update(params_digest.encode())
+    h.update(struct.pack(
+        "<qqdq", config.max_level, config.scale_bits,
+        -1.0 if config.input_scale is None else config.input_scale,
+        -1 if config.bootstrap_level is None else config.bootstrap_level))
+    h.update(struct.pack(
+        "<q", -1 if config.input_level is None else config.input_level))
+    h.update(struct.pack(f"<{len(config.q_values)}d", *config.q_values))
+    return h.hexdigest()
+
+
+class PlanCache:
+    """LRU cache of compiled plans keyed by :func:`plan_cache_key`.
+
+    Planning is pure (a plan only depends on the program structure and
+    the config), so cached plans are shared freely across tenants and
+    requests; the serving scheduler compiles each distinct program once
+    and replays the plan for every subsequent job.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._plans: OrderedDict[str, Plan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, program: Program, config: PlannerConfig,
+            params_digest: str = "") -> tuple[Plan, bool, str]:
+        """Return ``(plan, was_cached, cache_key)``, planning on a miss.
+
+        The key is handed back so callers that maintain sidecar state
+        (the scheduler's admission-estimate cache) reuse it instead of
+        re-walking the program for a second structural hash.
+        """
+        key = plan_cache_key(program, config, params_digest)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan, True, key
+        plan = plan_program(program, config)
+        self._plans[key] = plan
+        self.misses += 1
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+        return plan, False, key
+
+    def stats(self) -> dict[str, int]:
+        return {"entries": len(self._plans), "hits": self.hits,
+                "misses": self.misses, "capacity": self.capacity}

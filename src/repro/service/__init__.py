@@ -1,0 +1,44 @@
+"""FHE serving layer: wire format, key registry, batching scheduler.
+
+The deployment shape BTS is built for (Section 1): clients hold secret
+keys and ship ciphertexts + evaluation keys to a shared server that
+amortizes cost across tenants and requests.  Three pieces:
+
+* :mod:`repro.service.wire` — versioned deterministic binary encoding
+  for ciphertexts, plaintexts, keys and parameter sets, with digest /
+  CRC / domain validation at the boundary.
+* :mod:`repro.service.registry` — multi-tenant session store holding
+  each tenant's evaluation keys exactly once (galois-element dedup)
+  under an LRU byte budget.
+* :mod:`repro.service.scheduler` / :mod:`repro.service.server` — an
+  async batching scheduler (plan cache, BTS-cycle cost admission,
+  cross-job hoisted rotation coalescing) behind the
+  :class:`~repro.service.server.FheServer` facade, plus the
+  client-side :class:`~repro.service.server.TenantClient` SDK.
+"""
+
+from repro.service.registry import KeyRegistry, RegistryError, TenantSession
+from repro.service.scheduler import (
+    AdmissionError,
+    JobRequest,
+    JobResult,
+    RequestScheduler,
+    ServiceConfig,
+)
+from repro.service.server import FheServer, TenantClient
+from repro.service.wire import ObjectKind, WireError
+
+__all__ = [
+    "AdmissionError",
+    "FheServer",
+    "JobRequest",
+    "JobResult",
+    "KeyRegistry",
+    "ObjectKind",
+    "RegistryError",
+    "RequestScheduler",
+    "ServiceConfig",
+    "TenantClient",
+    "TenantSession",
+    "WireError",
+]

@@ -1,0 +1,251 @@
+"""Multi-tenant session and evaluation-key registry.
+
+BTS's deployment model (Section 1) has many clients sharing one
+accelerator: each client keeps its secret key and ships *evaluation*
+material — a relinearization key, rotation/conjugation keys — which the
+server must hold resident to run that client's programs.  At paper
+scale a single galois evk is ~58 MiB (INS-2), so key storage, not
+ciphertexts, dominates server memory; the registry therefore
+
+* stores each tenant's keys **once**: rotation amounts are canonicalized
+  to their galois element (``5^r mod 2N``; amounts congruent mod N/2
+  realize the same automorphism), mirroring
+  :class:`~repro.ckks.keys.KeyGenerator`'s dedup on the generation side,
+  so a tenant uploading unions for several programs never stores two
+  copies of one evk;
+* accounts every stored evk in bytes and evicts by **LRU over a byte
+  budget**: galois keys are reloadable client material (the tenant can
+  re-upload), so the least-recently-*used* ones are dropped first when a
+  new registration would exceed the budget.  Relinearization and
+  conjugation keys are pinned — a session is unusable without them and
+  there is exactly one of each per tenant.
+
+Jobs touch the keys they use (:meth:`TenantSession.touch`), so steady
+traffic keeps its working set resident while cold tenants' rotation
+keys age out.  A job that needs an evicted key fails loudly with
+:class:`RegistryError` naming the amounts to re-upload.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import EvaluationKey, canonical_rotation
+from repro.ckks.params import RingContext
+from repro.service import wire
+
+
+class RegistryError(ValueError):
+    """Unknown tenant, duplicate session, or missing/evicted key."""
+
+
+def evk_stored_bytes(evk: EvaluationKey) -> int:
+    """Actual resident bytes of one evaluation key's residue planes."""
+    return sum(b.residues.nbytes + a.residues.nbytes
+               for b, a in evk.slices)
+
+
+@dataclass
+class TenantSession:
+    """One tenant's registered key material and evaluator."""
+
+    tenant_id: str
+    ring: RingContext
+    evaluator: Evaluator
+    #: galois element -> stored evk (the dedup map; rotation_keys on the
+    #: evaluator holds per-amount aliases into it)
+    by_element: dict[int, EvaluationKey] = field(default_factory=dict)
+    jobs_run: int = 0
+    dedup_hits: int = 0
+
+    @property
+    def rotation_keys(self) -> dict[int, EvaluationKey]:
+        """The live per-amount key dict (shared with the evaluator)."""
+        return self.evaluator.rotation_keys
+
+    def galois_element(self, amount: int) -> int:
+        n = self.ring.n
+        return pow(5, canonical_rotation(n, amount), 2 * n)
+
+    def missing_amounts(self, amounts) -> list[int]:
+        """Rotation amounts a plan needs that are not registered.
+
+        Plan amounts are always slot-reduced (< n_slots <= N/2, the IR
+        guarantees it), and registered keys are stored under their
+        canonical [0, N/2) amounts, so the two domains agree and the
+        lookup is a plain dict check.
+        """
+        return sorted(a for a in {int(x) for x in amounts}
+                      if a and a not in self.evaluator.rotation_keys)
+
+    def touch(self, amounts, registry: "KeyRegistry") -> None:
+        """LRU-bump every key a job is about to use."""
+        for amount in {int(a) for a in amounts}:
+            if amount:
+                registry._touch(self.tenant_id,
+                                self.galois_element(amount))
+
+
+class KeyRegistry:
+    """Sessions plus byte-budgeted LRU storage of galois evks.
+
+    ``byte_budget=None`` disables eviction (unbounded registry).  The
+    budget covers galois keys only; pinned relin/conjugation keys are
+    reported separately in :meth:`stats`.
+    """
+
+    def __init__(self, ring: RingContext,
+                 byte_budget: int | None = None) -> None:
+        if byte_budget is not None and byte_budget <= 0:
+            raise ValueError("byte_budget must be positive (or None)")
+        self.ring = ring
+        self.byte_budget = byte_budget
+        self._sessions: dict[str, TenantSession] = {}
+        #: (tenant, galois element) -> stored bytes, in LRU order
+        #: (least recently used first)
+        self._lru: OrderedDict[tuple[str, int], int] = OrderedDict()
+        self.galois_bytes = 0
+        self.pinned_bytes = 0
+        self.evictions = 0
+
+    # ----- sessions ----------------------------------------------------------
+
+    def open_session(self, tenant_id: str,
+                     params_blob: bytes | None = None) -> TenantSession:
+        """Create a tenant session (idempotent for an existing tenant).
+
+        ``params_blob`` (a PARAMS wire blob) lets the client prove it
+        built its keys for this server's parameter set; a digest
+        mismatch is rejected before any key bytes move.
+        """
+        if params_blob is not None:
+            params = wire.deserialize_params(params_blob)
+            if params.digest_bytes != self.ring.params.digest_bytes:
+                raise RegistryError(
+                    f"tenant {tenant_id!r}: client params digest "
+                    f"{params.digest} does not match server "
+                    f"{self.ring.params.digest}")
+        session = self._sessions.get(tenant_id)
+        if session is None:
+            session = TenantSession(tenant_id=tenant_id, ring=self.ring,
+                                    evaluator=Evaluator(self.ring))
+            self._sessions[tenant_id] = session
+        return session
+
+    def session(self, tenant_id: str) -> TenantSession:
+        session = self._sessions.get(tenant_id)
+        if session is None:
+            raise RegistryError(f"no session for tenant {tenant_id!r}")
+        return session
+
+    def close_session(self, tenant_id: str) -> None:
+        session = self._sessions.pop(tenant_id, None)
+        if session is None:
+            raise RegistryError(f"no session for tenant {tenant_id!r}")
+        for elt in list(session.by_element):
+            self._drop_entry(session, elt, evicted=False)
+        pinned = sum(evk_stored_bytes(k) for k in
+                     (session.evaluator.relin_key,
+                      session.evaluator.conjugation_key) if k is not None)
+        self.pinned_bytes -= pinned
+
+    # ----- registration ------------------------------------------------------
+
+    def register_relin_key(self, tenant_id: str, blob: bytes) -> None:
+        session = self.session(tenant_id)
+        evk = wire.deserialize_evaluation_key(blob, self.ring)
+        if session.evaluator.relin_key is None:
+            self.pinned_bytes += evk_stored_bytes(evk)
+        session.evaluator.relin_key = evk
+
+    def register_galois_keys(self, tenant_id: str, blob: bytes
+                             ) -> dict[str, int]:
+        """Register a GALOIS_KEYS bundle; returns registration stats.
+
+        Amounts whose galois element is already stored for this tenant
+        are *aliased* to the existing evk (zero new bytes); genuinely
+        new elements are stored, then the LRU budget is enforced.
+        """
+        session = self.session(tenant_id)
+        rotation_keys, conj = wire.deserialize_galois_keys(blob, self.ring)
+        stored = aliased = 0
+        for amount, evk in sorted(rotation_keys.items()):
+            amount = canonical_rotation(self.ring.n, amount)
+            if not amount:
+                continue
+            elt = session.galois_element(amount)
+            existing = session.by_element.get(elt)
+            if existing is not None:
+                session.evaluator.rotation_keys[amount] = existing
+                session.dedup_hits += 1
+                aliased += 1
+                continue
+            session.by_element[elt] = evk
+            session.evaluator.rotation_keys[amount] = evk
+            nbytes = evk_stored_bytes(evk)
+            self._lru[(tenant_id, elt)] = nbytes
+            self.galois_bytes += nbytes
+            stored += 1
+        if conj is not None:
+            if session.evaluator.conjugation_key is None:
+                self.pinned_bytes += evk_stored_bytes(conj)
+            session.evaluator.conjugation_key = conj
+        evicted = self._enforce_budget(
+            protect={(tenant_id, session.galois_element(a))
+                     for a in rotation_keys})
+        return {"stored": stored, "aliased": aliased, "evicted": evicted}
+
+    # ----- LRU machinery -----------------------------------------------------
+
+    def _touch(self, tenant_id: str, elt: int) -> None:
+        key = (tenant_id, elt)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+
+    def _drop_entry(self, session: TenantSession, elt: int,
+                    evicted: bool) -> None:
+        evk = session.by_element.pop(elt)
+        nbytes = self._lru.pop((session.tenant_id, elt), 0)
+        self.galois_bytes -= nbytes
+        if evicted:
+            self.evictions += 1
+        for amount in [a for a, k in session.evaluator.rotation_keys.items()
+                       if k is evk]:
+            del session.evaluator.rotation_keys[amount]
+
+    def _enforce_budget(self, protect: set[tuple[str, int]]) -> int:
+        """Evict LRU galois keys until under budget; returns count.
+
+        ``protect`` shields the registration that triggered enforcement
+        — evicting bytes that were just uploaded would livelock a
+        client.  A single over-budget upload is admitted whole (the
+        budget is a high-water mark, not a hard ceiling).
+        """
+        if self.byte_budget is None:
+            return 0
+        evicted = 0
+        while self.galois_bytes > self.byte_budget:
+            victim = next((key for key in self._lru if key not in protect),
+                          None)
+            if victim is None:
+                break
+            tenant_id, elt = victim
+            self._drop_entry(self._sessions[tenant_id], elt, evicted=True)
+            evicted += 1
+        return evicted
+
+    # ----- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "tenants": len(self._sessions),
+            "galois_keys": len(self._lru),
+            "galois_bytes": self.galois_bytes,
+            "pinned_bytes": self.pinned_bytes,
+            "byte_budget": self.byte_budget,
+            "evictions": self.evictions,
+            "dedup_hits": sum(s.dedup_hits
+                              for s in self._sessions.values()),
+        }

@@ -1,0 +1,387 @@
+"""Async request scheduler: plan cache, cost admission, job batching.
+
+The serving pipeline for one job is
+
+    blob inputs -> deserialize (dedup by digest) -> plan (cached)
+    -> admission (BTS cycle estimate) -> coalesce galois across jobs
+    -> execute on the worker pool -> serialize outputs
+
+Three scheduling ideas carry the throughput:
+
+* **Plan cache** — compilation (level/scale inference, rescale and
+  bootstrap placement, batch detection) is pure, so plans are cached by
+  :func:`~repro.runtime.planner.plan_cache_key` (structural program
+  hash x planner config x params digest) and shared across tenants.
+
+* **Cost admission** — before a job first runs, its plan is lowered to
+  the accelerator trace and priced by the BTS cycle simulator
+  (:class:`~repro.core.simulator.BtsSimulator`) on the configured
+  instance; jobs whose estimated accelerator time exceeds
+  ``max_job_seconds`` are rejected *before* consuming worker time.  The
+  estimate is cached with the plan, so admission is one dict lookup in
+  steady state.
+
+* **Cross-job rotation coalescing** — jobs arriving in one batch window
+  that rotate the *same* source ciphertext (same tenant, same input
+  blob digest) share a single hoisted raise: the scheduler unions their
+  rotation amounts, runs one
+  :meth:`~repro.ckks.evaluator.Evaluator.galois_hoisted` call, and seeds
+  every executor with the shared results (the Section 3.3 structure —
+  ModUp is rotation-independent — applied across request boundaries).
+  Hoisted galois is bit-identical to sequential, so batching on/off
+  produces byte-identical output blobs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.params import CkksParams
+from repro.runtime.executor import execute
+from repro.runtime.ir import OpCode, Program
+from repro.runtime.planner import Plan, PlanCache, PlannerConfig
+from repro.service import wire
+from repro.service.registry import KeyRegistry, TenantSession
+
+
+class AdmissionError(RuntimeError):
+    """Job rejected before execution (cost ceiling or missing keys)."""
+
+
+@dataclass
+class ServiceConfig:
+    """Scheduler knobs (defaults favour small functional rings)."""
+
+    workers: int = 2                 #: worker-pool threads
+    max_batch: int = 8               #: jobs pulled per batch window
+    batch_window_s: float = 0.005    #: how long an underfull batch waits
+    #: for more jobs before dispatching (bounds added latency; without
+    #: it, batch composition races the submitters and coalescing
+    #: becomes timing-dependent)
+    coalesce: bool = True            #: cross-job rotation batching
+    plan_cache_size: int = 64
+    max_job_seconds: float | None = None  #: admission ceiling (estimated
+    #: seconds on ``admission_params``; None disables the simulator)
+    admission_params: CkksParams | None = None  #: instance the admission
+    #: estimate prices jobs on (default: the paper's INS-2)
+    bootstrap_level: int | None = None  #: forwarded to the planner
+
+
+@dataclass
+class JobRequest:
+    """One unit of work: a tenant runs a program on wire-format inputs."""
+
+    tenant: str
+    program: Program
+    inputs: dict[str, bytes]         #: input name -> CIPHERTEXT blob
+
+
+@dataclass
+class JobResult:
+    """Outputs (wire blobs) plus scheduling telemetry."""
+
+    outputs: dict[str, bytes]
+    tenant: str
+    program_name: str
+    estimated_seconds: float | None  #: BTS cycle estimate (None: admission off)
+    plan_cache_hit: bool
+    coalesced: bool                  #: galois results arrived pre-computed
+    wall_seconds: float
+
+
+@dataclass
+class _Job:
+    """Internal state riding a request through the pipeline."""
+
+    request: JobRequest
+    future: asyncio.Future
+    plan: Plan | None = None
+    cache_hit: bool = False
+    estimate: float | None = None
+    inputs: dict[str, Ciphertext] = field(default_factory=dict)
+    #: input name -> blob digest (for coalescing group keys)
+    digests: dict[str, str] = field(default_factory=dict)
+    seeded: dict | None = None
+
+
+class RequestScheduler:
+    """Batching scheduler over a key registry and a worker pool."""
+
+    def __init__(self, registry: KeyRegistry,
+                 config: ServiceConfig | None = None) -> None:
+        self.registry = registry
+        self.config = config or ServiceConfig()
+        self.ring = registry.ring
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
+        self._estimates: dict[str, float] = {}
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, self.config.workers),
+            thread_name_prefix="fhe-worker")
+        self._queue: asyncio.Queue | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self.jobs_completed = 0
+        self.jobs_rejected = 0
+        self.coalesced_raises = 0
+
+    # ----- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin dispatching (must run inside an event loop)."""
+        if self._dispatcher is not None:
+            return
+        self._queue = asyncio.Queue()
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop())
+
+    async def stop(self) -> None:
+        if self._dispatcher is None:
+            return
+        queue = self._queue
+        await queue.put(None)
+        await self._dispatcher
+        self._dispatcher = None
+        self._queue = None
+        # Fail any job that raced stop() into the queue behind the
+        # sentinel — leaving its future unresolved would hang the
+        # submitter forever.
+        while True:
+            try:
+                job = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if job is not None:
+                _fail_future(job.future,
+                             RuntimeError("scheduler stopped before the "
+                                          "job was dispatched"))
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    async def submit(self, request: JobRequest) -> JobResult:
+        """Enqueue a job and await its result (or scheduling error)."""
+        if self._queue is None:
+            raise RuntimeError("scheduler not started")
+        job = _Job(request=request,
+                   future=asyncio.get_running_loop().create_future())
+        await self._queue.put(job)
+        return await job.future
+
+    # ----- dispatch ----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            head = await self._queue.get()
+            if head is None:
+                return
+            batch = [head]
+            deadline = loop.time() + self.config.batch_window_s
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - loop.time()
+                try:
+                    if remaining > 0:
+                        nxt = await asyncio.wait_for(self._queue.get(),
+                                                     remaining)
+                    else:
+                        nxt = self._queue.get_nowait()
+                except (asyncio.TimeoutError, asyncio.QueueEmpty):
+                    break
+                if nxt is None:
+                    await self._queue.put(None)  # re-arm shutdown
+                    break
+                batch.append(nxt)
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list[_Job]) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            admitted = await loop.run_in_executor(
+                self._pool, self._prepare_batch, batch)
+        except Exception as exc:  # keep liveness: fail every waiter
+            for job in batch:
+                _fail_future(job.future, exc)
+            return
+        await asyncio.gather(*(
+            loop.run_in_executor(self._pool, self._run_job, job)
+            for job in admitted))
+
+    # ----- batch preparation (plan, admit, coalesce) -------------------------
+
+    def _planner_config(self) -> PlannerConfig:
+        return PlannerConfig.from_ring(
+            self.ring, bootstrap_level=self.config.bootstrap_level)
+
+    def _admit(self, job: _Job) -> None:
+        """Plan the job and enforce the admission cost ceiling."""
+        config = self._planner_config()
+        digest = self.ring.params.digest
+        job.plan, job.cache_hit, cache_key = self.plan_cache.get(
+            job.request.program, config, digest)
+        session = self.registry.session(job.request.tenant)
+        missing = session.missing_amounts(job.plan.required_rotations())
+        if missing:
+            raise AdmissionError(
+                f"tenant {job.request.tenant!r} has no rotation keys for "
+                f"amounts {missing} (evicted or never registered — "
+                "re-upload the galois bundle)")
+        needs_conj = any(job.plan.nodes[nid].op is OpCode.CONJ
+                         for nid in job.plan.order)
+        if needs_conj and session.evaluator.conjugation_key is None:
+            raise AdmissionError(
+                f"tenant {job.request.tenant!r} has no conjugation key")
+        if any(job.plan.nodes[nid].op is OpCode.HMULT
+               for nid in job.plan.order) \
+                and session.evaluator.relin_key is None:
+            raise AdmissionError(
+                f"tenant {job.request.tenant!r} has no relinearization key")
+        if self.config.max_job_seconds is not None:
+            job.estimate = self._estimate_seconds(job.plan, cache_key)
+            if job.estimate > self.config.max_job_seconds:
+                raise AdmissionError(
+                    f"estimated accelerator time {job.estimate * 1e3:.2f} "
+                    f"ms exceeds the admission ceiling "
+                    f"{self.config.max_job_seconds * 1e3:.2f} ms")
+
+    def _estimate_seconds(self, plan: Plan, cache_key: str) -> float:
+        """BTS cycle estimate for a plan, cached by its plan-cache key.
+
+        ``admission_params`` is fixed for the scheduler's lifetime, so
+        the plan-cache key (already computed by :meth:`PlanCache.get`)
+        is a sufficient estimate key — steady-state admission really is
+        one dict lookup.
+        """
+        cached = self._estimates.get(cache_key)
+        if cached is None:
+            from repro.core.simulator import BtsSimulator
+            from repro.runtime.lowering import lower_to_trace
+
+            params = self.config.admission_params or CkksParams.ins2()
+            lowered = lower_to_trace(plan, params)
+            cached = BtsSimulator(params).run(lowered.trace).total_seconds
+            self._estimates[cache_key] = cached
+        return cached
+
+    def _prepare_batch(self, batch: list[_Job]) -> list[_Job]:
+        """Plan + admit every job, decode inputs, coalesce galois work."""
+        blob_cache: dict[str, Ciphertext] = {}
+        admitted: list[_Job] = []
+        for job in batch:
+            try:
+                self._admit(job)
+                for name, blob in job.request.inputs.items():
+                    digest = hashlib.sha256(blob).hexdigest()
+                    ct = blob_cache.get(digest)
+                    if ct is None:
+                        ct = wire.deserialize_ciphertext(blob, self.ring)
+                        blob_cache[digest] = ct
+                    job.inputs[name] = ct
+                    job.digests[name] = digest
+                admitted.append(job)
+            except Exception as exc:  # reject: surface to the submitter
+                self.jobs_rejected += 1
+                job.future.get_loop().call_soon_threadsafe(
+                    _fail_future, job.future, exc)
+        if self.config.coalesce:
+            self._coalesce(admitted)
+        return admitted
+
+    def _coalesce(self, jobs: list[_Job]) -> None:
+        """One hoisted raise per (tenant, source ct) shared by >= 2 jobs."""
+        groups: dict[tuple[str, str], list[tuple[_Job, str]]] = {}
+        for job in jobs:
+            for name, digest in job.digests.items():
+                groups.setdefault((job.request.tenant, digest),
+                                  []).append((job, name))
+        for (tenant, _digest), members in groups.items():
+            rotating = [(job, name, amounts, conj)
+                        for job, name in members
+                        for amounts, conj in
+                        [_input_galois(job.plan, name)]
+                        if amounts or conj]
+            if len({id(job) for job, *_ in rotating}) < 2:
+                continue  # a single job's executor hoists on its own
+            session = self.registry.session(tenant)
+            job0, name0 = rotating[0][0], rotating[0][1]
+            ct = job0.inputs[name0]
+            meta = job0.plan.meta[job0.plan.inputs[name0]]
+            if ct.level != meta.level:
+                continue  # executor will drop the input first; don't seed
+            union = sorted(set().union(*(a for _, _, a, _ in rotating)))
+            conjugate = any(c for *_, c in rotating)
+            try:
+                rotations, conj_ct = session.evaluator.galois_hoisted(
+                    ct, union, conjugate=conjugate)
+            except ValueError:
+                continue  # e.g. key evicted mid-batch: jobs fall back
+            self.coalesced_raises += max(0, len(rotating) - 1)
+            session.touch(union, self.registry)
+            for job, name, amounts, needs_conj in rotating:
+                seeded = job.seeded = job.seeded or {}
+                seeded[name] = (rotations,
+                                conj_ct if needs_conj else None)
+
+    # ----- execution ---------------------------------------------------------
+
+    def _run_job(self, job: _Job) -> None:
+        t0 = time.perf_counter()
+        try:
+            session = self.registry.session(job.request.tenant)
+            session.touch(job.plan.required_rotations(), self.registry)
+            outputs = execute(job.plan, session.evaluator, job.inputs,
+                              seeded_galois=job.seeded)
+            blobs = {name: wire.serialize_ciphertext(ct, self.ring.params)
+                     for name, ct in outputs.items()}
+            session.jobs_run += 1
+            self.jobs_completed += 1
+            result = JobResult(
+                outputs=blobs,
+                tenant=job.request.tenant,
+                program_name=job.request.program.name,
+                estimated_seconds=job.estimate,
+                plan_cache_hit=job.cache_hit,
+                coalesced=job.seeded is not None,
+                wall_seconds=time.perf_counter() - t0)
+            job.future.get_loop().call_soon_threadsafe(
+                _finish_future, job.future, result)
+        except Exception as exc:
+            job.future.get_loop().call_soon_threadsafe(
+                _fail_future, job.future, exc)
+
+    def stats(self) -> dict:
+        return {
+            "jobs_completed": self.jobs_completed,
+            "jobs_rejected": self.jobs_rejected,
+            "coalesced_raises": self.coalesced_raises,
+            "plan_cache": self.plan_cache.stats(),
+        }
+
+
+def _input_galois(plan: Plan, input_name: str
+                  ) -> tuple[set[int], bool]:
+    """(rotation amounts, any-conjugation) applied directly to an input."""
+    src = plan.inputs.get(input_name)
+    amounts: set[int] = set()
+    conj = False
+    for nid in plan.order:
+        node = plan.nodes[nid]
+        if node.args and node.args[0] == src:
+            if node.op is OpCode.HROT:
+                amounts.add(node.rotation)
+            elif node.op is OpCode.CONJ:
+                conj = True
+    return amounts, conj
+
+
+def _finish_future(future: asyncio.Future, result: JobResult) -> None:
+    if not future.done():
+        future.set_result(result)
+
+
+def _fail_future(future: asyncio.Future, exc: Exception) -> None:
+    if not future.done():
+        future.set_exception(exc)

@@ -1,0 +1,80 @@
+"""Regenerate the frozen golden wire blobs (``wire_golden.json``).
+
+Run from the repository root after an *intentional* wire-format or
+numerics change::
+
+    PYTHONPATH=src python tests/ckks/golden/make_wire_golden.py
+
+The fixture is fully deterministic (fixed-seed keygen + message, the
+same guarantee ``make_golden.py`` relies on), so the serialized bytes of
+a params blob, a fresh ciphertext and a rotation-key bundle are frozen
+here: ``tests/service/test_wire_golden.py`` re-runs the pipeline and
+compares *byte for byte*.  A wire-format change (field order, framing,
+endianness) or a numerics change upstream of serialization fails the
+replay loudly; bump ``repro.service.wire.VERSION`` and regenerate only
+when the format is meant to change (see tests/README.md).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "wire_golden.json"
+
+PARAMS = dict(n=1 << 6, l=5, dnum=2, scale_bits=40, q0_bits=45,
+              p_bits=45, h=8)
+KEY_SEED = 77
+SCALE = 2.0 ** 40
+N_SLOTS = 8
+ROTATIONS = (1, 3)
+
+
+def build_blobs() -> dict[str, bytes]:
+    from repro.ckks.encoder import Encoder
+    from repro.ckks.params import CkksParams, RingContext
+    from repro.ckks.keys import KeyGenerator
+    from repro.service import wire
+
+    params = CkksParams.functional(name="wire-golden", **PARAMS)
+    ring = RingContext(params)
+    kg = KeyGenerator(ring, seed=KEY_SEED)
+    encoder = Encoder(ring)
+    message = np.linspace(-0.5, 0.5, N_SLOTS) + 0.25j
+    pt = encoder.encode(message, SCALE)
+    ct = kg.encrypt_symmetric(pt.poly, SCALE, N_SLOTS)
+    return {
+        "params": wire.serialize_params(params),
+        "plaintext": wire.serialize_plaintext(pt, params),
+        "ciphertext": wire.serialize_ciphertext(ct, params),
+        "galois": wire.serialize_galois_keys(
+            kg.rotation_keys_for(ROTATIONS), params,
+            conjugation_key=kg.gen_conjugation_key()),
+    }
+
+
+def main() -> None:
+    blobs = build_blobs()
+    payload = {
+        "schema": "wire_golden/v1",
+        "params": PARAMS,
+        "key_seed": KEY_SEED,
+        "n_slots": N_SLOTS,
+        "rotations": list(ROTATIONS),
+        "blobs": {name: {
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "bytes_b64": base64.b64encode(blob).decode(),
+            "size": len(blob),
+        } for name, blob in blobs.items()},
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+    sizes = {k: v["size"] for k, v in payload["blobs"].items()}
+    print(f"wrote {GOLDEN_PATH} ({sizes})")
+
+
+if __name__ == "__main__":
+    main()

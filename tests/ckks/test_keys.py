@@ -141,6 +141,75 @@ class TestEvkDedupe:
         assert ev.rotation_keys[1] is existing
         assert set(ev.rotation_keys) == {1, 2, 3}
 
+    def test_interleaved_program_unions_never_regenerate(self, small_ring):
+        """Serving sessions run many programs; unions must reuse evks.
+
+        Two programs' rotation unions arrive interleaved, on *different*
+        evaluators of the same session keygen, with overlapping amounts
+        and aliases (negative amounts, amounts shifted by N/2 — the
+        order of the slot generator 5).  ``switching_keys_generated``
+        must count exactly one generation per distinct galois element.
+        """
+        from repro.ckks.evaluator import Evaluator
+        from repro.ckks.keys import KeyGenerator
+        kg = KeyGenerator(small_ring, seed=99)
+        half = small_ring.n // 2
+        ev_a, ev_b = Evaluator(small_ring), Evaluator(small_ring)
+        kg.ensure_rotation_keys(ev_a, [1, 2])          # program A
+        kg.ensure_rotation_keys(ev_b, [2, 3])          # program B
+        kg.ensure_rotation_keys(ev_a, [3, 1 + half])   # A again (alias)
+        kg.ensure_rotation_keys(ev_b, [1, -1])         # B: -1 == half - 1
+        assert kg.switching_keys_generated == 4  # elements 1, 2, 3, -1
+        assert set(ev_a.rotation_keys) == {1, 2, 3}
+        assert set(ev_b.rotation_keys) == {1, 2, 3, half - 1}
+        for amount in (1, 2, 3):
+            assert ev_a.rotation_keys[amount] is ev_b.rotation_keys[amount]
+
+    def test_negative_amounts_are_canonicalized(self, small_ring):
+        """A raw -1 keys the entry a fully-packed rotate looks up.
+
+        Before canonicalization ensure_rotation_keys stored it under
+        ``-1`` — an entry no ``amount % n_slots`` lookup can ever hit.
+        (Sparse-packing callers must slot-reduce first; the runtime IR
+        always does — see ``canonical_rotation``'s docstring.)
+        """
+        from repro.ckks.evaluator import Evaluator
+        from repro.ckks.keys import KeyGenerator
+        kg = KeyGenerator(small_ring, seed=99)
+        ev = Evaluator(small_ring)
+        kg.ensure_rotation_keys(ev, [-1])
+        half = small_ring.n // 2
+        assert set(ev.rotation_keys) == {half - 1}
+        assert kg.canonical_rotation(-1) == half - 1
+
+    def test_rotation_keys_for_bundles_cached_objects(self, small_ring):
+        from repro.ckks.keys import KeyGenerator
+        kg = KeyGenerator(small_ring, seed=99)
+        first = kg.rotation_keys_for([1, 2, 0])
+        assert set(first) == {1, 2}  # 0 skipped
+        again = kg.rotation_keys_for([2, 1])
+        assert again[1] is first[1] and again[2] is first[2]
+
+    def test_concurrent_generation_is_single_flight(self, small_ring):
+        """The scheduler's worker pool must not double-generate an evk."""
+        import threading
+        from repro.ckks.keys import KeyGenerator
+        kg = KeyGenerator(small_ring, seed=99)
+        results = []
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            results.append(kg.gen_rotation_key(5))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(evk is results[0] for evk in results)
+        assert kg.switching_keys_generated == 1
+
     def test_bootstrap_generate_keys_accepts_extra_rotations(
             self, small_ring):
         from repro.ckks.bootstrap import BootstrapConfig, Bootstrapper

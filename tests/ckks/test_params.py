@@ -122,3 +122,37 @@ class TestRingContext:
         assert abs(math.log2(q0) - small_params.q0_bits) < 0.1
         for p in small_ring.q_primes[1:]:
             assert abs(math.log2(p.value) - small_params.scale_bits) < 0.1
+
+
+class TestParamsDigest:
+    """Content digest: the wire-format / plan-cache compatibility check."""
+
+    def test_digest_is_stable_across_instances(self):
+        a = CkksParams(n=256, l=6, dnum=2)
+        b = CkksParams(n=256, l=6, dnum=2)
+        assert a.digest == b.digest
+        assert a.digest_bytes == b.digest_bytes
+        assert len(a.digest_bytes) == 16 and len(a.digest) == 32
+
+    def test_name_is_cosmetic(self):
+        a = CkksParams(n=256, l=6, dnum=2, name="prod")
+        b = CkksParams(n=256, l=6, dnum=2, name="staging")
+        assert a.digest == b.digest
+
+    def test_every_computation_field_changes_the_digest(self):
+        base = dict(n=256, l=6, dnum=2, scale_bits=40, q0_bits=50,
+                    p_bits=50, h=16, sigma=3.2)
+        reference = CkksParams(**base).digest
+        for field, bumped in [("n", 512), ("l", 7), ("dnum", 3),
+                              ("scale_bits", 41), ("q0_bits", 51),
+                              ("p_bits", 51), ("h", 17), ("sigma", 3.3)]:
+            changed = CkksParams(**{**base, field: bumped})
+            assert changed.digest != reference, field
+
+    def test_equal_digests_mean_identical_prime_chains(self):
+        a = CkksParams.functional(n=1 << 8, l=4, dnum=2)
+        b = CkksParams.functional(n=1 << 8, l=4, dnum=2, name="other")
+        assert a.digest == b.digest
+        chain_a = [p.value for p in RingContext(a).base_qp(4)]
+        chain_b = [p.value for p in RingContext(b).base_qp(4)]
+        assert chain_a == chain_b

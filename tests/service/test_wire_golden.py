@@ -1,0 +1,88 @@
+"""Replay the frozen golden wire blobs (tests/ckks/golden/wire_golden.json).
+
+The fixed-seed fixture must serialize to *exactly* the checked-in bytes:
+this locks both the wire framing (field order, widths, endianness,
+version) and every numeric bit upstream of it (prime chain, sampler,
+encoder, kernels).  Regeneration is a deliberate act —
+``PYTHONPATH=src python tests/ckks/golden/make_wire_golden.py`` — and
+must come with a format-version bump or a numerics explanation.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "ckks" / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "wire_golden.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def rebuilt():
+    sys.path.insert(0, str(GOLDEN_DIR))
+    try:
+        from make_wire_golden import build_blobs
+    finally:
+        sys.path.pop(0)
+    return build_blobs()
+
+
+class TestGoldenWireBlobs:
+    def test_every_blob_is_byte_identical(self, golden, rebuilt):
+        assert set(rebuilt) == set(golden["blobs"])
+        for name, blob in rebuilt.items():
+            frozen = golden["blobs"][name]
+            assert hashlib.sha256(blob).hexdigest() == frozen["sha256"], \
+                f"{name} blob drifted from the golden bytes"
+            assert blob == base64.b64decode(frozen["bytes_b64"])
+
+    def test_golden_ciphertext_still_decrypts(self, golden):
+        from repro.ckks.encoder import Encoder
+        from repro.ckks.evaluator import Evaluator
+        from repro.ckks.keys import KeyGenerator
+        from repro.ckks.params import CkksParams, RingContext
+        from repro.service import wire
+
+        blob = base64.b64decode(golden["blobs"]["ciphertext"]["bytes_b64"])
+        params_blob = base64.b64decode(
+            golden["blobs"]["params"]["bytes_b64"])
+        params = wire.deserialize_params(params_blob)
+        assert params == CkksParams.functional(name="wire-golden",
+                                               **golden["params"])
+        ring = RingContext(params)
+        ct = wire.deserialize_ciphertext(blob, ring)
+        kg = KeyGenerator(ring, seed=golden["key_seed"])
+        got = Evaluator(ring).decrypt_to_message(ct, kg.secret)
+        n_slots = golden["n_slots"]
+        expected = np.linspace(-0.5, 0.5, n_slots) + 0.25j
+        assert np.max(np.abs(got - expected)) < 1e-6
+        # plaintext blob decodes against the same ring too
+        pt_blob = base64.b64decode(
+            golden["blobs"]["plaintext"]["bytes_b64"])
+        pt = wire.deserialize_plaintext(pt_blob, ring)
+        decoded = Encoder(ring).decode(pt, n_slots)
+        assert np.max(np.abs(decoded - expected)) < 1e-6
+
+    def test_golden_galois_bundle_decodes(self, golden):
+        from repro.ckks.params import RingContext
+        from repro.service import wire
+
+        params = wire.deserialize_params(
+            base64.b64decode(golden["blobs"]["params"]["bytes_b64"]))
+        ring = RingContext(params)
+        keys, conj = wire.deserialize_galois_keys(
+            base64.b64decode(golden["blobs"]["galois"]["bytes_b64"]), ring)
+        assert sorted(keys) == golden["rotations"]
+        assert conj is not None
+        assert all(evk.dnum == params.dnum for evk in keys.values())
