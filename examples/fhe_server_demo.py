@@ -16,19 +16,39 @@ boundary — everything between client and server is a wire blob:
    tenant decrypts + verifies its own results against the NumPy
    reference.
 
-Usage:  PYTHONPATH=src python examples/fhe_server_demo.py
+With ``--chaos`` the same traffic runs under a fixed-seed
+:class:`~repro.service.faults.FaultPlan` — one worker crash, one worker
+stall (a latency spike the priced deadline absorbs), one corrupted
+input blob, and one transient infrastructure fault that recovers
+through a backoff retry.  The injected jobs must fail (or recover)
+exactly as classified, and every non-injected job must still decrypt
+correctly: per-job failure isolation, demonstrated end to end.
+
+Usage:  PYTHONPATH=src python examples/fhe_server_demo.py [--chaos]
 """
 
 from __future__ import annotations
 
 import asyncio
+import sys
 import time
 
 import numpy as np
 
 from repro.ckks.params import CkksParams
 from repro.runtime import Program
-from repro.service import FheServer, JobRequest, ServiceConfig, TenantClient
+from repro.service import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FheServer,
+    InjectedCrash,
+    JobRequest,
+    ServiceConfig,
+    SupervisionConfig,
+    TenantClient,
+    WireError,
+)
 from repro.workloads.helr import HelrConfig, build_helr_program, \
     helr_program_reference
 
@@ -73,41 +93,117 @@ def tenant_workload(client: TenantClient, seed: int):
                             {"x": blob})
                  for name, amounts in stencils]
 
-    def verify(results) -> float:
+    def verify_one(index: int, result) -> float:
+        """Max |error| of one job's outputs vs the NumPy reference."""
         worst = 0.0
-        helr_ref = helr_program_reference(helr_inputs, HELR, N_SLOTS)
-        for name in ("weights", "momentum"):
-            got = client.decrypt_blob(results[0].outputs[name])
-            worst = max(worst, float(np.max(np.abs(got - helr_ref[name]))))
-        for result, (_, amounts) in zip(results[1:], stencils):
+        if index == 0:
+            helr_ref = helr_program_reference(helr_inputs, HELR, N_SLOTS)
+            for name in ("weights", "momentum"):
+                got = client.decrypt_blob(result.outputs[name])
+                worst = max(worst,
+                            float(np.max(np.abs(got - helr_ref[name]))))
+        else:
+            _, amounts = stencils[index - 1]
             got = client.decrypt_blob(result.outputs["out"])
             ref = stencil_reference(vec, amounts)
-            worst = max(worst, float(np.max(np.abs(got - ref))))
+            worst = float(np.max(np.abs(got - ref)))
         return worst
 
-    return requests, verify
+    def verify(results) -> float:
+        return max(verify_one(i, r) for i, r in enumerate(results))
+
+    return requests, verify, verify_one
 
 
-async def run_demo(server: FheServer, workloads) -> dict[str, list]:
+async def run_demo(server: FheServer, workloads,
+                   return_exceptions: bool = False) -> dict[str, list]:
     """Submit every tenant's jobs concurrently through the scheduler."""
     server.scheduler.start()
     try:
         tenants = list(workloads)
         gathered = await asyncio.gather(*(
             asyncio.gather(*(server.submit(req)
-                             for req in workloads[tenant][0]))
+                             for req in workloads[tenant][0]),
+                           return_exceptions=return_exceptions)
             for tenant in tenants))
         return dict(zip(tenants, gathered))
     finally:
         await server.scheduler.stop()
 
 
+CHAOS_SEED = 2022
+
+#: program name -> the exception class its injected fault must surface
+CHAOS_FAILURES = {"alice-stencil0": InjectedCrash,   # worker crash
+                  "alice-stencil2": WireError}       # corrupted blob
+#: program name -> minimum supervised attempts (fault recovered)
+CHAOS_RECOVERIES = {"bob-stencil1": 1,   # stall absorbed by the deadline
+                    "bob-stencil2": 2}   # transient, healed by a retry
+
+
+def chaos_plan() -> FaultPlan:
+    """Fixed-seed chaos: crash + stall + corrupt blob + transient."""
+    return FaultPlan([
+        FaultSpec(FaultKind.CRASH, tenant="alice",
+                  program="alice-stencil0"),
+        FaultSpec(FaultKind.STALL, tenant="bob",
+                  program="bob-stencil1", stall_s=0.6),
+        FaultSpec(FaultKind.CORRUPT_BLOB, tenant="alice",
+                  program="alice-stencil2"),
+        FaultSpec(FaultKind.TRANSIENT, tenant="bob",
+                  program="bob-stencil2"),
+    ], seed=CHAOS_SEED)
+
+
+def verify_chaos(workloads, results) -> None:
+    """Injected jobs fail/recover as classified; the rest verify OK."""
+    for tenant, (requests, _, verify_one) in workloads.items():
+        for index, (request, result) in enumerate(zip(requests,
+                                                      results[tenant])):
+            name = request.program.name
+            expected = CHAOS_FAILURES.get(name)
+            if expected is not None:
+                if not isinstance(result, expected):
+                    raise SystemExit(
+                        f"{name}: expected {expected.__name__}, "
+                        f"got {result!r}")
+                print(f"  {tenant:5s} {name:18s} failed alone with "
+                      f"{type(result).__name__} (as injected)")
+                continue
+            if isinstance(result, BaseException):
+                raise SystemExit(f"{name}: non-injected job failed: "
+                                 f"{result!r}")
+            err = verify_one(index, result)
+            if err >= 1e-2:
+                raise SystemExit(f"{name}: verification failed "
+                                 f"(|error| {err:.2e})")
+            floor = CHAOS_RECOVERIES.get(name, 1)
+            if result.attempts < floor:
+                raise SystemExit(f"{name}: expected >= {floor} attempts, "
+                                 f"took {result.attempts}")
+            note = (f"recovered on attempt {result.attempts}"
+                    if result.attempts > 1 else "OK")
+            print(f"  {tenant:5s} {name:18s} |error| {err:.2e}  {note}")
+
+
 def main() -> None:
+    chaos = "--chaos" in sys.argv[1:]
     params = CkksParams.functional(n=1 << 10, l=10, dnum=2)
     print(f"server params: N=2^10, L={params.l}, dnum={params.dnum} "
           f"(digest {params.digest[:12]}…)")
+    plan = chaos_plan() if chaos else None
     server = FheServer(params, ServiceConfig(
-        workers=2, max_batch=8, max_job_seconds=0.05))
+        workers=2, max_batch=8, max_job_seconds=0.05,
+        fault_plan=plan,
+        supervision=SupervisionConfig(deadline_multiplier=1e4,
+                                      deadline_floor_s=30.0,
+                                      max_retries=2,
+                                      backoff_base_s=0.05,
+                                      backoff_cap_s=0.2,
+                                      seed=CHAOS_SEED)))
+    if chaos:
+        print(f"chaos mode: fixed-seed fault plan ({len(plan.specs)} "
+              "faults armed)")
 
     print("\n-- tenant onboarding (keys travel as wire blobs) --")
     workloads = {}
@@ -116,14 +212,14 @@ def main() -> None:
         client = TenantClient(tenant, server.params_blob(), seed=seed,
                               ring=server.ring)
         server.open_session(tenant, client.hello_blob())
-        requests, verify = tenant_workload(client, seed)
+        requests, verify, verify_one = tenant_workload(client, seed)
         amounts = set()
         for req in requests:
             amounts |= req.program.required_rotations()
         galois = client.galois_blob(amounts)
         stats = server.register_keys(tenant, relin=client.relin_blob(),
                                      galois=galois)
-        workloads[tenant] = (requests, verify)
+        workloads[tenant] = (requests, verify, verify_one)
         print(f"  {tenant}: {len(galois) / 1e6:.2f} MB galois bundle, "
               f"{stats['stored']} evks stored, "
               f"{len(requests)} jobs queued "
@@ -131,28 +227,52 @@ def main() -> None:
 
     print("\n-- concurrent service (both tenants in flight) --")
     t0 = time.perf_counter()
-    results = asyncio.run(run_demo(server, workloads))
+    results = asyncio.run(run_demo(server, workloads,
+                                   return_exceptions=chaos))
     wall = time.perf_counter() - t0
-    total_jobs = sum(len(reqs) for reqs, _ in workloads.values())
+    total_jobs = sum(len(reqs) for reqs, *_ in workloads.values())
     for tenant, tenant_results in results.items():
-        for result in tenant_results:
+        for request, result in zip(workloads[tenant][0], tenant_results):
+            if isinstance(result, BaseException):
+                print(f"  {tenant:5s} {request.program.name:18s} "
+                      f"FAILED: {type(result).__name__}")
+                continue
             est = (f"{result.estimated_seconds * 1e6:7.1f} us BTS est."
                    if result.estimated_seconds is not None else "")
             print(f"  {tenant:5s} {result.program_name:18s} "
                   f"{result.wall_seconds * 1e3:7.1f} ms wall  {est}"
                   f"  cache_hit={result.plan_cache_hit}"
-                  f"  coalesced={result.coalesced}")
+                  f"  coalesced={result.coalesced}"
+                  f"  attempts={result.attempts}")
     print(f"  {total_jobs} jobs in {wall:.2f}s "
           f"({total_jobs / wall:.1f} jobs/s)")
 
     print("\n-- decrypt + verify (each tenant, own secret key) --")
-    for tenant, (_, verify) in workloads.items():
-        err = verify(results[tenant])
-        status = "OK" if err < 1e-2 else "FAIL"
-        print(f"  {tenant}: max |error| vs NumPy reference = "
-              f"{err:.2e}  {status}")
-        if err >= 1e-2:
-            raise SystemExit(f"{tenant}: verification failed")
+    if chaos:
+        verify_chaos(workloads, results)
+        fired = sorted(plan.injected)
+        expected = sorted((spec.kind.value, spec.tenant, spec.program)
+                          for spec in plan.specs)
+        if fired != expected:
+            raise SystemExit(f"fault plan mismatch: armed {expected}, "
+                             f"fired {fired}")
+        health = server.health()
+        print(f"\nchaos verdict: {len(fired)} faults fired as armed; "
+              "every non-injected job decrypted correctly")
+        print(f"health: {health['counters']['jobs_completed']} completed, "
+              f"{health['counters']['jobs_failed']} failed, "
+              f"{health['counters']['jobs_rejected']} rejected, "
+              f"{health['counters']['retries']} retries; breakers "
+              + str({t: b['state']
+                     for t, b in health['tenants'].items()}))
+    else:
+        for tenant, (_, verify, _one) in workloads.items():
+            err = verify(results[tenant])
+            status = "OK" if err < 1e-2 else "FAIL"
+            print(f"  {tenant}: max |error| vs NumPy reference = "
+                  f"{err:.2e}  {status}")
+            if err >= 1e-2:
+                raise SystemExit(f"{tenant}: verification failed")
 
     stats = server.stats()
     print(f"\nserver stats: {stats['scheduler']['jobs_completed']} jobs, "

@@ -7,7 +7,7 @@ placement) and a cycle-level BTS timing estimate (lowered to the
 :mod:`repro.core` simulator's HEOp trace) from the same definition.
 """
 
-from repro.runtime.executor import ExecutionError, execute
+from repro.runtime.executor import ExecutionCancelled, ExecutionError, execute
 from repro.runtime.ir import Expr, Node, OpCode, Program
 from repro.runtime.lowering import LoweredProgram, lower_to_trace
 from repro.runtime.planner import (
@@ -23,6 +23,7 @@ from repro.runtime.planner import (
 )
 
 __all__ = [
+    "ExecutionCancelled",
     "ExecutionError",
     "Expr",
     "LoweredProgram",

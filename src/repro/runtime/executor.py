@@ -37,6 +37,10 @@ class ExecutionError(RuntimeError):
     """Executed state diverged from the plan (or a key/input is missing)."""
 
 
+class ExecutionCancelled(ExecutionError):
+    """Execution aborted at a node boundary by a cancellation request."""
+
+
 def _seeded_result(plan: Plan, node, seeded_galois) -> Ciphertext | None:
     """Look up a cross-job precomputed galois result for ``node``.
 
@@ -64,8 +68,8 @@ def execute(plan: Plan, evaluator: Evaluator,
             bootstrapper=None,
             validate: bool = True,
             seeded_galois: dict[str, tuple[dict[int, Ciphertext],
-                                           Ciphertext | None]] | None = None
-            ) -> dict[str, Ciphertext]:
+                                           Ciphertext | None]] | None = None,
+            should_cancel=None) -> dict[str, Ciphertext]:
     """Run ``plan`` and return the named output ciphertexts.
 
     ``inputs`` maps the program's input names to ciphertexts encrypted
@@ -85,6 +89,13 @@ def execute(plan: Plan, evaluator: Evaluator,
     path, and seeded results flow through the same per-node level/scale
     validation as everything else — since hoisted galois is bit-identical
     to sequential, seeding never changes a single output bit.
+
+    ``should_cancel`` is an optional zero-argument callable polled
+    before every node; when it returns true, execution aborts with
+    :class:`ExecutionCancelled`.  This is the cooperative cancellation
+    point the serving supervisor uses to reclaim a worker whose job
+    outlived its deadline — between nodes only, so a cancelled run
+    never leaves a half-computed ciphertext behind.
     """
     program, config = plan.program, plan.config
     missing = set(program.inputs) - set(inputs)
@@ -112,6 +123,9 @@ def execute(plan: Plan, evaluator: Evaluator,
         return ct
 
     for nid in plan.order:
+        if should_cancel is not None and should_cancel():
+            raise ExecutionCancelled(
+                f"execution cancelled before node {nid}")
         node = plan.nodes[nid]
         op = node.op
         meta = plan.meta[nid]

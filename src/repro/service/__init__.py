@@ -2,7 +2,7 @@
 
 The deployment shape BTS is built for (Section 1): clients hold secret
 keys and ship ciphertexts + evaluation keys to a shared server that
-amortizes cost across tenants and requests.  Three pieces:
+amortizes cost across tenants and requests.  Five pieces:
 
 * :mod:`repro.service.wire` — versioned deterministic binary encoding
   for ciphertexts, plaintexts, keys and parameter sets, with digest /
@@ -12,33 +12,85 @@ amortizes cost across tenants and requests.  Three pieces:
   under an LRU byte budget.
 * :mod:`repro.service.scheduler` / :mod:`repro.service.server` — an
   async batching scheduler (plan cache, BTS-cycle cost admission,
-  cross-job hoisted rotation coalescing) behind the
-  :class:`~repro.service.server.FheServer` facade, plus the
-  client-side :class:`~repro.service.server.TenantClient` SDK.
+  cross-job hoisted rotation coalescing, bounded cost-aware submit
+  queue) behind the :class:`~repro.service.server.FheServer` facade,
+  plus the client-side :class:`~repro.service.server.TenantClient` SDK.
+* :mod:`repro.service.errors` / :mod:`repro.service.supervisor` — the
+  failure taxonomy (transient vs terminal, job- vs tenant-scoped) and
+  the supervision machinery: priced deadlines, cooperative worker
+  cancellation, backoff retries, per-tenant circuit breakers.
+* :mod:`repro.service.faults` — deterministic seeded fault injection
+  (worker crashes/stalls, blob corruption, evicted-key races,
+  admission-estimate lies) wired through pure hook sites in the
+  scheduler, for tests and the chaos CI job.
 """
 
+from repro.service.errors import (
+    AdmissionError,
+    CircuitOpen,
+    DeadlineExceeded,
+    JobError,
+    KeyEvictedError,
+    Overloaded,
+    SchedulerStopped,
+    ServiceError,
+    TenantError,
+    TransientServiceError,
+    is_transient,
+)
+from repro.service.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedTransient,
+)
 from repro.service.registry import KeyRegistry, RegistryError, TenantSession
 from repro.service.scheduler import (
-    AdmissionError,
     JobRequest,
     JobResult,
     RequestScheduler,
     ServiceConfig,
 )
 from repro.service.server import FheServer, TenantClient
+from repro.service.supervisor import (
+    BreakerConfig,
+    CircuitBreaker,
+    SupervisionConfig,
+    Supervisor,
+)
 from repro.service.wire import ObjectKind, WireError
 
 __all__ = [
     "AdmissionError",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "DeadlineExceeded",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "FheServer",
+    "InjectedCrash",
+    "InjectedTransient",
+    "JobError",
     "JobRequest",
     "JobResult",
+    "KeyEvictedError",
     "KeyRegistry",
     "ObjectKind",
+    "Overloaded",
     "RegistryError",
     "RequestScheduler",
+    "SchedulerStopped",
     "ServiceConfig",
+    "ServiceError",
+    "SupervisionConfig",
+    "Supervisor",
     "TenantClient",
+    "TenantError",
     "TenantSession",
+    "TransientServiceError",
     "WireError",
+    "is_transient",
 ]

@@ -1,0 +1,116 @@
+"""Failure taxonomy for the serving layer.
+
+Every way a job can die is classified along two axes the scheduler
+acts on:
+
+* **Retryable vs terminal** — :class:`TransientServiceError` covers
+  faults where an identical retry has a real chance of succeeding
+  (a worker stall that blew the deadline, an evicted key racing a
+  concurrent re-upload, a full queue).  The supervisor retries these
+  with exponential backoff and full jitter; everything else is terminal
+  and surfaces immediately.
+* **Blast radius** — :class:`JobError` is scoped to a single job (bad
+  input blob, admission ceiling): failing it must never touch its
+  batch-mates.  :class:`TenantError` is scoped to a tenant (circuit
+  breaker open): the tenant is shed so it cannot poison the shared
+  pool, while every other tenant keeps being served.
+
+The classes double as the structured wire contract of the serving
+boundary: :class:`Overloaded` carries a retry-after hint so a
+backpressured client knows when to come back, and
+:class:`KeyEvictedError` names the exact rotation amounts to re-upload.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(RuntimeError):
+    """Base of every scheduling/serving failure."""
+
+
+class TransientServiceError(ServiceError):
+    """Retryable: an identical retry has a real chance of succeeding."""
+
+
+class JobError(ServiceError):
+    """Terminal and scoped to one job — batch-mates are unaffected."""
+
+
+class TenantError(ServiceError):
+    """Terminal and scoped to a tenant — other tenants are unaffected."""
+
+
+class AdmissionError(JobError):
+    """Job rejected before execution (cost ceiling or missing keys)."""
+
+
+class DeadlineExceeded(TransientServiceError):
+    """An attempt outlived its priced deadline and was cancelled.
+
+    Transient by classification (a stall may be a one-off latency
+    spike); it surfaces to the submitter only once every backoff retry
+    has also timed out.
+    """
+
+    def __init__(self, message: str, deadline_s: float | None = None,
+                 attempts: int | None = None) -> None:
+        super().__init__(message)
+        self.deadline_s = deadline_s
+        self.attempts = attempts
+
+
+class KeyEvictedError(TransientServiceError):
+    """A key admission saw was evicted before the job executed.
+
+    The race window is real: LRU eviction triggered by another tenant's
+    upload can land between admission and execution.  Transient because
+    a concurrent re-upload may restore the key before the retry; if
+    not, the retry's re-check fails again and the error surfaces,
+    naming the amounts to re-upload.
+    """
+
+    def __init__(self, tenant: str, amounts) -> None:
+        self.tenant = tenant
+        self.amounts = sorted(amounts)
+        super().__init__(
+            f"tenant {tenant!r}: rotation keys for amounts "
+            f"{self.amounts} were evicted after admission — re-upload "
+            "the galois bundle and resubmit")
+
+
+class Overloaded(TransientServiceError):
+    """Submit rejected by backpressure; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(f"{message} (retry after ~{retry_after_s:.2f}s)")
+        self.retry_after_s = retry_after_s
+
+
+class SchedulerStopped(ServiceError):
+    """Submit rejected because the scheduler is stopped (or stopping)."""
+
+
+class CircuitOpen(TenantError):
+    """Tenant shed by its circuit breaker; retry after the cooldown."""
+
+    def __init__(self, tenant: str, retry_after_s: float) -> None:
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"tenant {tenant!r} is shed by its circuit breaker after "
+            f"repeated failures (retry after ~{retry_after_s:.2f}s)")
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Is ``exc`` worth an identical backoff retry?
+
+    :class:`~repro.service.registry.RegistryError` raised *during
+    execution* is the key-race case (admission re-checks on retry and
+    converts a genuinely missing key into a terminal
+    :class:`AdmissionError`); everything not explicitly transient —
+    worker crashes, wire corruption, plan/executor divergence — is
+    terminal.
+    """
+    from repro.service.registry import RegistryError
+
+    return isinstance(exc, (TransientServiceError, RegistryError))

@@ -197,6 +197,31 @@ class KeyRegistry:
                      for a in rotation_keys})
         return {"stored": stored, "aliased": aliased, "evicted": evicted}
 
+    def evict_tenant_galois(self, tenant_id: str,
+                            amounts=None) -> int:
+        """Forcibly evict a tenant's galois keys; returns the count.
+
+        ``amounts=None`` drops every galois key the tenant has;
+        otherwise only the keys realizing those rotation amounts go.
+        This is the deterministic stand-in for the LRU race — an
+        eviction triggered by another tenant's upload landing between
+        a job's admission and its execution — used by the
+        fault-injection harness (:mod:`repro.service.faults`) and by
+        operational tooling that needs to reclaim key memory now.
+        """
+        session = self.session(tenant_id)
+        if amounts is None:
+            elements = list(session.by_element)
+        else:
+            elements = {session.galois_element(int(a))
+                        for a in amounts if int(a)}
+        count = 0
+        for elt in elements:
+            if elt in session.by_element:
+                self._drop_entry(session, elt, evicted=True)
+                count += 1
+        return count
+
     # ----- LRU machinery -----------------------------------------------------
 
     def _touch(self, tenant_id: str, elt: int) -> None:

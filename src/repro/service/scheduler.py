@@ -1,10 +1,10 @@
-"""Async request scheduler: plan cache, cost admission, job batching.
+"""Async request scheduler: admission, batching, supervised execution.
 
 The serving pipeline for one job is
 
     blob inputs -> deserialize (dedup by digest) -> plan (cached)
     -> admission (BTS cycle estimate) -> coalesce galois across jobs
-    -> execute on the worker pool -> serialize outputs
+    -> supervised execution on the worker pool -> serialize outputs
 
 Three scheduling ideas carry the throughput:
 
@@ -30,27 +30,63 @@ Three scheduling ideas carry the throughput:
   ModUp is rotation-independent — applied across request boundaries).
   Hoisted galois is bit-identical to sequential, so batching on/off
   produces byte-identical output blobs.
+
+And three robustness ideas keep one shared accelerator serviceable
+under faults (the failure model is documented in ``service/README.md``):
+
+* **Per-job failure isolation** — every stage of the pipeline fails at
+  job granularity: a job whose blob is corrupt, whose keys were
+  evicted, or whose worker crashes/stalls fails *its own* future, while
+  its batch-mates (including members of the same coalescing group)
+  complete with byte-identical outputs to a fault-free run.
+
+* **Supervised execution** (:mod:`repro.service.supervisor`) — each
+  attempt runs under a deadline priced from the admission estimate
+  (``estimate x multiplier + floor``), timed-out workers are cancelled
+  cooperatively at executor node boundaries, and failures classified
+  transient by :mod:`repro.service.errors` are retried with exponential
+  backoff + full jitter.
+
+* **Graceful degradation** — the submit queue is bounded and
+  cost-aware: when queued jobs (or their simulator-priced seconds)
+  exceed the budget, submits are rejected with a structured
+  :class:`~repro.service.errors.Overloaded` carrying a retry-after
+  hint, instead of the queue growing without bound.  A per-tenant
+  circuit breaker sheds tenants whose jobs keep failing terminally
+  (:class:`~repro.service.errors.CircuitOpen`), and :meth:`health`
+  exposes queue depth, priced backlog, breaker states and
+  retry/timeout/shed counters so degradation is observable.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 import hashlib
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.ckks.cipher import Ciphertext
 from repro.ckks.params import CkksParams
-from repro.runtime.executor import execute
+from repro.runtime.executor import ExecutionCancelled, execute
 from repro.runtime.ir import OpCode, Program
-from repro.runtime.planner import Plan, PlanCache, PlannerConfig
+from repro.runtime.planner import Plan, PlanCache, PlannerConfig, \
+    plan_cache_key
 from repro.service import wire
+from repro.service.errors import (
+    AdmissionError,
+    CircuitOpen,
+    KeyEvictedError,
+    Overloaded,
+    SchedulerStopped,
+)
+from repro.service.faults import FaultKind, FaultPlan, InjectedCrash, \
+    InjectedTransient
 from repro.service.registry import KeyRegistry, TenantSession
-
-
-class AdmissionError(RuntimeError):
-    """Job rejected before execution (cost ceiling or missing keys)."""
+from repro.service.supervisor import BreakerConfig, CircuitBreaker, \
+    SupervisionConfig, Supervisor
 
 
 @dataclass
@@ -70,6 +106,19 @@ class ServiceConfig:
     admission_params: CkksParams | None = None  #: instance the admission
     #: estimate prices jobs on (default: the paper's INS-2)
     bootstrap_level: int | None = None  #: forwarded to the planner
+    # ----- robustness ------------------------------------------------------
+    supervision: SupervisionConfig = field(
+        default_factory=SupervisionConfig)  #: deadline/retry policy
+    breaker: BreakerConfig = field(
+        default_factory=BreakerConfig)      #: per-tenant shedding policy
+    max_queue_jobs: int = 256        #: submit-queue bound (queued + running)
+    backlog_budget_s: float | None = 60.0  #: max queued simulator-priced
+    #: seconds before submits are rejected with ``Overloaded`` (None
+    #: disables the cost-aware half of backpressure; the job-count bound
+    #: always applies)
+    default_job_cost_s: float = 0.0  #: priced cost of a job whose
+    #: admission estimate is not cached yet (admission off or cold)
+    fault_plan: FaultPlan | None = None  #: deterministic fault injection
 
 
 @dataclass
@@ -92,6 +141,7 @@ class JobResult:
     plan_cache_hit: bool
     coalesced: bool                  #: galois results arrived pre-computed
     wall_seconds: float
+    attempts: int = 1                #: supervised attempts taken
 
 
 @dataclass
@@ -100,6 +150,7 @@ class _Job:
 
     request: JobRequest
     future: asyncio.Future
+    cost: float = 0.0                #: priced seconds held against backlog
     plan: Plan | None = None
     cache_hit: bool = False
     estimate: float | None = None
@@ -122,11 +173,25 @@ class RequestScheduler:
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, self.config.workers),
             thread_name_prefix="fhe-worker")
+        self.supervisor = Supervisor(self._pool, self.config.supervision)
+        self.fault_plan = self.config.fault_plan
         self._queue: asyncio.Queue | None = None
         self._dispatcher: asyncio.Task | None = None
+        self._stopping = False
+        self._breakers: dict[str, CircuitBreaker] = {}
+        # Counters are mutated from worker threads and the event loop
+        # alike; every mutation goes through _bump/_stats_lock so
+        # stats() and health() read exact values (plain `+= 1` from
+        # pool threads raced and under-counted).
+        self._stats_lock = threading.Lock()
         self.jobs_completed = 0
-        self.jobs_rejected = 0
+        self.jobs_rejected = 0       #: admission rejections
+        self.jobs_failed = 0         #: supervised execution failures
+        self.jobs_overloaded = 0     #: submits shed by backpressure
+        self.jobs_shed = 0           #: submits shed by open breakers
         self.coalesced_raises = 0
+        self._backlog_jobs = 0       #: queued + in-flight jobs
+        self._backlog_seconds = 0.0  #: their priced accelerator seconds
 
     # ----- lifecycle ---------------------------------------------------------
 
@@ -134,42 +199,120 @@ class RequestScheduler:
         """Begin dispatching (must run inside an event loop)."""
         if self._dispatcher is not None:
             return
+        self._stopping = False
         self._queue = asyncio.Queue()
         self._dispatcher = asyncio.get_running_loop().create_task(
             self._dispatch_loop())
 
     async def stop(self) -> None:
+        """Drain deterministically, then tear down.
+
+        ``_stopping`` flips before the sentinel is enqueued and
+        :meth:`submit` checks it atomically with its queue put (no
+        await between check and put on an unbounded queue), so every
+        job admitted before ``stop()`` sits ahead of the sentinel and
+        is dispatched normally; every submit after it is rejected with
+        :class:`SchedulerStopped`.  Nothing is silently dropped.
+        """
         if self._dispatcher is None:
             return
+        self._stopping = True
         queue = self._queue
         await queue.put(None)
         await self._dispatcher
         self._dispatcher = None
         self._queue = None
-        # Fail any job that raced stop() into the queue behind the
-        # sentinel — leaving its future unresolved would hang the
-        # submitter forever.
+        # Defensive: the atomicity argument above means nothing can
+        # land behind the sentinel, but if it ever did, failing loudly
+        # beats hanging the submitter forever.
         while True:
             try:
                 job = queue.get_nowait()
             except asyncio.QueueEmpty:
                 break
-            if job is not None:
-                _fail_future(job.future,
-                             RuntimeError("scheduler stopped before the "
-                                          "job was dispatched"))
+            if job is not None:  # pragma: no cover - unreachable by design
+                _fail_future(job.future, SchedulerStopped(
+                    "scheduler stopped before the job was dispatched"))
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)
 
     async def submit(self, request: JobRequest) -> JobResult:
-        """Enqueue a job and await its result (or scheduling error)."""
-        if self._queue is None:
-            raise RuntimeError("scheduler not started")
-        job = _Job(request=request,
+        """Enqueue a job and await its result (or scheduling error).
+
+        Raises :class:`SchedulerStopped` once :meth:`stop` has begun,
+        :class:`CircuitOpen` while the tenant's breaker is shedding,
+        and :class:`Overloaded` (with a retry-after hint) when the
+        bounded queue or its priced-seconds budget is full.
+        """
+        if self._queue is None or self._stopping:
+            raise SchedulerStopped(
+                "scheduler is stopping" if self._stopping
+                else "scheduler not started")
+        breaker = self._breakers.get(request.tenant)
+        if breaker is not None:
+            allowed, retry_after = breaker.allow()
+            if not allowed:
+                self._bump("jobs_shed")
+                raise CircuitOpen(request.tenant, retry_after)
+        cost = self._priced_cost(request)
+        config = self.config
+        with self._stats_lock:
+            over_jobs = self._backlog_jobs >= config.max_queue_jobs
+            over_cost = (config.backlog_budget_s is not None
+                         and self._backlog_jobs > 0
+                         and self._backlog_seconds + cost
+                         > config.backlog_budget_s)
+            if over_jobs or over_cost:
+                self.jobs_overloaded += 1
+                retry_after = max(
+                    config.batch_window_s,
+                    self._backlog_seconds, 0.05 * self._backlog_jobs
+                ) / max(1, config.workers)
+                backlog = (f"{self._backlog_jobs} jobs / "
+                           f"{self._backlog_seconds:.4f} priced seconds "
+                           "queued")
+            else:
+                self._backlog_jobs += 1
+                self._backlog_seconds += cost
+                retry_after = None
+        if retry_after is not None:
+            raise Overloaded(f"scheduler overloaded: {backlog}",
+                             retry_after_s=retry_after)
+        job = _Job(request=request, cost=cost,
                    future=asyncio.get_running_loop().create_future())
         await self._queue.put(job)
-        return await job.future
+        try:
+            return await job.future
+        finally:
+            with self._stats_lock:
+                self._backlog_jobs -= 1
+                self._backlog_seconds -= job.cost
+
+    def _priced_cost(self, request: JobRequest) -> float:
+        """Simulator-priced seconds a submit holds against the backlog.
+
+        Steady state (admission on, plan seen before) this is one dict
+        lookup against the admission-estimate cache; cold jobs — and
+        every job when admission is off — are held at
+        ``default_job_cost_s`` so the job-count bound still applies.
+        """
+        if not self._estimates:
+            return self.config.default_job_cost_s
+        key = plan_cache_key(request.program, self._planner_config(),
+                             self.ring.params.digest)
+        return self._estimates.get(key, self.config.default_job_cost_s)
+
+    def _breaker(self, tenant: str) -> CircuitBreaker:
+        breaker = self._breakers.get(tenant)
+        if breaker is None:
+            breaker = self._breakers[tenant] \
+                = CircuitBreaker(self.config.breaker)
+        return breaker
+
+    def _bump(self, counter: str, by: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self, counter, getattr(self, counter) + by)
 
     # ----- dispatch ----------------------------------------------------------
 
@@ -202,13 +345,14 @@ class RequestScheduler:
         try:
             admitted = await loop.run_in_executor(
                 self._pool, self._prepare_batch, batch)
-        except Exception as exc:  # keep liveness: fail every waiter
+        except Exception as exc:  # pragma: no cover - _prepare_batch
+            # isolates per-job failures; reaching here means the batch
+            # machinery itself broke.  Keep liveness: fail the waiters.
             for job in batch:
                 _fail_future(job.future, exc)
             return
-        await asyncio.gather(*(
-            loop.run_in_executor(self._pool, self._run_job, job)
-            for job in admitted))
+        await asyncio.gather(*(self._supervise_job(job)
+                               for job in admitted))
 
     # ----- batch preparation (plan, admit, coalesce) -------------------------
 
@@ -241,6 +385,12 @@ class RequestScheduler:
                 f"tenant {job.request.tenant!r} has no relinearization key")
         if self.config.max_job_seconds is not None:
             job.estimate = self._estimate_seconds(job.plan, cache_key)
+            if self.fault_plan is not None:
+                spec = self.fault_plan.probe(
+                    FaultKind.MISPRICE, job.request.tenant,
+                    job.request.program.name)
+                if spec is not None:
+                    job.estimate *= spec.factor
             if job.estimate > self.config.max_job_seconds:
                 raise AdmissionError(
                     f"estimated accelerator time {job.estimate * 1e3:.2f} "
@@ -266,14 +416,30 @@ class RequestScheduler:
             self._estimates[cache_key] = cached
         return cached
 
+    def _reject(self, job: _Job, exc: Exception) -> None:
+        """Fail one job's future from a worker thread (admission path)."""
+        self._bump("jobs_rejected")
+        self._breaker(job.request.tenant).record_failure()
+        job.future.get_loop().call_soon_threadsafe(
+            _fail_future, job.future, exc)
+
     def _prepare_batch(self, batch: list[_Job]) -> list[_Job]:
-        """Plan + admit every job, decode inputs, coalesce galois work."""
+        """Plan + admit every job, decode inputs, coalesce galois work.
+
+        Strictly per-job: a job that fails planning, admission, or blob
+        decoding is rejected alone — jobs already prepared (and jobs
+        later in the batch) proceed untouched.
+        """
         blob_cache: dict[str, Ciphertext] = {}
         admitted: list[_Job] = []
         for job in batch:
             try:
                 self._admit(job)
                 for name, blob in job.request.inputs.items():
+                    if self.fault_plan is not None:
+                        blob = self.fault_plan.corrupt(
+                            blob, job.request.tenant,
+                            job.request.program.name)
                     digest = hashlib.sha256(blob).hexdigest()
                     ct = blob_cache.get(digest)
                     if ct is None:
@@ -283,82 +449,168 @@ class RequestScheduler:
                     job.digests[name] = digest
                 admitted.append(job)
             except Exception as exc:  # reject: surface to the submitter
-                self.jobs_rejected += 1
-                job.future.get_loop().call_soon_threadsafe(
-                    _fail_future, job.future, exc)
+                self._reject(job, exc)
         if self.config.coalesce:
             self._coalesce(admitted)
         return admitted
 
     def _coalesce(self, jobs: list[_Job]) -> None:
-        """One hoisted raise per (tenant, source ct) shared by >= 2 jobs."""
+        """One hoisted raise per (tenant, source ct) shared by >= 2 jobs.
+
+        Coalescing is an optimisation, never a liveness dependency: any
+        failure here (evicted key mid-batch, level drift, anything
+        unexpected) skips seeding for that group only, and its jobs
+        fall back to hoisting on their own — bit-identical either way.
+        """
         groups: dict[tuple[str, str], list[tuple[_Job, str]]] = {}
         for job in jobs:
             for name, digest in job.digests.items():
                 groups.setdefault((job.request.tenant, digest),
                                   []).append((job, name))
         for (tenant, _digest), members in groups.items():
-            rotating = [(job, name, amounts, conj)
-                        for job, name in members
-                        for amounts, conj in
-                        [_input_galois(job.plan, name)]
-                        if amounts or conj]
-            if len({id(job) for job, *_ in rotating}) < 2:
-                continue  # a single job's executor hoists on its own
-            session = self.registry.session(tenant)
-            job0, name0 = rotating[0][0], rotating[0][1]
-            ct = job0.inputs[name0]
-            meta = job0.plan.meta[job0.plan.inputs[name0]]
-            if ct.level != meta.level:
-                continue  # executor will drop the input first; don't seed
-            union = sorted(set().union(*(a for _, _, a, _ in rotating)))
-            conjugate = any(c for *_, c in rotating)
             try:
+                rotating = [(job, name, amounts, conj)
+                            for job, name in members
+                            for amounts, conj in
+                            [_input_galois(job.plan, name)]
+                            if amounts or conj]
+                if len({id(job) for job, *_ in rotating}) < 2:
+                    continue  # a single job's executor hoists on its own
+                session = self.registry.session(tenant)
+                job0, name0 = rotating[0][0], rotating[0][1]
+                ct = job0.inputs[name0]
+                meta = job0.plan.meta[job0.plan.inputs[name0]]
+                if ct.level != meta.level:
+                    continue  # executor will drop the input first
+                union = sorted(set().union(*(a for _, _, a, _ in rotating)))
+                conjugate = any(c for *_, c in rotating)
                 rotations, conj_ct = session.evaluator.galois_hoisted(
                     ct, union, conjugate=conjugate)
-            except ValueError:
-                continue  # e.g. key evicted mid-batch: jobs fall back
-            self.coalesced_raises += max(0, len(rotating) - 1)
-            session.touch(union, self.registry)
-            for job, name, amounts, needs_conj in rotating:
-                seeded = job.seeded = job.seeded or {}
-                seeded[name] = (rotations,
-                                conj_ct if needs_conj else None)
+                self._bump("coalesced_raises",
+                           max(0, len(rotating) - 1))
+                session.touch(union, self.registry)
+                for job, name, amounts, needs_conj in rotating:
+                    seeded = job.seeded = job.seeded or {}
+                    seeded[name] = (rotations,
+                                    conj_ct if needs_conj else None)
+            except Exception:
+                continue  # group falls back to per-job hoisting
 
     # ----- execution ---------------------------------------------------------
 
-    def _run_job(self, job: _Job) -> None:
-        t0 = time.perf_counter()
+    async def _supervise_job(self, job: _Job) -> None:
+        """Run one admitted job under supervision; settle its future."""
+        tenant = job.request.tenant
+        label = f"{tenant}/{job.request.program.name}"
         try:
-            session = self.registry.session(job.request.tenant)
-            session.touch(job.plan.required_rotations(), self.registry)
-            outputs = execute(job.plan, session.evaluator, job.inputs,
-                              seeded_galois=job.seeded)
-            blobs = {name: wire.serialize_ciphertext(ct, self.ring.params)
-                     for name, ct in outputs.items()}
-            session.jobs_run += 1
-            self.jobs_completed += 1
-            result = JobResult(
-                outputs=blobs,
-                tenant=job.request.tenant,
-                program_name=job.request.program.name,
-                estimated_seconds=job.estimate,
-                plan_cache_hit=job.cache_hit,
-                coalesced=job.seeded is not None,
-                wall_seconds=time.perf_counter() - t0)
-            job.future.get_loop().call_soon_threadsafe(
-                _finish_future, job.future, result)
+            result, attempts = await self.supervisor.supervise(
+                functools.partial(self._run_attempt, job),
+                estimate_s=job.estimate, label=label)
         except Exception as exc:
-            job.future.get_loop().call_soon_threadsafe(
-                _fail_future, job.future, exc)
+            self._bump("jobs_failed")
+            self._breaker(tenant).record_failure()
+            _fail_future(job.future, exc)
+            return
+        result.attempts = attempts
+        self._bump("jobs_completed")
+        self._breaker(tenant).record_success()
+        _finish_future(job.future, result)
+
+    def _run_attempt(self, job: _Job, cancel: threading.Event
+                     ) -> JobResult:
+        """One worker-side attempt (runs on the pool; may be retried)."""
+        t0 = time.perf_counter()
+        tenant = job.request.tenant
+        self._inject_worker_faults(job, cancel)
+        session = self.registry.session(tenant)
+        needed = job.plan.required_rotations()
+        missing = session.missing_amounts(needed)
+        if missing:
+            # The evicted-key race: admission saw these keys, an LRU
+            # eviction beat the worker to them.  Transient — a racing
+            # re-upload may restore them before the retry.
+            raise KeyEvictedError(tenant, missing)
+        session.touch(needed, self.registry)
+        outputs = execute(job.plan, session.evaluator, job.inputs,
+                          seeded_galois=job.seeded,
+                          should_cancel=cancel.is_set)
+        blobs = {name: wire.serialize_ciphertext(ct, self.ring.params)
+                 for name, ct in outputs.items()}
+        with self._stats_lock:
+            session.jobs_run += 1
+        return JobResult(
+            outputs=blobs,
+            tenant=tenant,
+            program_name=job.request.program.name,
+            estimated_seconds=job.estimate,
+            plan_cache_hit=job.cache_hit,
+            coalesced=job.seeded is not None,
+            wall_seconds=time.perf_counter() - t0)
+
+    def _inject_worker_faults(self, job: _Job,
+                              cancel: threading.Event) -> None:
+        """Apply the fault plan's worker-path hooks for this attempt."""
+        plan = self.fault_plan
+        if plan is None:
+            return
+        tenant = job.request.tenant
+        program = job.request.program.name
+        spec = plan.probe(FaultKind.EVICT_KEYS, tenant, program)
+        if spec is not None:
+            self.registry.evict_tenant_galois(
+                tenant, amounts=spec.amounts or None)
+        spec = plan.probe(FaultKind.STALL, tenant, program)
+        if spec is not None:
+            time.sleep(spec.stall_s)
+            if cancel.is_set():  # supervisor gave up during the stall
+                raise ExecutionCancelled(
+                    f"{tenant}/{program}: stalled past its deadline")
+        if plan.probe(FaultKind.CRASH, tenant, program) is not None:
+            raise InjectedCrash(
+                f"injected worker crash for {tenant}/{program}")
+        if plan.probe(FaultKind.TRANSIENT, tenant, program) is not None:
+            raise InjectedTransient(
+                f"injected transient fault for {tenant}/{program}")
+
+    # ----- introspection -----------------------------------------------------
 
     def stats(self) -> dict:
-        return {
-            "jobs_completed": self.jobs_completed,
-            "jobs_rejected": self.jobs_rejected,
-            "coalesced_raises": self.coalesced_raises,
-            "plan_cache": self.plan_cache.stats(),
-        }
+        with self._stats_lock:
+            return {
+                "jobs_completed": self.jobs_completed,
+                "jobs_rejected": self.jobs_rejected,
+                "jobs_failed": self.jobs_failed,
+                "jobs_overloaded": self.jobs_overloaded,
+                "jobs_shed": self.jobs_shed,
+                "coalesced_raises": self.coalesced_raises,
+                "plan_cache": self.plan_cache.stats(),
+            }
+
+    def health(self) -> dict:
+        """Degradation snapshot: queue, backlog, breakers, counters."""
+        supervisor = self.supervisor.stats()
+        with self._stats_lock:
+            return {
+                "queue_depth": self._queue.qsize()
+                if self._queue is not None else 0,
+                "backlog_jobs": self._backlog_jobs,
+                "backlog_seconds": self._backlog_seconds,
+                "max_queue_jobs": self.config.max_queue_jobs,
+                "backlog_budget_s": self.config.backlog_budget_s,
+                "tenants": {tenant: breaker.snapshot()
+                            for tenant, breaker
+                            in self._breakers.items()},
+                "counters": {
+                    "jobs_completed": self.jobs_completed,
+                    "jobs_rejected": self.jobs_rejected,
+                    "jobs_failed": self.jobs_failed,
+                    "jobs_overloaded": self.jobs_overloaded,
+                    "jobs_shed": self.jobs_shed,
+                    "retries": supervisor["retries"],
+                    "timeouts": supervisor["timeouts"],
+                    "attempts": supervisor["attempts"],
+                },
+            }
 
 
 def _input_galois(plan: Plan, input_name: str

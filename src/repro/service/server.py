@@ -113,6 +113,16 @@ class FheServer:
         return {"registry": self.registry.stats(),
                 "scheduler": self.scheduler.stats()}
 
+    def health(self) -> dict:
+        """Degradation snapshot (see ``service/README.md``, Failure
+        model): queue depth, priced backlog seconds, per-tenant circuit
+        breaker states, and retry/timeout/shed counters — everything an
+        operator needs to see *how* the server is degrading before it
+        stops serving."""
+        health = self.scheduler.health()
+        health["registry"] = self.registry.stats()
+        return health
+
     def shutdown(self) -> None:
         self.scheduler.shutdown()
 

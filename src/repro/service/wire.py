@@ -127,6 +127,9 @@ def _check_scale(scale: float, what: str) -> float:
 def _open(blob: bytes, expect_kind: ObjectKind,
           digest: bytes | None) -> _Reader:
     """Validate framing and return a reader positioned at the body."""
+    if not blob:
+        raise WireError(f"empty blob (expected a {expect_kind.name} "
+                        "wire blob)")
     if len(blob) < _HEADER.size + _CRC.size:
         raise WireError(f"truncated blob: {len(blob)} bytes is shorter "
                         "than the fixed header")
@@ -160,6 +163,8 @@ def _open(blob: bytes, expect_kind: ObjectKind,
 
 def peek_kind(blob: bytes) -> ObjectKind:
     """The object kind of a blob (framing-validated, body untouched)."""
+    if not blob:
+        raise WireError("empty blob (not a BTS wire blob)")
     if len(blob) < _HEADER.size:
         raise WireError("truncated blob: no full header")
     magic, version, kind, _total, _digest = _HEADER.unpack(

@@ -268,3 +268,93 @@ class TestRejection:
         bad[-4:] = struct.pack("<I", zlib.crc32(bytes(bad[:-4])))
         with pytest.raises(WireError, match="version"):
             wire.deserialize_ciphertext(bytes(bad), small_ring)
+
+
+class TestEmptyAndWrongKindBlobs:
+    """Zero-length and kind-mismatched blobs raise WireError naming the
+    expected (and, on mismatch, the actual) kind — never an IndexError
+    or struct.error leaking from the framing code."""
+
+    _blob_cache: dict = {}
+
+    def _blob_of(self, kind: str, small_ring, small_encoder, small_keys):
+        cache = self._blob_cache
+        if not cache:
+            params = small_ring.params
+            cache["PARAMS"] = wire.serialize_params(params)
+            cache["PLAINTEXT"] = wire.serialize_plaintext(
+                small_encoder.encode(np.zeros(4) + 0j, 2.0 ** 40), params)
+            cache["CIPHERTEXT"] = wire.serialize_ciphertext(
+                _random_ct(small_ring, 1, seed=17), params)
+            cache["EVALUATION_KEY"] = wire.serialize_evaluation_key(
+                small_keys.gen_relinearization_key(), params)
+            cache["GALOIS_KEYS"] = wire.serialize_galois_keys(
+                {1: small_keys.gen_rotation_key(1)}, params)
+        return cache[kind]
+
+    def _decoders(self, small_ring):
+        return {
+            "PARAMS": lambda b: wire.deserialize_params(b),
+            "PLAINTEXT": lambda b: wire.deserialize_plaintext(b, small_ring),
+            "CIPHERTEXT": lambda b: wire.deserialize_ciphertext(b,
+                                                                small_ring),
+            "EVALUATION_KEY": lambda b: wire.deserialize_evaluation_key(
+                b, small_ring),
+            "GALOIS_KEYS": lambda b: wire.deserialize_galois_keys(
+                b, small_ring),
+        }
+
+    def test_empty_blob_names_the_expected_kind(self, small_ring):
+        for expect, decode in self._decoders(small_ring).items():
+            with pytest.raises(WireError, match=f"empty blob.*{expect}"):
+                decode(b"")
+        with pytest.raises(WireError, match="empty blob"):
+            wire.deserialize(b"", small_ring)
+        with pytest.raises(WireError, match="empty blob"):
+            wire.peek_kind(b"")
+
+    def test_every_mismatched_pair_names_expected_vs_got(
+            self, small_ring, small_encoder, small_keys):
+        decoders = self._decoders(small_ring)
+        for expect, decode in decoders.items():
+            for got in decoders:
+                if got == expect:
+                    continue
+                blob = self._blob_of(got, small_ring, small_encoder,
+                                     small_keys)
+                with pytest.raises(
+                        WireError,
+                        match=f"expected a {expect} blob, got {got}"):
+                    decode(blob)
+
+    @settings(deadline=None, max_examples=20)
+    @given(got=st.sampled_from(["PARAMS", "PLAINTEXT", "EVALUATION_KEY",
+                                "GALOIS_KEYS"]))
+    def test_wrong_kind_sweep_against_ciphertext_decoder(
+            self, small_ring, small_encoder, small_keys, got):
+        blob = self._blob_of(got, small_ring, small_encoder, small_keys)
+        with pytest.raises(WireError,
+                           match=f"expected a CIPHERTEXT blob, got {got}"):
+            wire.deserialize_ciphertext(blob, small_ring)
+
+    @settings(deadline=None, max_examples=60)
+    @given(junk=st.binary(max_size=72))
+    def test_junk_blobs_raise_wire_error_never_crash(self, small_ring,
+                                                     junk):
+        # covers the zero-length case (hypothesis shrinks to b"") and
+        # every truncated/garbage prefix shape up to two header widths
+        for decode in (wire.peek_kind,
+                       lambda b: wire.deserialize(b, small_ring),
+                       lambda b: wire.deserialize_ciphertext(b,
+                                                             small_ring)):
+            with pytest.raises(WireError):
+                decode(junk)
+
+    def test_client_decrypt_blob_rejects_empty_and_wrong_kind(
+            self, make_client):
+        client = make_client("wireguard", 31)
+        with pytest.raises(WireError, match="empty blob.*CIPHERTEXT"):
+            client.decrypt_blob(b"")
+        with pytest.raises(WireError,
+                           match="expected a CIPHERTEXT blob, got PARAMS"):
+            client.decrypt_blob(client.hello_blob())
