@@ -356,14 +356,31 @@ def main() -> None:
                              "kernel's baseline/measured ratio (machine-"
                              "speed canary for hosts that differ from "
                              "the one that recorded the baseline)")
+    parser.add_argument("--backend", default=None,
+                        choices=("auto", "native", "numpy"),
+                        help="force the modmath backend for this run "
+                             "(native fails loudly when the extension "
+                             "is unbuilt; default: the REPRO_MODMATH_"
+                             "BACKEND environment selection)")
     args = parser.parse_args()
+
+    from repro.ckks.modmath import active_backend, set_backend
+    if args.backend is not None:
+        set_backend(None if args.backend == "auto" else args.backend)
 
     # Snapshot the baseline before anything writes --output: the default
     # output path IS the committed baseline file.
     baseline_kernels = None
     if args.check:
-        baseline_kernels = json.loads(
-            args.baseline.read_text())["kernels"]
+        baseline_payload = json.loads(args.baseline.read_text())
+        baseline_kernels = baseline_payload["kernels"]
+        baseline_backend = baseline_payload.get("host", {}).get(
+            "modmath_backend")
+        if baseline_backend and baseline_backend != active_backend():
+            print(f"WARNING: baseline was recorded under the "
+                  f"{baseline_backend!r} modmath backend but this run "
+                  f"uses {active_backend()!r} — ratios compare backends, "
+                  "not code changes")
 
     reps = args.reps if args.reps is not None else (3 if args.smoke else 7)
     reps = max(1, reps)
@@ -391,7 +408,11 @@ def main() -> None:
                    "bootstrap_n": None if args.smoke else 1 << 9},
         "host": {"platform": platform.platform(),
                  "python": platform.python_version(),
-                 "numpy": np.__version__},
+                 "numpy": np.__version__,
+                 # which modmath dispatch path produced these medians —
+                 # a baseline recorded under one backend must only gate
+                 # runs of the same backend
+                 "modmath_backend": active_backend()},
         "kernels": {name: {"median_s": round(value, 6), "reps": used}
                     for name, (value, used) in kernels.items()},
         # static per-stage NumPy-dispatch / matrix-pass tallies of the

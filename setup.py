@@ -1,5 +1,57 @@
-"""Setup shim for legacy editable installs (no `wheel` in this environment)."""
+"""Setup shim for legacy editable installs (no `wheel` in this environment).
 
-from setuptools import setup
+Also exposes ``python setup.py build_native``, which compiles the
+optional cffi modmath extension (``src/repro/ckks/_native``) and fails
+hard when the toolchain is broken — the target CI uses.  The same build
+is attempted best-effort during ``build_py`` so source installs pick up
+the fast backend when a C compiler is around; the pure-NumPy path is
+the default-buildable fallback either way.
+"""
 
-setup()
+import os
+import sys
+
+from setuptools import Command, setup
+from setuptools.command.build_py import build_py as _build_py
+
+
+def _build_native(strict):
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+    sys.path.insert(0, src)
+    try:
+        from repro.ckks._native import NativeBuildError, build
+
+        try:
+            path = build()
+        except NativeBuildError as exc:
+            if strict:
+                raise
+            print(f"native modmath extension skipped: {exc}")
+            return None
+        print(f"native modmath extension: {path}")
+        return path
+    finally:
+        sys.path.remove(src)
+
+
+class BuildNative(Command):
+    description = "compile the native modmath extension (hard failure)"
+    user_options = []
+
+    def initialize_options(self):
+        pass
+
+    def finalize_options(self):
+        pass
+
+    def run(self):
+        _build_native(strict=True)
+
+
+class BuildPy(_build_py):
+    def run(self):
+        _build_native(strict=False)
+        super().run()
+
+
+setup(cmdclass={"build_native": BuildNative, "build_py": BuildPy})

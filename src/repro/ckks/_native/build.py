@@ -1,0 +1,41 @@
+"""Command-line entry point: build the native modmath library.
+
+Usage::
+
+    python -m repro.ckks._native.build [--quiet]
+
+Exits non-zero (with the compiler's stderr) when the build fails, so CI
+can make "native backend present" a hard step instead of a silent
+fallback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.ckks import _native
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the compiler command echo")
+    args = parser.parse_args(argv)
+    try:
+        path = _native.build(verbose=not args.quiet)
+    except _native.NativeBuildError as exc:
+        print(f"native build failed: {exc}", file=sys.stderr)
+        return 1
+    _native.reset_for_tests()
+    handle = _native.load(build_if_missing=False)
+    if handle is None:
+        print(f"built {path} but load failed: {_native.load_error()}",
+              file=sys.stderr)
+        return 1
+    print(f"native modmath backend ready: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

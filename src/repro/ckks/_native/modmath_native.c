@@ -1,0 +1,364 @@
+/* Native 64-bit modular-arithmetic kernels for repro.ckks.modmath.
+ *
+ * This is the software MMAU datapath of the repo compiled down to what
+ * the hardware actually is: a 64x64 -> 128-bit multiplier feeding a
+ * Barrett/Shoup reduction, one fused pass per kernel instead of the
+ * ~10-30 NumPy ufunc dispatches the pure-Python 32-bit-limb ladder
+ * pays.  Every kernel is *exact* and bit-identical to the NumPy
+ * reference in repro/ckks/modmath.py: outputs are either canonical
+ * residues (mul_mod, barrett_reduce128, mul_mod_shoup) or the precisely
+ * defined lazy representative r = a*w - floor(a*w_shoup / 2^64) * m
+ * (mul_mod_shoup_lazy), so both backends agree bit for bit, not merely
+ * modulo q.
+ *
+ * Iteration model: the Python wrapper broadcasts every operand to the
+ * output shape (broadcast axes become stride 0) and passes per-operand
+ * byte strides.  Kernels walk an odometer over the outer dimensions and
+ * run a strided inner loop over the last axis, so arbitrary NumPy views
+ * (column constants, tiled twiddle planes, transposed slabs) work
+ * without copies.  ndim is capped at NM_MAX_NDIM.
+ *
+ * Build: any C compiler with unsigned __int128 (gcc/clang on 64-bit
+ * targets).  No Python.h, no NumPy headers — the library is loaded via
+ * cffi in ABI mode (see repro/ckks/_native/__init__.py).
+ */
+
+#include <stdint.h>
+#include <stddef.h>
+
+typedef uint64_t u64;
+typedef int64_t i64;
+typedef unsigned __int128 u128;
+
+#define NM_MAX_NDIM 8
+
+/* ABI version stamp: the loader refuses a stale shared object whose
+ * kernel set no longer matches the cdef it was compiled against. */
+#define NM_ABI_VERSION 3
+
+i64 nm_abi_version(void) { return NM_ABI_VERSION; }
+
+static inline u64 nm_mulhi(u64 a, u64 b) {
+    return (u64)(((u128)a * b) >> 64);
+}
+
+/* Odometer bookkeeping shared by every strided kernel: advance the
+ * outer indices (all dims but the last); returns 0 when iteration is
+ * exhausted.  Offsets are recomputed per outer step — outer trip
+ * counts are tiny next to the inner loop. */
+static inline int nm_step(i64 ndim, const i64 *dims, i64 *idx) {
+    i64 d = ndim - 2;
+    for (; d >= 0; d--) {
+        if (++idx[d] < dims[d]) return 1;
+        idx[d] = 0;
+    }
+    return 0;
+}
+
+static inline const char *nm_off(const char *base, const i64 *strides,
+                                 const i64 *idx, i64 ndim) {
+    i64 d;
+    for (d = 0; d < ndim - 1; d++) base += idx[d] * strides[d];
+    return base;
+}
+
+#define NM_RD(p, stride, c) (*(const u64 *)((const char *)(p) + (c) * (stride)))
+#define NM_WR(p, stride, c) (*(u64 *)((char *)(p) + (c) * (stride)))
+
+/* ----- mulhi64: high 64 bits of the 128-bit product ------------------ */
+
+void nm_mulhi64(i64 ndim, const i64 *dims,
+                char *out, const i64 *so,
+                const char *a, const i64 *sa,
+                const char *b, const i64 *sb) {
+    i64 idx[NM_MAX_NDIM] = {0};
+    const i64 inner = dims[ndim - 1];
+    const i64 oi = so[ndim - 1], ai = sa[ndim - 1], bi = sb[ndim - 1];
+    do {
+        char *po = (char *)nm_off(out, so, idx, ndim);
+        const char *pa = nm_off(a, sa, idx, ndim);
+        const char *pb = nm_off(b, sb, idx, ndim);
+        for (i64 c = 0; c < inner; c++)
+            NM_WR(po, oi, c) = nm_mulhi(NM_RD(pa, ai, c), NM_RD(pb, bi, c));
+    } while (nm_step(ndim, dims, idx));
+}
+
+/* ----- mul128: full (hi, lo) product --------------------------------- */
+
+void nm_mul128(i64 ndim, const i64 *dims,
+               char *out_hi, const i64 *sh,
+               char *out_lo, const i64 *sl,
+               const char *a, const i64 *sa,
+               const char *b, const i64 *sb) {
+    i64 idx[NM_MAX_NDIM] = {0};
+    const i64 inner = dims[ndim - 1];
+    const i64 hi_i = sh[ndim - 1], lo_i = sl[ndim - 1];
+    const i64 ai = sa[ndim - 1], bi = sb[ndim - 1];
+    do {
+        char *ph = (char *)nm_off(out_hi, sh, idx, ndim);
+        char *pl = (char *)nm_off(out_lo, sl, idx, ndim);
+        const char *pa = nm_off(a, sa, idx, ndim);
+        const char *pb = nm_off(b, sb, idx, ndim);
+        for (i64 c = 0; c < inner; c++) {
+            u128 p = (u128)NM_RD(pa, ai, c) * NM_RD(pb, bi, c);
+            NM_WR(ph, hi_i, c) = (u64)(p >> 64);
+            NM_WR(pl, lo_i, c) = (u64)p;
+        }
+    } while (nm_step(ndim, dims, idx));
+}
+
+/* ----- single-word Barrett mul_mod ----------------------------------- *
+ * Canonical a, b < m; k = bit_length(m); mu = floor(2^2k / m).
+ * Same estimate as the NumPy path (t = floor(x / 2^(k-1)),
+ * q_hat = floor(t*mu / 2^(k+1)), remainder < 3m, two corrections);
+ * both are exact, so outputs agree bit for bit.                         */
+
+static inline u64 nm_barrett_word(u128 x, u64 m, u64 mu, int k) {
+    u64 t = (u64)(x >> (k - 1));
+    u64 q = (u64)(((u128)t * mu) >> (k + 1));
+    u64 r = (u64)x - q * m;
+    if (r >= m) r -= m;
+    if (r >= m) r -= m;
+    return r;
+}
+
+static inline int nm_bits(u64 m) {
+    return 64 - __builtin_clzll(m);
+}
+
+void nm_mul_mod(i64 ndim, const i64 *dims,
+                char *out, const i64 *so,
+                const char *a, const i64 *sa,
+                const char *b, const i64 *sb,
+                const char *m, const i64 *sm,
+                const char *mu, const i64 *smu) {
+    i64 idx[NM_MAX_NDIM] = {0};
+    const i64 inner = dims[ndim - 1];
+    const i64 oi = so[ndim - 1], ai = sa[ndim - 1], bi = sb[ndim - 1];
+    const i64 mi = sm[ndim - 1], mui = smu[ndim - 1];
+    do {
+        char *po = (char *)nm_off(out, so, idx, ndim);
+        const char *pa = nm_off(a, sa, idx, ndim);
+        const char *pb = nm_off(b, sb, idx, ndim);
+        const char *pm = nm_off(m, sm, idx, ndim);
+        const char *pmu = nm_off(mu, smu, idx, ndim);
+        if (mi == 0 && mui == 0) {
+            /* one modulus per row: hoist the constants */
+            const u64 mv = NM_RD(pm, 0, 0), muv = NM_RD(pmu, 0, 0);
+            const int k = nm_bits(mv);
+            for (i64 c = 0; c < inner; c++) {
+                u128 x = (u128)NM_RD(pa, ai, c) * NM_RD(pb, bi, c);
+                NM_WR(po, oi, c) = nm_barrett_word(x, mv, muv, k);
+            }
+        } else {
+            for (i64 c = 0; c < inner; c++) {
+                const u64 mv = NM_RD(pm, mi, c);
+                u128 x = (u128)NM_RD(pa, ai, c) * NM_RD(pb, bi, c);
+                NM_WR(po, oi, c) = nm_barrett_word(
+                    x, mv, NM_RD(pmu, mui, c), nm_bits(mv));
+            }
+        }
+    } while (nm_step(ndim, dims, idx));
+}
+
+/* ----- two-word Barrett reduction of a 128-bit value ------------------ *
+ * mu = floor(2^128 / m) as (mu_hi, mu_lo).  q_hat = floor(x*mu / 2^128)
+ * computed exactly; remainder < 3m, two corrections.  Canonical output,
+ * identical to both NumPy routes (generic and lazy128 fold).           */
+
+static inline u64 nm_barrett128(u64 hi, u64 lo, u64 m, u64 mu_hi,
+                                u64 mu_lo) {
+    u128 h1 = (u128)hi * mu_lo;
+    u128 h2 = (u128)lo * mu_hi;
+    u64 h3 = nm_mulhi(lo, mu_lo);
+    u128 s = (u128)(u64)h1 + (u64)h2 + h3;
+    u64 q = hi * mu_hi + (u64)(h1 >> 64) + (u64)(h2 >> 64)
+        + (u64)(s >> 64);
+    u64 r = lo - q * m;
+    if (r >= m) r -= m;
+    if (r >= m) r -= m;
+    return r;
+}
+
+void nm_barrett_reduce128(i64 ndim, const i64 *dims,
+                          char *out, const i64 *so,
+                          const char *hi, const i64 *shi,
+                          const char *lo, const i64 *slo,
+                          const char *m, const i64 *sm,
+                          const char *mu_hi, const i64 *smh,
+                          const char *mu_lo, const i64 *sml) {
+    i64 idx[NM_MAX_NDIM] = {0};
+    const i64 inner = dims[ndim - 1];
+    const i64 oi = so[ndim - 1], hii = shi[ndim - 1], loi = slo[ndim - 1];
+    const i64 mi = sm[ndim - 1], mhi = smh[ndim - 1], mli = sml[ndim - 1];
+    do {
+        char *po = (char *)nm_off(out, so, idx, ndim);
+        const char *ph = nm_off(hi, shi, idx, ndim);
+        const char *pl = nm_off(lo, slo, idx, ndim);
+        const char *pm = nm_off(m, sm, idx, ndim);
+        const char *pmh = nm_off(mu_hi, smh, idx, ndim);
+        const char *pml = nm_off(mu_lo, sml, idx, ndim);
+        for (i64 c = 0; c < inner; c++)
+            NM_WR(po, oi, c) = nm_barrett128(
+                NM_RD(ph, hii, c), NM_RD(pl, loi, c), NM_RD(pm, mi, c),
+                NM_RD(pmh, mhi, c), NM_RD(pml, mli, c));
+    } while (nm_step(ndim, dims, idx));
+}
+
+/* ----- Shoup multiplies ---------------------------------------------- */
+
+void nm_mul_mod_shoup(i64 ndim, const i64 *dims,
+                      char *out, const i64 *so,
+                      const char *a, const i64 *sa,
+                      const char *w, const i64 *sw,
+                      const char *ws, const i64 *sws,
+                      const char *m, const i64 *sm,
+                      i64 lazy) {
+    i64 idx[NM_MAX_NDIM] = {0};
+    const i64 inner = dims[ndim - 1];
+    const i64 oi = so[ndim - 1], ai = sa[ndim - 1];
+    const i64 wi = sw[ndim - 1], wsi = sws[ndim - 1], mi = sm[ndim - 1];
+    do {
+        char *po = (char *)nm_off(out, so, idx, ndim);
+        const char *pa = nm_off(a, sa, idx, ndim);
+        const char *pw = nm_off(w, sw, idx, ndim);
+        const char *pws = nm_off(ws, sws, idx, ndim);
+        const char *pm = nm_off(m, sm, idx, ndim);
+        for (i64 c = 0; c < inner; c++) {
+            const u64 av = NM_RD(pa, ai, c);
+            const u64 mv = NM_RD(pm, mi, c);
+            u64 q = nm_mulhi(av, NM_RD(pws, wsi, c));
+            u64 r = av * NM_RD(pw, wi, c) - q * mv;
+            if (!lazy && r >= mv) r -= mv;
+            NM_WR(po, oi, c) = r;
+        }
+    } while (nm_step(ndim, dims, idx));
+}
+
+/* ----- exact _shoup4 (Stockham butterfly multiply) -------------------- *
+ * The NumPy engine's 3-multiply approximation drops two partial
+ * products and lands in [0, 4m); here the full 64x64 high half is one
+ * instruction, so the exact Harvey quotient is free and the result
+ * stays below 2m — which is what lets the Stockham gate admit wider
+ * moduli under this backend (lazy_mult=2 plans).  s_lo/s_hi are the
+ * split 32-bit halves of the Shoup constant, exactly as the plan
+ * tables store them.                                                    */
+
+void nm_shoup4(i64 ndim, const i64 *dims,
+               char *out, const i64 *so,
+               const char *v, const i64 *sv,
+               const char *w, const i64 *sw,
+               const char *s_lo, const i64 *ssl,
+               const char *s_hi, const i64 *ssh,
+               const char *m, const i64 *sm) {
+    i64 idx[NM_MAX_NDIM] = {0};
+    const i64 inner = dims[ndim - 1];
+    const i64 oi = so[ndim - 1], vi = sv[ndim - 1], wi = sw[ndim - 1];
+    const i64 sli = ssl[ndim - 1], shi = ssh[ndim - 1], mi = sm[ndim - 1];
+    do {
+        char *po = (char *)nm_off(out, so, idx, ndim);
+        const char *pv = nm_off(v, sv, idx, ndim);
+        const char *pw = nm_off(w, sw, idx, ndim);
+        const char *pl = nm_off(s_lo, ssl, idx, ndim);
+        const char *ph = nm_off(s_hi, ssh, idx, ndim);
+        const char *pm = nm_off(m, sm, idx, ndim);
+        for (i64 c = 0; c < inner; c++) {
+            const u64 vv = NM_RD(pv, vi, c);
+            const u64 s = NM_RD(pl, sli, c) | (NM_RD(ph, shi, c) << 32);
+            u64 q = nm_mulhi(vv, s);
+            NM_WR(po, oi, c) = vv * NM_RD(pw, wi, c)
+                - q * NM_RD(pm, mi, c);
+        }
+    } while (nm_step(ndim, dims, idx));
+}
+
+/* ----- fused multiply-accumulate: out = (acc + a*b mod m) mod m ------- *
+ * The evk inner-product step of key switching: one pass instead of a
+ * mul_mod pass plus an add_mod pass.  acc must be canonical; output is
+ * canonical and bit-identical to add_mod(acc, mul_mod(a, b, m), m).    */
+
+void nm_mul_mod_add(i64 ndim, const i64 *dims,
+                    char *out, const i64 *so,
+                    const char *acc, const i64 *sacc,
+                    const char *a, const i64 *sa,
+                    const char *b, const i64 *sb,
+                    const char *m, const i64 *sm,
+                    const char *mu, const i64 *smu) {
+    i64 idx[NM_MAX_NDIM] = {0};
+    const i64 inner = dims[ndim - 1];
+    const i64 oi = so[ndim - 1], acci = sacc[ndim - 1];
+    const i64 ai = sa[ndim - 1], bi = sb[ndim - 1];
+    const i64 mi = sm[ndim - 1], mui = smu[ndim - 1];
+    do {
+        char *po = (char *)nm_off(out, so, idx, ndim);
+        const char *pacc = nm_off(acc, sacc, idx, ndim);
+        const char *pa = nm_off(a, sa, idx, ndim);
+        const char *pb = nm_off(b, sb, idx, ndim);
+        const char *pm = nm_off(m, sm, idx, ndim);
+        const char *pmu = nm_off(mu, smu, idx, ndim);
+        const u64 mv0 = NM_RD(pm, 0, 0), muv0 = NM_RD(pmu, 0, 0);
+        const int k0 = nm_bits(mv0);
+        const int hoist = (mi == 0 && mui == 0);
+        for (i64 c = 0; c < inner; c++) {
+            const u64 mv = hoist ? mv0 : NM_RD(pm, mi, c);
+            const u64 muv = hoist ? muv0 : NM_RD(pmu, mui, c);
+            const int k = hoist ? k0 : nm_bits(mv);
+            u128 x = (u128)NM_RD(pa, ai, c) * NM_RD(pb, bi, c);
+            u64 r = nm_barrett_word(x, mv, muv, k);
+            u64 s = NM_RD(pacc, acci, c) + r;
+            if (s >= mv) s -= mv;
+            NM_WR(po, oi, c) = s;
+        }
+    } while (nm_step(ndim, dims, idx));
+}
+
+/* ----- fused BConv multiply-accumulate-reduce ------------------------- *
+ * The MMAU proper (Eq. 9 part 2): for each destination limb i and
+ * coefficient c, the exact 128-bit sum over source limbs j of
+ * terms[j][c] * cross[i][j], Barrett-reduced once at the end.  The
+ * caller guarantees the true total stays below 2^128 (the `lazy_ok`
+ * gate of rns._bconv_table), so the wrapping u128 accumulation is
+ * exact.  All arrays are C-contiguous: terms (src, n), cross
+ * (dst, src), out (dst, n); m/mu_hi/mu_lo are per-destination words.
+ * Bit-identical to _mmau_accumulate_* + barrett_reduce128.             */
+
+void nm_bconv(i64 dst, i64 src, i64 n,
+              u64 *out, const u64 *terms, const u64 *cross,
+              const u64 *m, const u64 *mu_hi, const u64 *mu_lo) {
+    for (i64 i = 0; i < dst; i++) {
+        const u64 *cr = cross + i * src;
+        const u64 mv = m[i], mh = mu_hi[i], ml = mu_lo[i];
+        u64 *row = out + i * n;
+        for (i64 c = 0; c < n; c++) {
+            u128 acc = 0;
+            for (i64 j = 0; j < src; j++)
+                acc += (u128)terms[j * n + c] * cr[j];
+            row[c] = nm_barrett128((u64)(acc >> 64), (u64)acc,
+                                   mv, mh, ml);
+        }
+    }
+}
+
+/* ----- load-time sanity probe ----------------------------------------- *
+ * Returns 0 when a handful of known-answer checks pass; the loader
+ * discards the library otherwise (e.g. a miscompiled __int128).        */
+
+i64 nm_selftest(void) {
+    const u64 m = ((u64)1 << 61) + 15;          /* 62-bit-class prime */
+    const u64 a = m - 2, b = m - 3;
+    /* mulhi against the identity (m-2)(m-3) = m^2 - 5m + 6 */
+    u128 p = (u128)a * b;
+    if (nm_mulhi(a, b) != (u64)(p >> 64)) return 1;
+    /* Barrett word vs the slow u128 modulo */
+    const int k = nm_bits(m);
+    const u64 mu = (u64)((((u128)1) << (2 * k)) / m);
+    if (nm_barrett_word(p, m, mu, k) != (u64)(p % m)) return 2;
+    /* two-word Barrett on the same product */
+    u128 muw = (u128)0 - 1;                      /* 2^128 - 1 */
+    u64 mu_hi = (u64)((muw / m) >> 64), mu_lo = (u64)(muw / m);
+    /* floor((2^128 - 1) / m) == floor(2^128 / m) unless m | 2^128 —
+     * impossible for odd m > 1. */
+    if (nm_barrett128((u64)(p >> 64), (u64)p, m, mu_hi, mu_lo)
+        != (u64)(p % m)) return 3;
+    return 0;
+}

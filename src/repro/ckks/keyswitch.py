@@ -43,7 +43,13 @@ C_level + B and pay a single ModDown per group (see
 from __future__ import annotations
 
 from repro.ckks.keys import EvaluationKey
-from repro.ckks.modmath import add_mod, mul_mod_shoup, workspace_buffer
+from repro.ckks.modmath import (
+    active_backend,
+    add_mod,
+    mul_mod_add,
+    mul_mod_shoup,
+    workspace_buffer,
+)
 from repro.ckks.params import PrimeContext, RingContext
 from repro.ckks.rns import RnsPolynomial, StackedTransform, base_convert
 
@@ -299,8 +305,19 @@ def key_switch_accumulate(raised: list[RnsPolynomial], evk: EvaluationKey,
     acc_b = RnsPolynomial.zeros(working_base, raised[0].n, is_ntt=True)
     acc_a = RnsPolynomial.zeros(working_base, raised[0].n, is_ntt=True)
     moduli = acc_b.moduli
+    # Under the native backend the multiply-accumulate fuses into one
+    # strided C pass per digit (nm_mul_mod_add); the NumPy route keeps
+    # the Shoup multiply, whose precomputed constants beat a generic
+    # Barrett there.  Both produce the same canonical residues.
+    fused = active_backend() == "native"
     for slice_poly, (evk_b, evk_a, b_shoup, a_shoup) in zip(raised,
                                                             level_slices):
+        if fused:
+            mul_mod_add(acc_b.residues, slice_poly.residues,
+                        evk_b.residues, moduli, out=acc_b.residues)
+            mul_mod_add(acc_a.residues, slice_poly.residues,
+                        evk_a.residues, moduli, out=acc_a.residues)
+            continue
         # evk residues are fixed multiplicands: Shoup-multiply them in.
         prod = mul_mod_shoup(slice_poly.residues, evk_b.residues, b_shoup,
                              moduli,

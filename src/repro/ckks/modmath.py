@@ -13,6 +13,31 @@ below fits in a ``uint64`` (see the bound comments in each function).  The
 whole module is validated against Python big-int ground truth by hypothesis
 tests in ``tests/ckks/test_modmath.py``.
 
+Backends
+--------
+
+The hot primitives (``mulhi64``, ``mul128``, ``barrett_reduce128``,
+``mul_mod``, ``mul_mod_shoup``/``_lazy``, ``mul_mod_add``) dispatch
+through a backend registry:
+
+* ``numpy`` — the 32-bit-limb ladder implemented in this file.  Always
+  available; it is the default-buildable fallback **and** the
+  bit-identity oracle the native backend is tested against (the same
+  role :func:`~repro.ckks.rns._base_convert_reference` plays for BConv).
+* ``native`` — a small C library (``repro/ckks/_native``) doing the same
+  arithmetic with real 64x128-bit machine words, one fused strided pass
+  per kernel.  Exact, so outputs are bit-identical to the NumPy path.
+
+Selection: ``REPRO_MODMATH_BACKEND`` = ``native`` | ``numpy`` | ``auto``
+(default).  ``auto`` prefers the native library and silently falls back
+to NumPy when it cannot be built or loaded; ``native`` falls back too
+but warns, so CI can also make the build a hard step; ``numpy`` disables
+dispatch entirely.  :func:`set_backend` overrides the env var at
+runtime (tests use this to run the differential tiers under both
+backends in one process).  Because every kernel funnels through these
+functions, the NTT engines, BConv, evk products and Shoup multiplies
+all inherit the selected backend with no call-site changes.
+
 Performance notes (limb-batched layout)
 ---------------------------------------
 
@@ -33,13 +58,17 @@ reuse scratch buffers instead of allocating temporaries per stage.
 
 from __future__ import annotations
 
+import os
 import sys
 import threading
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from functools import lru_cache
 
 import numpy as np
+
+from repro.ckks import _native as _native_backend
 
 #: Largest supported modulus (exclusive).  Barrett leaves remainders in
 #: [0, 3m) before correction, so we need 3m < 2**64.
@@ -105,6 +134,108 @@ def workspace_buffer(tag: str, shape: tuple[int, ...],
     return _ws.get(tag, shape, dtype)
 
 
+# ----- backend registry ---------------------------------------------------
+
+_BACKEND_ENV = "REPRO_MODMATH_BACKEND"
+_VALID_BACKENDS = ("auto", "native", "numpy")
+_forced_backend: str | None = None
+_warned_native_missing = False
+
+#: Kernels refuse shapes deeper than this (mirrors NM_MAX_NDIM in C).
+_NATIVE_MAX_NDIM = 8
+
+
+def _requested_backend() -> str:
+    """The selection in force: ``set_backend`` override, else the env var."""
+    if _forced_backend is not None:
+        return _forced_backend
+    value = os.environ.get(_BACKEND_ENV, "auto").strip().lower() or "auto"
+    return value if value in _VALID_BACKENDS else "auto"
+
+
+def _active_native():
+    """The native library handle when dispatch should use it, else None."""
+    global _warned_native_missing
+    mode = _requested_backend()
+    if mode == "numpy":
+        return None
+    handle = _native_backend.load()
+    if handle is None and mode == "native" and not _warned_native_missing:
+        _warned_native_missing = True
+        warnings.warn(
+            f"{_BACKEND_ENV}=native requested but the extension is "
+            f"unavailable ({_native_backend.load_error()}); falling back "
+            "to the NumPy backend", RuntimeWarning, stacklevel=3)
+    return handle
+
+
+def active_backend() -> str:
+    """The backend the next kernel call will actually use."""
+    return "native" if _active_native() is not None else "numpy"
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends usable right now (``numpy`` always; ``native`` if loadable)."""
+    return (("native", "numpy") if _native_backend.load() is not None
+            else ("numpy",))
+
+
+def set_backend(name: str | None) -> str:
+    """Override backend selection at runtime; returns the active backend.
+
+    ``"auto"``/``None`` restores env-var-driven selection, ``"numpy"``
+    disables native dispatch, ``"native"`` requires the extension and
+    raises ``RuntimeError`` when it cannot be loaded (unlike the env
+    var, which only warns — a programmatic request is a test or a
+    deployment assertion, so failing loud is the point).
+    """
+    global _forced_backend
+    if name is None:
+        name = "auto"
+    if name not in _VALID_BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; "
+                         f"expected one of {_VALID_BACKENDS}")
+    if name == "native" and _native_backend.load() is None:
+        raise RuntimeError("native modmath backend unavailable: "
+                           f"{_native_backend.load_error()}")
+    _forced_backend = None if name == "auto" else name
+    return active_backend()
+
+
+def _native_ok(out: np.ndarray) -> bool:
+    return 1 <= out.ndim <= _NATIVE_MAX_NDIM and out.dtype == np.uint64
+
+
+def _nm_call(handle, fname: str, out_arrays, in_arrays, extra=()):
+    """Invoke a strided native kernel over ``out_arrays[0].shape``.
+
+    Every operand is broadcast to the output shape (broadcast axes get
+    stride 0) and passed as a ``(pointer, byte-strides)`` pair, so any
+    NumPy view — column constants, tiled planes, transposed slabs —
+    works without a copy.  ``keep`` pins the views and stride buffers
+    for the duration of the call.
+    """
+    ffi = handle.ffi
+    shape = out_arrays[0].shape
+    dims = np.asarray(shape, dtype=np.int64)
+    keep = [dims]
+    args = [len(shape), ffi.cast("const int64_t *", dims.ctypes.data)]
+    for arr in out_arrays:
+        st = np.asarray(arr.strides, dtype=np.int64)
+        keep += [arr, st]
+        args += [ffi.cast("char *", arr.ctypes.data),
+                 ffi.cast("const int64_t *", st.ctypes.data)]
+    for arr in in_arrays:
+        view = arr if getattr(arr, "shape", None) == shape \
+            else np.broadcast_to(arr, shape)
+        st = np.asarray(view.strides, dtype=np.int64)
+        keep += [view, st]
+        args += [ffi.cast("const char *", view.ctypes.data),
+                 ffi.cast("const int64_t *", st.ctypes.data)]
+    getattr(handle.lib, fname)(*args, *extra)
+    del keep
+
+
 _LITTLE_ENDIAN = sys.byteorder == "little"
 
 
@@ -148,6 +279,10 @@ def mul128(a: np.ndarray, b: np.ndarray,
         out_hi = np.empty(shape, np.uint64)
     if out_lo is None:
         out_lo = np.empty(shape, np.uint64)
+    h = _active_native()
+    if h is not None and _native_ok(out_hi) and out_lo.dtype == np.uint64:
+        _nm_call(h, "nm_mul128", (out_hi, out_lo), (a, b))
+        return out_hi, out_lo
     a0, a1 = _halves(a, _tag + ".a")
     b0, b1 = _halves(b, _tag + ".b")
     np.multiply(a, b, out=out_lo)  # wrapping multiply == low 64 bits
@@ -182,6 +317,10 @@ def mulhi64(a: np.ndarray, b: np.ndarray,
     shape = np.broadcast_shapes(a.shape, b.shape)
     if out is None:
         out = np.empty(shape, np.uint64)
+    h = _active_native()
+    if h is not None and _native_ok(out):
+        _nm_call(h, "nm_mulhi64", (out,), (a, b))
+        return out
     a0, a1 = _halves(a, "mulhi.a")
     b0, b1 = _halves(b, "mulhi.b")
     p00 = np.multiply(a0, b0, dtype=np.uint64, out=_ws.get("mulhi.p00",
@@ -365,6 +504,15 @@ def barrett_reduce128(hi: np.ndarray, lo: np.ndarray,
     """
     hi = _as_u64(hi)
     lo = _as_u64(lo)
+    h = _active_native()
+    if h is not None:
+        shape = np.broadcast_shapes(hi.shape, lo.shape, np.shape(m.u64))
+        if out is None:
+            out = np.empty(shape, np.uint64)
+        if _native_ok(out):
+            _nm_call(h, "nm_barrett_reduce128", (out,),
+                     (hi, lo, m.u64, m.mu_hi, m.mu_lo))
+            return out
     if m.lazy128_ok:
         shape = np.broadcast_shapes(hi.shape, np.shape(m.u64))
         z = mul_mod_shoup_lazy(hi, m.r64, m.r64_shoup, m,
@@ -427,6 +575,14 @@ def mul_mod(a: np.ndarray, b: np.ndarray, m: Modulus | ModulusVector,
     """
     a = _as_u64(a)
     b = _as_u64(b)
+    h = _active_native()
+    if h is not None:
+        nshape = np.broadcast_shapes(a.shape, b.shape, np.shape(m.u64))
+        if out is None:
+            out = np.empty(nshape, np.uint64)
+        if _native_ok(out):
+            _nm_call(h, "nm_mul_mod", (out,), (a, b, m.u64, m.mu_single))
+            return out
     shape = np.broadcast_shapes(a.shape, b.shape)
     hi, lo = mul128(a, b, out_hi=_ws.get("mul_mod.hi", shape),
                     out_lo=_ws.get("mul_mod.lo", shape))
@@ -455,6 +611,38 @@ def add_mod(a: np.ndarray, b: np.ndarray, m: Modulus | ModulusVector,
     """Element-wise ``(a + b) mod m``; inputs must be canonical residues."""
     s = np.add(_as_u64(a), _as_u64(b), out=out)  # < 2m < 2**63: no wrap
     return _correct_once(s, m.u64)
+
+
+def mul_mod_add(acc: np.ndarray, a: np.ndarray, b: np.ndarray,
+                m: Modulus | ModulusVector,
+                out: np.ndarray | None = None) -> np.ndarray:
+    """Fused ``(acc + a * b) mod m`` for canonical residues.
+
+    This is the evk inner-product step (one multiply-accumulate per
+    decomposition digit).  The native backend does it in a single strided
+    pass; the NumPy fallback composes :func:`mul_mod` + :func:`add_mod`,
+    which is exactly how callers spelled it before this helper existed —
+    both routes produce the same canonical residue bit-for-bit.  ``out``
+    may alias ``acc`` (in-place accumulation).
+    """
+    acc = _as_u64(acc)
+    a = _as_u64(a)
+    b = _as_u64(b)
+    h = _active_native()
+    if h is not None:
+        shape = np.broadcast_shapes(acc.shape, a.shape, b.shape,
+                                    np.shape(m.u64))
+        if out is None:
+            out = np.empty(shape, np.uint64)
+        if _native_ok(out):
+            _nm_call(h, "nm_mul_mod_add", (out,),
+                     (acc, a, b, m.u64, m.mu_single))
+            return out
+    prod = mul_mod(a, b, m,
+                   out=_ws.get("mma.prod",
+                               np.broadcast_shapes(a.shape, b.shape,
+                                                   np.shape(m.u64))))
+    return add_mod(acc, prod, m, out=out)
 
 
 def sub_mod(a: np.ndarray, b: np.ndarray, m: Modulus | ModulusVector,
@@ -525,6 +713,16 @@ def mul_mod_shoup(a: np.ndarray, w: np.ndarray, w_shoup: np.ndarray,
     a = _as_u64(a)
     w = _as_u64(w)
     w_shoup = _as_u64(w_shoup)
+    h = _active_native()
+    if h is not None:
+        shape = np.broadcast_shapes(a.shape, w.shape, w_shoup.shape,
+                                    np.shape(m.u64))
+        if out is None:
+            out = np.empty(shape, np.uint64)
+        if _native_ok(out):
+            _nm_call(h, "nm_mul_mod_shoup", (out,),
+                     (a, w, w_shoup, m.u64), extra=(0,))
+            return out
     q = mulhi64(a, w_shoup,
                 out=_ws.get("shoup.q",
                             np.broadcast_shapes(a.shape, w_shoup.shape)))
@@ -549,6 +747,16 @@ def mul_mod_shoup_lazy(a: np.ndarray, w: np.ndarray, w_shoup: np.ndarray,
     a = _as_u64(a)
     w = _as_u64(w)
     w_shoup = _as_u64(w_shoup)
+    h = _active_native()
+    if h is not None:
+        shape = np.broadcast_shapes(a.shape, w.shape, w_shoup.shape,
+                                    np.shape(m.u64))
+        if out is None:
+            out = np.empty(shape, np.uint64)
+        if _native_ok(out):
+            _nm_call(h, "nm_mul_mod_shoup", (out,),
+                     (a, w, w_shoup, m.u64), extra=(1,))
+            return out
     q = mulhi64(a, w_shoup,
                 out=_ws.get("shoup.q",
                             np.broadcast_shapes(a.shape, w_shoup.shape)))

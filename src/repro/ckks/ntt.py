@@ -48,8 +48,9 @@ Two batched datapaths coexist:
 
 * the strict radix-2 path (``_forward_radix2`` / ``_inverse_radix2``)
   — the PR-1 limb-batched kernel, kept for moduli too wide for the
-  relaxed ``4m`` bounds (see :func:`stockham_gate`) and as the engine
-  of record for the growth analysis in its docstrings.
+  relaxed lazy bounds (see :func:`stockham_gate`; ``4m`` on the NumPy
+  backend, ``2m`` when the exact native ``_shoup4`` is active) and as
+  the engine of record for the growth analysis in its docstrings.
 """
 
 from __future__ import annotations
@@ -62,7 +63,10 @@ import numpy as np
 from repro.ckks.modmath import (
     Modulus,
     ModulusVector,
+    _active_native,
     _correct_once,
+    _native_ok,
+    _nm_call,
     add_mod,
     inv_mod,
     mul_mod_shoup,
@@ -239,7 +243,21 @@ def _shoup4(v: np.ndarray, w: np.ndarray, s_lo: np.ndarray,
     Three plain ``uint64`` multiplies replace the exact
     :func:`~repro.ckks.modmath.mulhi64` ladder, whose 32-bit-view
     upcasting costs ~3x a native 64-bit multiply per pass.
+
+    Under the native modmath backend this dispatches to ``nm_shoup4``,
+    which recombines the Shoup halves and computes the *exact* quotient
+    with a real 128-bit multiply — the result then lands in ``[0, 2m)``
+    for any ``v < 2**64``.  Lazy intermediates therefore differ between
+    backends, but both are congruent mod ``m`` and the end-of-transform
+    normalization chain maps them to the same canonical residues, so
+    transform outputs stay bit-identical.  The tighter ``2m`` bound is
+    what lets :func:`stockham_gate` admit wider moduli when the exact
+    variant is guaranteed (``lazy_mult=2`` plans).
     """
+    h = _active_native()
+    if h is not None and _native_ok(out):
+        _nm_call(h, "nm_shoup4", (out,), (v, w, s_lo, s_hi, m))
+        return out
     sh = v.shape
     v0 = np.bitwise_and(v, _MASK32_U64, out=workspace_buffer("stk.v0", sh))
     v1 = np.right_shift(v, np.uint64(32), out=workspace_buffer("stk.v1", sh))
@@ -260,18 +278,23 @@ def _shoup4(v: np.ndarray, w: np.ndarray, s_lo: np.ndarray,
 _SHOUP4_OPS = 12
 
 
-def stockham_gate(n: int, max_modulus: int) -> bool:
-    """True when the relaxed ``4m`` lazy bounds of the Stockham engine hold.
+def stockham_gate(n: int, max_modulus: int, lazy_mult: int = 4) -> bool:
+    """True when the lazy bounds of the Stockham engine hold.
 
-    Forward residues grow additively by at most ``4m`` per radix-2 stage
-    (twiddle products stay below ``4m``, butterflies add a ``4m``
-    offset), so the final bound ``(4*log2(n) + 1) * m`` must fit a word;
-    the inverse needs ``8m < 2**64`` for its add branch.  Wider moduli
-    fall back to the strict radix-2 engine.
+    ``lazy_mult`` is the worst-case twiddle-product bound as a multiple
+    of ``m``: 4 for the approximate 3-multiply :func:`_shoup4` (the
+    NumPy path), 2 for the exact native variant.  Forward residues grow
+    additively by at most ``lazy_mult * m`` per radix-2 stage (twiddle
+    products stay below ``lazy_mult * m``, butterflies add a
+    ``lazy_mult * m`` offset), so the final bound
+    ``(lazy_mult * log2(n) + 1) * m`` must fit a word; the inverse
+    needs ``2 * lazy_mult * m < 2**64`` for its add branch.  Moduli too
+    wide even for ``lazy_mult=2`` fall back to the strict radix-2
+    engine.
     """
     k = n.bit_length() - 1
-    return ((4 * k + 1) * max_modulus < (1 << 64)
-            and 8 * max_modulus < (1 << 64))
+    return ((lazy_mult * k + 1) * max_modulus < (1 << 64)
+            and 2 * lazy_mult * max_modulus < (1 << 64))
 
 
 class _StockhamPlan:
@@ -287,13 +310,22 @@ class _StockhamPlan:
     the auto-sort interleave appears only as strided *writes* (forward)
     or strided *gathers* (inverse).  Twiddle patterns are pre-tiled to
     :data:`_PLANE_TILE` so no inner loop sees a stride-0 operand.
+
+    ``lazy_mult`` selects the lazy-bound regime (see
+    :func:`stockham_gate`): 4 works on every backend; 2 assumes the
+    exact native :func:`_shoup4` and admits moduli up to a word wider,
+    so ``lazy_mult=2`` plans set ``needs_exact`` and are only run when
+    the native backend is active (checked per call via :meth:`usable`,
+    since the backend can be switched at runtime).
     """
 
     def __init__(self, contexts: tuple["NttContext", ...],
-                 moduli: ModulusVector) -> None:
+                 moduli: ModulusVector, lazy_mult: int = 4) -> None:
         self.n = n = contexts[0].n
         self.k = k = n.bit_length() - 1
         self.num_limbs = L = len(contexts)
+        self.lazy_mult = lazy_mult
+        self.needs_exact = lazy_mult == 2
         self.lone = bool(k % 2)
         psi = np.stack([c.psi_rev for c in contexts])
         psi_sh = np.stack([c.psi_rev_shoup for c in contexts])
@@ -306,9 +338,9 @@ class _StockhamPlan:
         imax = max(_PLANE_TILE, n // 2)
         self.m_plane = np.ascontiguousarray(
             np.broadcast_to(mods, (L, imax)))
-        self.m4_plane = self.m_plane * np.uint64(4)
-        # forward normalization chain: bound (4k+1) m -> halving planes
-        bound = 4 * k + 1
+        self.m_lazy_plane = self.m_plane * np.uint64(lazy_mult)
+        # forward normalization chain: bound (lazy_mult*k+1) m -> halving
+        bound = lazy_mult * k + 1
         mult = 1 << max((bound - 1).bit_length() - 1, 0)
         self.fwd_chain = []
         while mult >= 1:
@@ -406,12 +438,22 @@ class _StockhamPlan:
         inv.append(("normalize", 2 * len(self.inv_chain),
                     2.0 * len(self.inv_chain)))
         self.pass_counts = {
-            "engine": "stockham-r4",
+            "engine": ("stockham-r4-exact" if self.needs_exact
+                       else "stockham-r4"),
             "forward": _tally(fwd),
             "inverse": _tally(inv),
         }
 
     # ----- helpers -------------------------------------------------------
+
+    def usable(self) -> bool:
+        """Whether this plan may run right now.
+
+        ``lazy_mult=2`` plans are only sound with the exact native
+        :func:`_shoup4`; when the native backend is inactive the caller
+        must fall back to the strict radix-2 engine instead.
+        """
+        return not self.needs_exact or _active_native() is not None
 
     def _buffers(self, a: np.ndarray, swaps: int
                  ) -> tuple[np.ndarray, np.ndarray]:
@@ -427,7 +469,8 @@ class _StockhamPlan:
 
     def _mslice(self, length: int) -> tuple[np.ndarray, np.ndarray]:
         return (self.m_plane[:, :length].reshape(self.num_limbs, 1, length),
-                self.m4_plane[:, :length].reshape(self.num_limbs, 1, length))
+                self.m_lazy_plane[:, :length].reshape(
+                    self.num_limbs, 1, length))
 
     def _normalize(self, a: np.ndarray, chain: list[np.ndarray]
                    ) -> np.ndarray:
@@ -637,8 +680,15 @@ class BatchedNttContext:
             [[[(int(c.psi_inv_rev[1]) * int(c.n_inv)) % c.modulus.value]]
              for c in contexts], dtype=np.uint64)
         max_m = max(m.value for m in moduli.moduli)
-        plan = (_StockhamPlan(contexts, moduli)
-                if n >= 2 and stockham_gate(n, max_m) else None)
+        # Prefer the backend-agnostic 4m plan; moduli too wide for it but
+        # inside the exact-variant 2m bounds get a needs_exact plan that
+        # runs only while the native backend is active (usable()).
+        plan = None
+        if n >= 2:
+            if stockham_gate(n, max_m):
+                plan = _StockhamPlan(contexts, moduli)
+            elif stockham_gate(n, max_m, lazy_mult=2):
+                plan = _StockhamPlan(contexts, moduli, lazy_mult=2)
         return cls(
             moduli=moduli,
             n=n,
@@ -674,20 +724,20 @@ class BatchedNttContext:
         bit-identical to the per-prime scalar contexts.
         """
         self._check_shape(a)
-        if self.plan is not None:
+        if self.plan is not None and self.plan.usable():
             return self.plan.forward(a)
         return self._forward_radix2(a)
 
     def inverse(self, a: np.ndarray) -> np.ndarray:
         """Batched inverse negacyclic NTT of a ``(num_limbs, n)`` matrix."""
         self._check_shape(a)
-        if self.plan is not None:
+        if self.plan is not None and self.plan.usable():
             return self.plan.inverse(a)
         return self._inverse_radix2(a)
 
     def pass_counts(self) -> dict:
         """Static per-stage dispatch / matrix-pass tallies of the engine."""
-        if self.plan is not None:
+        if self.plan is not None and self.plan.usable():
             return self.plan.pass_counts
         k = self.n.bit_length() - 1
         # strict radix-2 path: per stage 2 gathers, ~15-dispatch exact

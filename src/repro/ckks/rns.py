@@ -34,6 +34,7 @@ from repro.ckks.modmath import (
     _LITTLE_ENDIAN,
     _MASK32,
     _SHIFT32,
+    _active_native,
     Modulus,
     ModulusVector,
     add_mod,
@@ -415,6 +416,27 @@ def base_convert(poly: RnsPolynomial,
     # cache-resident), summed exactly and Barrett-reduced once.
     shape = (len(dst_base), n)
     dst_moduli = base_modulus_vector(dst_base)
+    h = _active_native()
+    if h is not None:
+        # Fused MMAU: the 128-bit accumulation over source limbs and the
+        # final Barrett reduction run in one C pass per (dst, coeff)
+        # cell.  Valid exactly when lazy_ok (checked above); output is
+        # canonical, bit-identical to the accumulate + reduce below.
+        out = np.empty(shape, dtype=np.uint64)
+        cr = np.ascontiguousarray(cross[:, :, 0])
+        mvals = np.ascontiguousarray(dst_moduli.u64.ravel())
+        mhi = np.ascontiguousarray(dst_moduli.mu_hi.ravel())
+        mlo = np.ascontiguousarray(dst_moduli.mu_lo.ravel())
+        ffi = h.ffi
+        h.lib.nm_bconv(
+            shape[0], terms.shape[0], n,
+            ffi.cast("uint64_t *", out.ctypes.data),
+            ffi.cast("const uint64_t *", terms.ctypes.data),
+            ffi.cast("const uint64_t *", cr.ctypes.data),
+            ffi.cast("const uint64_t *", mvals.ctypes.data),
+            ffi.cast("const uint64_t *", mhi.ctypes.data),
+            ffi.cast("const uint64_t *", mlo.ctypes.data))
+        return RnsPolynomial(dst_base, out, is_ntt=False)
     if planes_ok and _LITTLE_ENDIAN:
         acc_hi, acc_lo = _mmau_accumulate_planes(terms, cross, shape)
     else:

@@ -88,6 +88,13 @@ from repro.service.registry import KeyRegistry, TenantSession
 from repro.service.supervisor import BreakerConfig, CircuitBreaker, \
     SupervisionConfig, Supervisor
 
+#: Floor for the ``Overloaded.retry_after_s`` hint.  Both rejection axes
+#: can otherwise produce 0.0 — the job-count bound with
+#: ``max_queue_jobs=0`` (nothing queued yet) and the priced bound when
+#: every queued job cost 0 (``default_job_cost_s=0`` and admission off)
+#: — and a zero hint tells the client to hammer the scheduler.
+_MIN_RETRY_AFTER_S = 0.01
+
 
 @dataclass
 class ServiceConfig:
@@ -265,10 +272,19 @@ class RequestScheduler:
                          > config.backlog_budget_s)
             if over_jobs or over_cost:
                 self.jobs_overloaded += 1
-                retry_after = max(
-                    config.batch_window_s,
-                    self._backlog_seconds, 0.05 * self._backlog_jobs
-                ) / max(1, config.workers)
+                # Each axis that tripped contributes its own drain-time
+                # estimate: the job-count bound waits for at least one
+                # queued job to finish, the priced bound for the backlog
+                # seconds to drain.  The floor keeps the hint usable
+                # even when both estimates are 0 (zero batch window,
+                # unpriced jobs, or max_queue_jobs == 0).
+                hint = config.batch_window_s
+                if over_jobs:
+                    hint = max(hint, 0.05 * max(1, self._backlog_jobs))
+                if over_cost:
+                    hint = max(hint, self._backlog_seconds)
+                retry_after = max(hint / max(1, config.workers),
+                                  _MIN_RETRY_AFTER_S)
                 backlog = (f"{self._backlog_jobs} jobs / "
                            f"{self._backlog_seconds:.4f} priced seconds "
                            "queued")

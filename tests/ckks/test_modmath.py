@@ -15,6 +15,7 @@ from repro.ckks.modmath import (
     mul128,
     mul_mod,
     mul_mod_shoup,
+    mul_mod_shoup_lazy,
     mulhi64,
     neg_mod,
     pow_mod,
@@ -212,3 +213,115 @@ class TestHypothesis:
         arr_b = np.array([b], dtype=np.uint64)
         assert np.array_equal(sub_mod(add_mod(arr_a, arr_b, m), arr_b, m),
                               arr_a)
+
+
+# --- wide-modulus sweep -----------------------------------------------------
+#
+# The Barrett and Shoup quotient estimates are tightest when the modulus
+# approaches the 2**62 limit: the estimate can fall up to 2 below the true
+# quotient, and the number of conditional corrections actually *taken*
+# peaks for 59..62-bit moduli with operands hugging m - 1.  The uniform
+# strategy above almost never lands there, so this sweep pins the modulus
+# to the top widths and biases operands toward the correction-heavy edges.
+
+_WIDE_EDGE_MODULI = [
+    MODULUS_LIMIT - 1,            # 62-bit, largest admissible (odd)
+    MODULUS_LIMIT - 3,
+    (1 << 61) + 1, (1 << 61) - 1,  # straddle 2**61
+    (1 << 60) + 1, (1 << 60) - 1,
+    (1 << 59) + 1, (1 << 59) - 1,
+    (1 << 59) + 55, (1 << 61) + 15,  # NTT-friendly widths used elsewhere
+]
+
+
+@st.composite
+def wide_modulus(draw):
+    """An odd modulus with bit length in 59..62 (limit is 2**62)."""
+    edge = draw(st.booleans())
+    if edge:
+        q = draw(st.sampled_from(_WIDE_EDGE_MODULI))
+    else:
+        bits = draw(st.integers(min_value=59, max_value=62))
+        hi = min(1 << bits, MODULUS_LIMIT) - 1
+        q = draw(st.integers(min_value=1 << (bits - 1), max_value=hi))
+    if q % 2 == 0:
+        q -= 1
+    return q
+
+
+def _residue(draw, q):
+    """Residue < q biased toward the correction-heavy edges."""
+    return draw(st.one_of(
+        st.sampled_from([0, 1, q - 1, q - 2, q // 2, q // 2 + 1]),
+        st.integers(min_value=0, max_value=q - 1)))
+
+
+@st.composite
+def wide_modulus_and_residues(draw):
+    q = draw(wide_modulus())
+    return q, _residue(draw, q), _residue(draw, q)
+
+
+@st.composite
+def wide_modulus_and_u128(draw):
+    """A wide modulus plus an arbitrary 128-bit (hi, lo) input."""
+    q = draw(wide_modulus())
+    word = st.one_of(
+        st.sampled_from([0, 1, (1 << 64) - 1, (1 << 64) - 2, q, q - 1]),
+        st.integers(min_value=0, max_value=(1 << 64) - 1))
+    return q, draw(word), draw(word)
+
+
+class TestWideModulusSweep:
+    @given(wide_modulus_and_residues())
+    @settings(max_examples=400, deadline=None)
+    def test_mul_mod_at_wide_moduli(self, qab):
+        q, a, b = qab
+        m = Modulus(q)
+        got = mul_mod(np.array([a], dtype=np.uint64),
+                      np.array([b], dtype=np.uint64), m)
+        assert int(got[0]) == (a * b) % q
+
+    @given(wide_modulus_and_u128())
+    @settings(max_examples=400, deadline=None)
+    def test_barrett_reduce128_full_range(self, qhl):
+        # barrett_reduce128 is documented correct for *any* x < 2**128,
+        # not just products of residues — exercise that full contract.
+        q, hi, lo = qhl
+        m = Modulus(q)
+        got = barrett_reduce128(np.array([hi], dtype=np.uint64),
+                                np.array([lo], dtype=np.uint64), m)
+        assert int(got[0]) == ((hi << 64) | lo) % q
+
+    @given(wide_modulus_and_residues())
+    @settings(max_examples=400, deadline=None)
+    def test_shoup_precompute_exact(self, qab):
+        q, w, _ = qab
+        m = Modulus(q)
+        ws = shoup_precompute(np.array([w], dtype=np.uint64), m)
+        assert int(ws[0]) == (w << 64) // q
+
+    @given(wide_modulus_and_residues())
+    @settings(max_examples=400, deadline=None)
+    def test_shoup_multiply_at_wide_moduli(self, qab):
+        q, a, w = qab
+        m = Modulus(q)
+        w_arr = np.array([w], dtype=np.uint64)
+        ws = shoup_precompute(w_arr, m)
+        got = mul_mod_shoup(np.array([a], dtype=np.uint64), w_arr, ws, m)
+        assert int(got[0]) == (a * w) % q
+
+    @given(wide_modulus_and_u128())
+    @settings(max_examples=400, deadline=None)
+    def test_shoup_lazy_bound_for_any_word(self, qhl):
+        # The lazy variant admits any a < 2**64 (not just residues) and
+        # promises a representative below 2m congruent to a*w.
+        q, a, _ = qhl
+        m = Modulus(q)
+        w = a % q
+        w_arr = np.array([w], dtype=np.uint64)
+        ws = shoup_precompute(w_arr, m)
+        r = int(mul_mod_shoup_lazy(np.array([a], dtype=np.uint64),
+                                   w_arr, ws, m)[0])
+        assert r < 2 * q
+        assert r % q == (a * w) % q

@@ -20,7 +20,12 @@ from hypothesis import strategies as st
 
 pytestmark = pytest.mark.slow  # hypothesis differential sweep runs nightly
 
-from repro.ckks.modmath import mul_mod
+from repro.ckks.modmath import (
+    active_backend,
+    available_backends,
+    mul_mod,
+    set_backend,
+)
 from repro.ckks.ntt import (
     BatchedNttContext,
     NttContext,
@@ -28,7 +33,7 @@ from repro.ckks.ntt import (
     negacyclic_convolution_reference,
     stockham_gate,
 )
-from repro.ckks.primes import ntt_friendly_primes
+from repro.ckks.primes import is_prime, ntt_friendly_primes
 
 #: (n, bits) -> tuple[NttContext, ...]; hypothesis re-draws the same
 #: configurations many times and context creation is O(n) per prime.
@@ -175,10 +180,17 @@ class TestEngineStructure:
             assert report[direction]["dispatches"] > 0
             assert report[direction]["matrix_passes"] > 0
             assert report[direction]["per_stage"]
-        strict = batched_ntt_context(
+        # 60-bit moduli at n=64 overflow the backend-agnostic 4m bounds
+        # but fit the exact-variant 2m bounds: the engine of record is
+        # the needs_exact Stockham plan while the native backend is
+        # active, and the strict radix-2 fallback otherwise.
+        wide = batched_ntt_context(
             tuple(NttContext.create(q, 64)
                   for q in ntt_friendly_primes(60, 1, 64))).pass_counts()
-        assert strict["engine"] == "radix2-strict"
+        if active_backend() == "native":
+            assert wide["engine"] == "stockham-r4-exact"
+        else:
+            assert wide["engine"] == "radix2-strict"
 
     def test_radix4_halves_stage_dispatches(self):
         """The fused engine must dispatch fewer kernels than radix-2."""
@@ -194,3 +206,123 @@ class TestEngineStructure:
     def test_empty_context_tuple_rejected(self):
         with pytest.raises(ValueError):
             BatchedNttContext.from_contexts(())
+
+
+def _edge_prime_pair(n: int, threshold: int) -> tuple[int, int]:
+    """The NTT-friendly primes hugging ``threshold`` from each side.
+
+    Returns ``(below, above)`` with ``below <= threshold < above``, both
+    ``= 1 (mod 2n)`` and prime — the largest admissible and smallest
+    inadmissible moduli for a gate whose cutoff is ``threshold``.
+    """
+    step = 2 * n
+    below = threshold - ((threshold - 1) % step)   # = 1 mod 2n, <= threshold
+    while not is_prime(below):
+        below -= step
+    above = below + step
+    while above <= threshold or not is_prime(above):
+        above += step
+    return below, above
+
+
+class TestStockhamGateBoundary:
+    """Regression pin: the gate must flip exactly at the lazy-bound edge.
+
+    The bounds are strict (``< 2**64``) and the cutoffs land at 59-62
+    bit moduli; these tests hold the gate to the exact integer
+    threshold and prove, differentially against the scalar oracle, that
+    the engine swap at the edge never changes a single output bit.
+    """
+
+    @pytest.mark.parametrize("n", [4, 64, 1 << 11, 1 << 12])
+    @pytest.mark.parametrize("mult", [2, 4])
+    def test_gate_flips_exactly_at_threshold(self, n, mult):
+        k = n.bit_length() - 1
+        limit = (1 << 64) - 1
+        # Largest m satisfying both strict bounds; +1 must be rejected.
+        threshold = min(limit // (mult * k + 1), limit // (2 * mult))
+        assert 59 <= threshold.bit_length() <= 62
+        assert stockham_gate(n, threshold, mult)
+        assert not stockham_gate(n, threshold + 1, mult)
+
+    @pytest.mark.parametrize("mult", [2, 4])
+    def test_real_primes_straddle_the_gate(self, mult):
+        n = 1 << 11
+        k = n.bit_length() - 1
+        limit = (1 << 64) - 1
+        threshold = min(limit // (mult * k + 1), limit // (2 * mult))
+        admissible, inadmissible = _edge_prime_pair(n, threshold)
+        assert stockham_gate(n, admissible, mult)
+        assert not stockham_gate(n, inadmissible, mult)
+
+    def _roundtrip_vs_oracle(self, ctxs, rng):
+        """Batched forward+inverse must match the per-limb scalar oracle."""
+        batched = batched_ntt_context(ctxs)
+        a = _random_matrix(ctxs, rng)
+        fwd = batched.forward(a)
+        ref_fwd = np.stack([c.forward(a[i]) for i, c in enumerate(ctxs)])
+        assert np.array_equal(fwd, ref_fwd)
+        inv = batched.inverse(fwd)
+        ref_inv = np.stack([c.inverse(ref_fwd[i])
+                            for i, c in enumerate(ctxs)])
+        assert np.array_equal(inv, ref_inv)
+        assert np.array_equal(inv, a)
+        return batched
+
+    def test_engine_selection_and_bit_identity_at_both_edges(self):
+        """The largest admissible / smallest inadmissible widths, live.
+
+        Four bases pinned at the real prime edges of both regimes
+        (~2^58.5 for the 4m gate, ~2^59.5 for the exact 2m gate at
+        n=2^11): the engine each base selects must flip exactly at the
+        edge, and every one of them must reproduce the scalar oracle
+        bit for bit.
+        """
+        n = 1 << 11
+        k = n.bit_length() - 1
+        limit = (1 << 64) - 1
+        t4 = limit // (4 * k + 1)
+        t2 = limit // (2 * k + 1)
+        adm4, inadm4 = _edge_prime_pair(n, t4)
+        adm2, inadm2 = _edge_prime_pair(n, t2)
+        rng = np.random.default_rng(0xB75)
+        # just inside the 4m gate: backend-agnostic radix-4 plan
+        batched = self._roundtrip_vs_oracle((NttContext.create(adm4, n),),
+                                            rng)
+        assert batched.plan is not None and not batched.plan.needs_exact
+        # just above the 4m gate but inside 2m: needs_exact plan
+        batched = self._roundtrip_vs_oracle((NttContext.create(inadm4, n),),
+                                            rng)
+        assert batched.plan is not None and batched.plan.needs_exact
+        # just inside the 2m gate: still the needs_exact plan
+        batched = self._roundtrip_vs_oracle((NttContext.create(adm2, n),),
+                                            rng)
+        assert batched.plan is not None and batched.plan.needs_exact
+        # just above the 2m gate: no plan at all, strict radix-2 only
+        batched = self._roundtrip_vs_oracle((NttContext.create(inadm2, n),),
+                                            rng)
+        assert batched.plan is None
+
+    def test_needs_exact_plan_runs_only_under_native(self):
+        """A needs_exact plan must engage iff the native backend is on —
+        and both engines must agree with the oracle bit for bit."""
+        n = 1 << 11
+        k = n.bit_length() - 1
+        _, inadm4 = _edge_prime_pair(n, ((1 << 64) - 1) // (4 * k + 1))
+        ctxs = (NttContext.create(inadm4, n),)
+        batched = batched_ntt_context(ctxs)
+        assert batched.plan is not None and batched.plan.needs_exact
+        rng = np.random.default_rng(0xEDDE)
+        try:
+            set_backend("numpy")
+            assert not batched.plan.usable()
+            assert batched.pass_counts()["engine"] == "radix2-strict"
+            self._roundtrip_vs_oracle(ctxs, rng)
+            if "native" in available_backends():
+                set_backend("native")
+                assert batched.plan.usable()
+                assert (batched.pass_counts()["engine"]
+                        == "stockham-r4-exact")
+                self._roundtrip_vs_oracle(ctxs, rng)
+        finally:
+            set_backend(None)

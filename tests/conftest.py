@@ -49,6 +49,26 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(2024)
 
 
+@pytest.fixture(params=["numpy", "native"])
+def each_backend(request) -> str:
+    """Run the test once per modmath backend (skips native if unbuilt).
+
+    Forces the backend via :func:`repro.ckks.modmath.set_backend` —
+    which overrides ``REPRO_MODMATH_BACKEND`` — so a single pytest run
+    exercises both dispatch paths regardless of the environment.
+    """
+    from repro.ckks import modmath
+
+    name = request.param
+    if name not in modmath.available_backends():
+        pytest.skip(f"{name} modmath backend unavailable")
+    modmath.set_backend(name)
+    try:
+        yield name
+    finally:
+        modmath.set_backend(None)
+
+
 def encrypt_message(keys: KeyGenerator, encoder: Encoder,
                     message: np.ndarray, scale: float = 2.0 ** 40):
     """Helper: symmetric encryption of a complex message vector."""

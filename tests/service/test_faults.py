@@ -600,6 +600,58 @@ class TestOverload:
         assert not isinstance(first, Exception)
         assert isinstance(second, Overloaded)
         assert "priced seconds" in str(second)
+        # the priced axis must also yield a usable hint
+        assert second.retry_after_s > 0
+
+    def test_retry_hint_usable_on_degenerate_job_axis(self, faulted_setup):
+        # max_queue_jobs=0 rejects with an *empty* queue; with a zero
+        # batch window every drain-time estimate is 0, so only the hint
+        # floor keeps retry_after_s usable.
+        server, client = faulted_setup(ServiceConfig(
+            workers=4, max_queue_jobs=0, batch_window_s=0.0,
+            backlog_budget_s=None, supervision=quick_supervision()))
+        req = JobRequest("alice", stencil_program([1]),
+                         {"x": client.encrypt_blob(np.zeros(8))})
+
+        async def one():
+            server.scheduler.start()
+            try:
+                return await asyncio.gather(server.scheduler.submit(req),
+                                            return_exceptions=True)
+            finally:
+                await server.scheduler.stop()
+
+        [shed] = asyncio.run(one())
+        assert isinstance(shed, Overloaded)
+        assert shed.retry_after_s > 0
+
+    def test_retry_hint_usable_on_degenerate_cost_axis(self, faulted_setup):
+        # A nearly-unpriced backlog (nanosecond default cost, zero batch
+        # window) trips the priced bound with a drain estimate of ~0;
+        # the hint must still come back strictly positive.
+        server, client = faulted_setup(ServiceConfig(
+            workers=1, max_queue_jobs=256, batch_window_s=0.0,
+            backlog_budget_s=1e-12, default_job_cost_s=1e-9,
+            supervision=quick_supervision()))
+        blob = client.encrypt_blob(np.zeros(8))
+        requests = [JobRequest("alice", stencil_program([1], f"o{i}"),
+                               {"x": blob}) for i in range(2)]
+
+        async def two():
+            server.scheduler.start()
+            try:
+                tasks = [asyncio.ensure_future(
+                    server.scheduler.submit(r)) for r in requests]
+                return await asyncio.gather(*tasks,
+                                            return_exceptions=True)
+            finally:
+                await server.scheduler.stop()
+
+        first, second = asyncio.run(two())
+        assert not isinstance(first, Exception)
+        assert isinstance(second, Overloaded)
+        assert "priced seconds" in str(second)
+        assert second.retry_after_s > 0
 
 
 class TestCircuitBreakerServing:
