@@ -24,7 +24,16 @@ through a backoff retry.  The injected jobs must fail (or recover)
 exactly as classified, and every non-injected job must still decrypt
 correctly: per-job failure isolation, demonstrated end to end.
 
-Usage:  PYTHONPATH=src python examples/fhe_server_demo.py [--chaos]
+With ``--trace out.json`` the run is observed end to end: the gated
+instruments are enabled (kernel tallies + wire-codec counters), a
+:class:`~repro.obs.trace.Tracer` records per-job span trees across
+scheduler -> supervisor -> executor -> kernel, and the demo writes a
+Chrome trace-event JSON (``chrome://tracing`` loadable), validates it
+against the schema, and cross-checks that every completed program has
+a calibration entry in ``metrics_text()``.
+
+Usage:  PYTHONPATH=src python examples/fhe_server_demo.py
+            [--chaos] [--trace out.json]
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.ckks.params import CkksParams
 from repro.runtime import Program
 from repro.service import (
@@ -186,15 +196,77 @@ def verify_chaos(workloads, results) -> None:
             print(f"  {tenant:5s} {name:18s} |error| {err:.2e}  {note}")
 
 
+def report_observability(server: FheServer, tracer, trace_path: str,
+                         results: dict[str, list]) -> None:
+    """Write + validate the trace; cross-check calibration coverage."""
+    trace = tracer.chrome_trace()
+    problems = obs.validate_chrome_trace(trace)
+    if problems:
+        raise SystemExit("invalid trace: " + "; ".join(problems[:5]))
+    events = tracer.write(trace_path)
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    names = {e["name"] for e in spans}
+    cats = {e["cat"] for e in spans}
+    required = {"queue_wait", "batch_assembly", "supervise",
+                "execute_attempt"}
+    missing = required - names
+    if missing:
+        raise SystemExit(f"trace missing pipeline spans: "
+                         f"{sorted(missing)}")
+    if "op" not in cats:
+        raise SystemExit("trace has no executor op spans")
+    kernel_tagged = sum(
+        1 for e in spans if e["cat"] == "op"
+        and any(key in e["args"] for key in
+                ("ntt_forward", "ntt_inverse", "bconv_calls",
+                 "bconv_planes", "moddown")))
+    if kernel_tagged == 0:
+        raise SystemExit("no op span carries kernel tallies")
+    executed = {result.program_name
+                for tenant_results in results.values()
+                for result in tenant_results
+                if not isinstance(result, BaseException)}
+    summary = server.scheduler.calibration.summary()
+    calibrated = {name for stats in summary.values()
+                  for name in stats["programs"]}
+    uncovered = executed - calibrated
+    if uncovered:
+        raise SystemExit(f"completed programs missing calibration "
+                         f"entries: {sorted(uncovered)}")
+    metrics = server.metrics_text()
+    if "fhe_calibration_ratio" not in metrics:
+        raise SystemExit("metrics_text() lacks the calibration block")
+    print(f"\n-- observability ({trace_path}) --")
+    print(f"  {events} trace events, {len(spans)} spans "
+          f"({kernel_tagged} op spans carry kernel tallies), "
+          f"{len(summary)} plans calibrated")
+    for stats in sorted(summary.values(), key=lambda s: s["program"]):
+        print(f"  {stats['program']:18s} actual/estimate p50 "
+              f"{stats['ratio_p50']:10.1f}  over {stats['count']} runs")
+    print(f"  metrics_text(): {len(metrics.splitlines())} "
+          "exposition lines")
+
+
 def main() -> None:
-    chaos = "--chaos" in sys.argv[1:]
+    args = sys.argv[1:]
+    chaos = "--chaos" in args
+    trace_path = None
+    if "--trace" in args:
+        index = args.index("--trace")
+        if index + 1 >= len(args):
+            raise SystemExit("--trace requires an output file path")
+        trace_path = args[index + 1]
+    tracer = None
+    if trace_path is not None:
+        obs.enable()   # kernel tallies + wire counters for the spans
+        tracer = obs.Tracer()
     params = CkksParams.functional(n=1 << 10, l=10, dnum=2)
     print(f"server params: N=2^10, L={params.l}, dnum={params.dnum} "
           f"(digest {params.digest[:12]}…)")
     plan = chaos_plan() if chaos else None
     server = FheServer(params, ServiceConfig(
         workers=2, max_batch=8, max_job_seconds=0.05,
-        fault_plan=plan,
+        fault_plan=plan, tracer=tracer,
         supervision=SupervisionConfig(deadline_multiplier=1e4,
                                       deadline_floor_s=30.0,
                                       max_retries=2,
@@ -204,6 +276,8 @@ def main() -> None:
     if chaos:
         print(f"chaos mode: fixed-seed fault plan ({len(plan.specs)} "
               "faults armed)")
+    if trace_path is not None:
+        print(f"trace mode: spans + kernel tallies -> {trace_path}")
 
     print("\n-- tenant onboarding (keys travel as wire blobs) --")
     workloads = {}
@@ -281,6 +355,9 @@ def main() -> None:
           f"{stats['scheduler']['coalesced_raises']} coalesced raises, "
           f"{stats['registry']['galois_bytes'] / 1e6:.1f} MB galois keys "
           f"for {stats['registry']['tenants']} tenants")
+    if trace_path is not None:
+        report_observability(server, tracer, trace_path, results)
+        obs.disable()
     server.shutdown()
 
 

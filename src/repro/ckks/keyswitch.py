@@ -52,6 +52,7 @@ from repro.ckks.modmath import (
 )
 from repro.ckks.params import PrimeContext, RingContext
 from repro.ckks.rns import RnsPolynomial, StackedTransform, base_convert
+from repro.obs import kernel as _obs_kernel
 
 import numpy as np
 
@@ -113,6 +114,8 @@ def mod_down(poly: RnsPolynomial, level: int,
     pre-built from the ring context.
     """
     base_q = ring.base_q(level)
+    if _obs_kernel._ENABLED:
+        _obs_kernel.TALLY.moddown += 1
     # Row views, not copies: C_level occupies the leading rows of the
     # C_level + B matrix and B the trailing ones (from_ntt copies anyway).
     p_part = RnsPolynomial(ring.base_p, poly.residues[level + 1:], True)
@@ -135,6 +138,8 @@ def mod_down_pair(poly_b: RnsPolynomial, poly_a: RnsPolynomial, level: int,
     """
     base_q = ring.base_q(level)
     base_p = ring.base_p
+    if _obs_kernel._ENABLED:
+        _obs_kernel.TALLY.moddown += 2  # two logical ModDowns, fused
     n = poly_b.n
     coeff_b, coeff_a = StackedTransform.inverse(
         [RnsPolynomial(base_p, poly.residues[level + 1:], True)

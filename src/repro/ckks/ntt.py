@@ -76,6 +76,7 @@ from repro.ckks.modmath import (
     workspace_buffer,
 )
 from repro.ckks.primes import primitive_root_2n
+from repro.obs import kernel as _obs_kernel
 
 
 def bit_reverse_indices(n: int) -> np.ndarray:
@@ -179,6 +180,8 @@ class NttContext:
 
     def forward(self, a: np.ndarray) -> np.ndarray:
         """Negacyclic NTT; returns a new array in bit-reversed order."""
+        if _obs_kernel._ENABLED:
+            _obs_kernel.TALLY.ntt_forward += 1
         m = self.modulus
         n = self.n
         a = np.array(a, dtype=np.uint64, copy=True)
@@ -200,6 +203,8 @@ class NttContext:
 
     def inverse(self, a: np.ndarray) -> np.ndarray:
         """Inverse negacyclic NTT; input bit-reversed, output natural order."""
+        if _obs_kernel._ENABLED:
+            _obs_kernel.TALLY.ntt_inverse += 1
         m = self.modulus
         n = self.n
         a = np.array(a, dtype=np.uint64, copy=True)
@@ -724,6 +729,8 @@ class BatchedNttContext:
         bit-identical to the per-prime scalar contexts.
         """
         self._check_shape(a)
+        if _obs_kernel._ENABLED:
+            _obs_kernel.TALLY.ntt_forward += self.num_limbs
         if self.plan is not None and self.plan.usable():
             return self.plan.forward(a)
         return self._forward_radix2(a)
@@ -731,6 +738,8 @@ class BatchedNttContext:
     def inverse(self, a: np.ndarray) -> np.ndarray:
         """Batched inverse negacyclic NTT of a ``(num_limbs, n)`` matrix."""
         self._check_shape(a)
+        if _obs_kernel._ENABLED:
+            _obs_kernel.TALLY.ntt_inverse += self.num_limbs
         if self.plan is not None and self.plan.usable():
             return self.plan.inverse(a)
         return self._inverse_radix2(a)

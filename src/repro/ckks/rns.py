@@ -51,6 +51,7 @@ from repro.ckks.modmath import (
 )
 from repro.ckks.ntt import batched_ntt_context, ntt_galois_permutation
 from repro.ckks.params import PrimeContext
+from repro.obs import kernel as _obs_kernel
 
 
 @lru_cache(maxsize=1024)
@@ -397,6 +398,9 @@ def base_convert(poly: RnsPolynomial,
     """
     if poly.is_ntt:
         raise ValueError("BConv operates in the coefficient domain")
+    if _obs_kernel._ENABLED:
+        _obs_kernel.TALLY.bconv_calls += 1
+        _obs_kernel.TALLY.bconv_planes += len(dst_base) * len(poly.base)
     src_values = tuple(p.value for p in poly.base)
     dst_values = tuple(p.value for p in dst_base)
     qhat_inv, qhat_inv_shoup, cross, lazy_ok, planes_ok = _bconv_table(

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.ckks.cipher import Ciphertext
 from repro.ckks.evaluator import SCALE_RTOL, Evaluator
+from repro.obs import kernel as _obs_kernel
 from repro.runtime.ir import OpCode
 from repro.runtime.planner import Plan
 
@@ -69,7 +70,7 @@ def execute(plan: Plan, evaluator: Evaluator,
             validate: bool = True,
             seeded_galois: dict[str, tuple[dict[int, Ciphertext],
                                            Ciphertext | None]] | None = None,
-            should_cancel=None) -> dict[str, Ciphertext]:
+            should_cancel=None, span=None) -> dict[str, Ciphertext]:
     """Run ``plan`` and return the named output ciphertexts.
 
     ``inputs`` maps the program's input names to ciphertexts encrypted
@@ -96,6 +97,14 @@ def execute(plan: Plan, evaluator: Evaluator,
     point the serving supervisor uses to reclaim a worker whose job
     outlived its deadline — between nodes only, so a cancelled run
     never leaves a half-computed ciphertext behind.
+
+    ``span`` is an optional :class:`repro.obs.trace.Span`: every
+    executed node opens a child span tagged with the op kind, planned
+    level/scale, and (for galois ops) the rotation amount; when the
+    kernel tallies are enabled (:func:`repro.obs.enable`) each node
+    span additionally carries the NTT-pass / BConv-plane / ModDown
+    deltas the node caused on this thread.  With ``span=None`` the
+    execution path is byte-identical to an untraced run.
     """
     program, config = plan.program, plan.config
     missing = set(program.inputs) - set(inputs)
@@ -129,6 +138,15 @@ def execute(plan: Plan, evaluator: Evaluator,
         node = plan.nodes[nid]
         op = node.op
         meta = plan.meta[nid]
+        node_span = None
+        tally_before = None
+        if span is not None:
+            tags = {"node": nid, "level": meta.level}
+            if op is OpCode.HROT:
+                tags["rotation"] = node.rotation
+            node_span = span.child(op.value, cat="op", **tags)
+            if _obs_kernel._ENABLED:
+                tally_before = _obs_kernel.snapshot()
         if op is OpCode.INPUT:
             ct = inputs[node.name]
             if ct.n_slots != program.n_slots:
@@ -224,6 +242,13 @@ def execute(plan: Plan, evaluator: Evaluator,
                 raise ExecutionError(
                     f"node {nid} ({op.value}) produced scale "
                     f"{result.scale:.6g}, planned {meta.scale:.6g}")
+        if node_span is not None:
+            if tally_before is not None:
+                node_span.annotate(
+                    **{field: count for field, count
+                       in _obs_kernel.delta(tally_before).items()
+                       if count})
+            node_span.end()
         if refcount.get(nid, 0) > 0:
             values[nid] = result
 

@@ -47,10 +47,12 @@ from repro.service.faults import (
 )
 from repro.service.registry import KeyRegistry, RegistryError, TenantSession
 from repro.service.scheduler import (
+    HealthSnapshot,
     JobRequest,
     JobResult,
     RequestScheduler,
     ServiceConfig,
+    TenantHealth,
 )
 from repro.service.server import FheServer, TenantClient
 from repro.service.supervisor import (
@@ -71,6 +73,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FheServer",
+    "HealthSnapshot",
     "InjectedCrash",
     "InjectedTransient",
     "JobError",
@@ -89,6 +92,7 @@ __all__ = [
     "Supervisor",
     "TenantClient",
     "TenantError",
+    "TenantHealth",
     "TenantSession",
     "TransientServiceError",
     "WireError",

@@ -70,6 +70,11 @@ from dataclasses import dataclass, field
 
 from repro.ckks.cipher import Ciphertext
 from repro.ckks.params import CkksParams
+from repro.obs import kernel as _obs_kernel
+from repro.obs import metrics as _obs_metrics
+from repro.obs.calibration import CalibrationRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
 from repro.runtime.executor import ExecutionCancelled, execute
 from repro.runtime.ir import OpCode, Program
 from repro.runtime.planner import Plan, PlanCache, PlannerConfig, \
@@ -126,6 +131,14 @@ class ServiceConfig:
     default_job_cost_s: float = 0.0  #: priced cost of a job whose
     #: admission estimate is not cached yet (admission off or cold)
     fault_plan: FaultPlan | None = None  #: deterministic fault injection
+    # ----- observability ---------------------------------------------------
+    tracer: Tracer | None = None     #: per-job trace spans (None: untraced)
+    metrics: MetricsRegistry | None = None  #: share one registry across
+    #: schedulers (default: a private always-on registry)
+    calibration_slow_factor: float | None = None  #: slow-job threshold on
+    #: actual/estimate; default is the supervision deadline multiplier —
+    #: a job slower than that was one floor away from timing out, which
+    #: is exactly "the admission estimate lied"
 
 
 @dataclass
@@ -152,6 +165,63 @@ class JobResult:
 
 
 @dataclass
+class TenantHealth:
+    """One tenant's breaker state plus lifetime job counters."""
+
+    state: str = "closed"
+    consecutive_failures: int = 0
+    shed: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_rejected: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "shed": self.shed,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "jobs_rejected": self.jobs_rejected,
+        }
+
+
+@dataclass
+class HealthSnapshot:
+    """Typed degradation snapshot; ``as_dict`` is the endpoint shape.
+
+    Every key the original dict-shaped ``health()`` exposed is preserved
+    by :meth:`as_dict`; the observability fields (per-tenant job
+    counters inside ``tenants``, ``plan_cache``, ``calibration``) are
+    additive.
+    """
+
+    queue_depth: int
+    backlog_jobs: int
+    backlog_seconds: float
+    max_queue_jobs: int
+    backlog_budget_s: float | None
+    tenants: dict[str, TenantHealth]
+    counters: dict[str, int]
+    plan_cache: dict
+    calibration: dict
+
+    def as_dict(self) -> dict:
+        return {
+            "queue_depth": self.queue_depth,
+            "backlog_jobs": self.backlog_jobs,
+            "backlog_seconds": self.backlog_seconds,
+            "max_queue_jobs": self.max_queue_jobs,
+            "backlog_budget_s": self.backlog_budget_s,
+            "tenants": {tenant: health.as_dict()
+                        for tenant, health in self.tenants.items()},
+            "counters": dict(self.counters),
+            "plan_cache": dict(self.plan_cache),
+            "calibration": dict(self.calibration),
+        }
+
+
+@dataclass
 class _Job:
     """Internal state riding a request through the pipeline."""
 
@@ -165,6 +235,12 @@ class _Job:
     #: input name -> blob digest (for coalescing group keys)
     digests: dict[str, str] = field(default_factory=dict)
     seeded: dict | None = None
+    cache_key: str | None = None     #: plan-cache key (calibration key)
+    submitted_at: float = 0.0        #: perf_counter at submit
+    attempt_no: int = 0              #: supervised attempts started
+    span: Span | None = None         #: per-job trace root
+    queue_span: Span | None = None   #: submit -> batch-pull interval
+    supervise_span: Span | None = None  #: supervision envelope
 
 
 class RequestScheduler:
@@ -199,6 +275,45 @@ class RequestScheduler:
         self.coalesced_raises = 0
         self._backlog_jobs = 0       #: queued + in-flight jobs
         self._backlog_seconds = 0.0  #: their priced accelerator seconds
+        # ----- observability ------------------------------------------------
+        self.tracer = self.config.tracer
+        self.metrics = self.config.metrics or MetricsRegistry()
+        slow = self.config.calibration_slow_factor
+        if slow is None:
+            # A job slower than deadline_multiplier x estimate was one
+            # floor away from timing out; a degenerate multiplier (the
+            # fault tests pin deadlines to the floor) disables the log.
+            multiplier = self.config.supervision.deadline_multiplier
+            slow = multiplier if multiplier > 0 else None
+        self.calibration = CalibrationRecorder(slow_factor=slow)
+        self._tenant_counts: dict[str, dict[str, int]] = {}
+        metrics = self.metrics
+        self._m_jobs = metrics.counter(
+            "fhe_jobs_total", "jobs by tenant and outcome",
+            ("tenant", "outcome"))
+        self._m_plan_cache = metrics.counter(
+            "fhe_plan_cache_total", "plan-cache lookups", ("result",))
+        self._m_coalesced = metrics.counter(
+            "fhe_coalesced_raises_total",
+            "hoisted raises saved by cross-job coalescing")
+        self._m_queue_wait = metrics.histogram(
+            "fhe_job_queue_wait_seconds", "submit-to-batch-pull latency")
+        self._m_wall = metrics.histogram(
+            "fhe_job_wall_seconds", "worker attempt wall time",
+            ("tenant",))
+        self._g_queue_depth = metrics.gauge(
+            "fhe_queue_depth", "jobs sitting in the submit queue")
+        self._g_backlog_jobs = metrics.gauge(
+            "fhe_backlog_jobs", "queued + in-flight jobs")
+        self._g_backlog_seconds = metrics.gauge(
+            "fhe_backlog_seconds", "priced seconds held by the backlog")
+        self._g_breaker = metrics.gauge(
+            "fhe_breaker_state",
+            "per-tenant breaker (0 closed, 1 half-open, 2 open)",
+            ("tenant",))
+        self._g_supervisor = metrics.gauge(
+            "fhe_supervisor_events", "supervisor lifecycle counters",
+            ("kind",))
 
     # ----- lifecycle ---------------------------------------------------------
 
@@ -261,6 +376,7 @@ class RequestScheduler:
             allowed, retry_after = breaker.allow()
             if not allowed:
                 self._bump("jobs_shed")
+                self._m_jobs.inc(tenant=request.tenant, outcome="shed")
                 raise CircuitOpen(request.tenant, retry_after)
         cost = self._priced_cost(request)
         config = self.config
@@ -293,10 +409,17 @@ class RequestScheduler:
                 self._backlog_seconds += cost
                 retry_after = None
         if retry_after is not None:
+            self._m_jobs.inc(tenant=request.tenant, outcome="overloaded")
             raise Overloaded(f"scheduler overloaded: {backlog}",
                              retry_after_s=retry_after)
         job = _Job(request=request, cost=cost,
                    future=asyncio.get_running_loop().create_future())
+        job.submitted_at = time.perf_counter()
+        if self.tracer is not None:
+            job.span = self.tracer.span(
+                f"{request.tenant}/{request.program.name}", cat="job",
+                tenant=request.tenant, program=request.program.name)
+            job.queue_span = job.span.child("queue_wait", cat="sched")
         await self._queue.put(job)
         try:
             return await job.future
@@ -304,6 +427,12 @@ class RequestScheduler:
             with self._stats_lock:
                 self._backlog_jobs -= 1
                 self._backlog_seconds -= job.cost
+            if job.span is not None:
+                if job.future.done() and not job.future.cancelled():
+                    exc = job.future.exception()
+                    if exc is not None:
+                        job.span.annotate(error=type(exc).__name__)
+                job.span.end()
 
     def _priced_cost(self, request: JobRequest) -> float:
         """Simulator-priced seconds a submit holds against the backlog.
@@ -329,6 +458,15 @@ class RequestScheduler:
     def _bump(self, counter: str, by: int = 1) -> None:
         with self._stats_lock:
             setattr(self, counter, getattr(self, counter) + by)
+
+    def _tenant_bump(self, tenant: str, key: str) -> None:
+        with self._stats_lock:
+            counts = self._tenant_counts.get(tenant)
+            if counts is None:
+                counts = self._tenant_counts[tenant] = {
+                    "jobs_completed": 0, "jobs_failed": 0,
+                    "jobs_rejected": 0}
+            counts[key] += 1
 
     # ----- dispatch ----------------------------------------------------------
 
@@ -380,8 +518,11 @@ class RequestScheduler:
         """Plan the job and enforce the admission cost ceiling."""
         config = self._planner_config()
         digest = self.ring.params.digest
-        job.plan, job.cache_hit, cache_key = self.plan_cache.get(
+        job.plan, job.cache_hit, job.cache_key = self.plan_cache.get(
             job.request.program, config, digest)
+        self._m_plan_cache.inc(
+            result="hit" if job.cache_hit else "miss")
+        cache_key = job.cache_key
         session = self.registry.session(job.request.tenant)
         missing = session.missing_amounts(job.plan.required_rotations())
         if missing:
@@ -435,6 +576,8 @@ class RequestScheduler:
     def _reject(self, job: _Job, exc: Exception) -> None:
         """Fail one job's future from a worker thread (admission path)."""
         self._bump("jobs_rejected")
+        self._tenant_bump(job.request.tenant, "jobs_rejected")
+        self._m_jobs.inc(tenant=job.request.tenant, outcome="rejected")
         self._breaker(job.request.tenant).record_failure()
         job.future.get_loop().call_soon_threadsafe(
             _fail_future, job.future, exc)
@@ -446,31 +589,55 @@ class RequestScheduler:
         decoding is rejected alone — jobs already prepared (and jobs
         later in the batch) proceed untouched.
         """
+        batch_span = None
+        if self.tracer is not None:
+            batch_span = self.tracer.span(
+                "batch_assembly", cat="sched", batch_size=len(batch))
         blob_cache: dict[str, Ciphertext] = {}
         admitted: list[_Job] = []
         for job in batch:
+            queue_wait = time.perf_counter() - job.submitted_at
+            if job.queue_span is not None:
+                job.queue_span.end()
+            self._m_queue_wait.observe(queue_wait)
             try:
-                self._admit(job)
-                for name, blob in job.request.inputs.items():
-                    if self.fault_plan is not None:
-                        blob = self.fault_plan.corrupt(
-                            blob, job.request.tenant,
-                            job.request.program.name)
-                    digest = hashlib.sha256(blob).hexdigest()
-                    ct = blob_cache.get(digest)
-                    if ct is None:
-                        ct = wire.deserialize_ciphertext(blob, self.ring)
-                        blob_cache[digest] = ct
-                    job.inputs[name] = ct
-                    job.digests[name] = digest
+                if job.span is not None:
+                    with job.span.child("admit", cat="sched") as span:
+                        self._admit(job)
+                        span.annotate(plan_cache_hit=job.cache_hit,
+                                      estimate_s=job.estimate)
+                    with job.span.child("decode_inputs", cat="sched"):
+                        self._decode_inputs(job, blob_cache)
+                else:
+                    self._admit(job)
+                    self._decode_inputs(job, blob_cache)
                 admitted.append(job)
             except Exception as exc:  # reject: surface to the submitter
                 self._reject(job, exc)
         if self.config.coalesce:
-            self._coalesce(admitted)
+            self._coalesce(admitted, batch_span)
+        if batch_span is not None:
+            batch_span.annotate(admitted=len(admitted))
+            batch_span.end()
         return admitted
 
-    def _coalesce(self, jobs: list[_Job]) -> None:
+    def _decode_inputs(self, job: _Job,
+                       blob_cache: dict[str, Ciphertext]) -> None:
+        """Deserialize the job's input blobs (deduped by digest)."""
+        for name, blob in job.request.inputs.items():
+            if self.fault_plan is not None:
+                blob = self.fault_plan.corrupt(
+                    blob, job.request.tenant, job.request.program.name)
+            digest = hashlib.sha256(blob).hexdigest()
+            ct = blob_cache.get(digest)
+            if ct is None:
+                ct = wire.deserialize_ciphertext(blob, self.ring)
+                blob_cache[digest] = ct
+            job.inputs[name] = ct
+            job.digests[name] = digest
+
+    def _coalesce(self, jobs: list[_Job],
+                  batch_span: Span | None = None) -> None:
         """One hoisted raise per (tenant, source ct) shared by >= 2 jobs.
 
         Coalescing is an optimisation, never a liveness dependency: any
@@ -484,6 +651,7 @@ class RequestScheduler:
                 groups.setdefault((job.request.tenant, digest),
                                   []).append((job, name))
         for (tenant, _digest), members in groups.items():
+            group_span = None
             try:
                 rotating = [(job, name, amounts, conj)
                             for job, name in members
@@ -500,16 +668,33 @@ class RequestScheduler:
                     continue  # executor will drop the input first
                 union = sorted(set().union(*(a for _, _, a, _ in rotating)))
                 conjugate = any(c for *_, c in rotating)
+                if batch_span is not None:
+                    group_span = batch_span.child(
+                        "coalesce_group", cat="sched", tenant=tenant,
+                        members=len(rotating), amounts=len(union))
+                tally_before = (_obs_kernel.snapshot()
+                                if _obs_kernel._ENABLED else None)
                 rotations, conj_ct = session.evaluator.galois_hoisted(
                     ct, union, conjugate=conjugate)
-                self._bump("coalesced_raises",
-                           max(0, len(rotating) - 1))
+                saved = max(0, len(rotating) - 1)
+                self._bump("coalesced_raises", saved)
+                self._m_coalesced.inc(saved)
                 session.touch(union, self.registry)
                 for job, name, amounts, needs_conj in rotating:
                     seeded = job.seeded = job.seeded or {}
                     seeded[name] = (rotations,
                                     conj_ct if needs_conj else None)
-            except Exception:
+                if group_span is not None:
+                    if tally_before is not None:
+                        group_span.annotate(
+                            **{field: count for field, count
+                               in _obs_kernel.delta(tally_before).items()
+                               if count})
+                    group_span.end()
+            except Exception as exc:
+                if group_span is not None:
+                    group_span.annotate(error=type(exc).__name__)
+                    group_span.end()
                 continue  # group falls back to per-job hoisting
 
     # ----- execution ---------------------------------------------------------
@@ -518,17 +703,30 @@ class RequestScheduler:
         """Run one admitted job under supervision; settle its future."""
         tenant = job.request.tenant
         label = f"{tenant}/{job.request.program.name}"
+        if job.span is not None:
+            job.supervise_span = job.span.child("supervise", cat="sched")
         try:
             result, attempts = await self.supervisor.supervise(
                 functools.partial(self._run_attempt, job),
-                estimate_s=job.estimate, label=label)
+                estimate_s=job.estimate, label=label,
+                span=job.supervise_span)
         except Exception as exc:
+            if job.supervise_span is not None:
+                job.supervise_span.annotate(error=type(exc).__name__)
+                job.supervise_span.end()
             self._bump("jobs_failed")
+            self._tenant_bump(tenant, "jobs_failed")
+            self._m_jobs.inc(tenant=tenant, outcome="failed")
             self._breaker(tenant).record_failure()
             _fail_future(job.future, exc)
             return
+        if job.supervise_span is not None:
+            job.supervise_span.annotate(attempts=attempts)
+            job.supervise_span.end()
         result.attempts = attempts
         self._bump("jobs_completed")
+        self._tenant_bump(tenant, "jobs_completed")
+        self._m_jobs.inc(tenant=tenant, outcome="completed")
         self._breaker(tenant).record_success()
         _finish_future(job.future, result)
 
@@ -537,21 +735,46 @@ class RequestScheduler:
         """One worker-side attempt (runs on the pool; may be retried)."""
         t0 = time.perf_counter()
         tenant = job.request.tenant
-        self._inject_worker_faults(job, cancel)
-        session = self.registry.session(tenant)
-        needed = job.plan.required_rotations()
-        missing = session.missing_amounts(needed)
-        if missing:
-            # The evicted-key race: admission saw these keys, an LRU
-            # eviction beat the worker to them.  Transient — a racing
-            # re-upload may restore them before the retry.
-            raise KeyEvictedError(tenant, missing)
-        session.touch(needed, self.registry)
-        outputs = execute(job.plan, session.evaluator, job.inputs,
-                          seeded_galois=job.seeded,
-                          should_cancel=cancel.is_set)
-        blobs = {name: wire.serialize_ciphertext(ct, self.ring.params)
-                 for name, ct in outputs.items()}
+        with self._stats_lock:
+            job.attempt_no += 1
+            attempt_no = job.attempt_no
+        attempt_span = None
+        if job.span is not None:
+            attempt_span = (job.supervise_span or job.span).child(
+                "execute_attempt", cat="exec", attempt=attempt_no)
+        try:
+            self._inject_worker_faults(job, cancel)
+            session = self.registry.session(tenant)
+            needed = job.plan.required_rotations()
+            missing = session.missing_amounts(needed)
+            if missing:
+                # The evicted-key race: admission saw these keys, an LRU
+                # eviction beat the worker to them.  Transient — a racing
+                # re-upload may restore them before the retry.
+                raise KeyEvictedError(tenant, missing)
+            session.touch(needed, self.registry)
+            outputs = execute(job.plan, session.evaluator, job.inputs,
+                              seeded_galois=job.seeded,
+                              should_cancel=cancel.is_set,
+                              span=attempt_span)
+            blobs = {name: wire.serialize_ciphertext(ct, self.ring.params)
+                     for name, ct in outputs.items()}
+        except Exception as exc:
+            if attempt_span is not None:
+                attempt_span.annotate(error=type(exc).__name__)
+                attempt_span.end()
+            raise
+        wall = time.perf_counter() - t0
+        self._m_wall.observe(wall, tenant=tenant)
+        if job.estimate is not None and job.estimate > 0 \
+                and job.cache_key is not None:
+            ratio = self.calibration.record(
+                job.cache_key, job.estimate, wall, tenant=tenant,
+                program=job.request.program.name)
+            if attempt_span is not None:
+                attempt_span.annotate(calibration_ratio=round(ratio, 4))
+        if attempt_span is not None:
+            attempt_span.end()
         with self._stats_lock:
             session.jobs_run += 1
         return JobResult(
@@ -561,7 +784,7 @@ class RequestScheduler:
             estimated_seconds=job.estimate,
             plan_cache_hit=job.cache_hit,
             coalesced=job.seeded is not None,
-            wall_seconds=time.perf_counter() - t0)
+            wall_seconds=wall)
 
     def _inject_worker_faults(self, job: _Job,
                               cancel: threading.Event) -> None:
@@ -602,21 +825,28 @@ class RequestScheduler:
                 "plan_cache": self.plan_cache.stats(),
             }
 
-    def health(self) -> dict:
-        """Degradation snapshot: queue, backlog, breakers, counters."""
+    def health(self) -> HealthSnapshot:
+        """Degradation snapshot: queue, backlog, breakers, counters.
+
+        Returns a typed :class:`HealthSnapshot`; endpoints that need the
+        original dict shape use :meth:`HealthSnapshot.as_dict`, which
+        preserves every pre-existing key.
+        """
         supervisor = self.supervisor.stats()
+        breaker_snaps = {tenant: breaker.snapshot()
+                         for tenant, breaker in self._breakers.items()}
         with self._stats_lock:
-            return {
-                "queue_depth": self._queue.qsize()
+            tenant_counts = {tenant: dict(counts) for tenant, counts
+                             in self._tenant_counts.items()}
+            snapshot = HealthSnapshot(
+                queue_depth=self._queue.qsize()
                 if self._queue is not None else 0,
-                "backlog_jobs": self._backlog_jobs,
-                "backlog_seconds": self._backlog_seconds,
-                "max_queue_jobs": self.config.max_queue_jobs,
-                "backlog_budget_s": self.config.backlog_budget_s,
-                "tenants": {tenant: breaker.snapshot()
-                            for tenant, breaker
-                            in self._breakers.items()},
-                "counters": {
+                backlog_jobs=self._backlog_jobs,
+                backlog_seconds=self._backlog_seconds,
+                max_queue_jobs=self.config.max_queue_jobs,
+                backlog_budget_s=self.config.backlog_budget_s,
+                tenants={},
+                counters={
                     "jobs_completed": self.jobs_completed,
                     "jobs_rejected": self.jobs_rejected,
                     "jobs_failed": self.jobs_failed,
@@ -626,7 +856,52 @@ class RequestScheduler:
                     "timeouts": supervisor["timeouts"],
                     "attempts": supervisor["attempts"],
                 },
-            }
+                plan_cache=self.plan_cache.stats(),
+                calibration=self.calibration.stats(),
+            )
+        for tenant in sorted(set(breaker_snaps) | set(tenant_counts)):
+            breaker = breaker_snaps.get(tenant, {})
+            counts = tenant_counts.get(tenant, {})
+            snapshot.tenants[tenant] = TenantHealth(
+                state=breaker.get("state", "closed"),
+                consecutive_failures=breaker.get(
+                    "consecutive_failures", 0),
+                shed=breaker.get("shed", 0),
+                jobs_completed=counts.get("jobs_completed", 0),
+                jobs_failed=counts.get("jobs_failed", 0),
+                jobs_rejected=counts.get("jobs_rejected", 0))
+        return snapshot
+
+    def render_metrics(self) -> str:
+        """Prometheus text: registry + live gauges + calibration block.
+
+        Live state (queue depth, backlog, breaker states, supervisor
+        counters) is copied into gauges at render time; then the
+        scheduler's always-on registry, the gated default registry
+        (wire-codec instruments — headers only until
+        :func:`repro.obs.enable`), and the calibration summary render
+        as one exposition.
+        """
+        with self._stats_lock:
+            backlog_jobs = self._backlog_jobs
+            backlog_seconds = self._backlog_seconds
+        self._g_queue_depth.set(
+            self._queue.qsize() if self._queue is not None else 0)
+        self._g_backlog_jobs.set(backlog_jobs)
+        self._g_backlog_seconds.set(backlog_seconds)
+        state_values = {"closed": 0, "half_open": 1, "open": 2}
+        for tenant, breaker in list(self._breakers.items()):
+            snap = breaker.snapshot()
+            self._g_breaker.set(state_values.get(snap["state"], -1),
+                                tenant=tenant)
+        for kind, value in self.supervisor.stats().items():
+            self._g_supervisor.set(value, kind=kind)
+        parts = [self.metrics.render_text()]
+        gated = _obs_metrics.default_registry().render_text()
+        if gated:
+            parts.append(gated)
+        parts.append(self.calibration.render_prometheus())
+        return "".join(parts)
 
 
 def _input_galois(plan: Plan, input_name: str

@@ -116,12 +116,22 @@ class FheServer:
     def health(self) -> dict:
         """Degradation snapshot (see ``service/README.md``, Failure
         model): queue depth, priced backlog seconds, per-tenant circuit
-        breaker states, and retry/timeout/shed counters — everything an
-        operator needs to see *how* the server is degrading before it
-        stops serving."""
-        health = self.scheduler.health()
+        breaker states plus job counters, plan-cache and calibration
+        stats, and retry/timeout/shed counters — everything an operator
+        needs to see *how* the server is degrading before it stops
+        serving.  The scheduler side is a typed
+        :class:`~repro.service.scheduler.HealthSnapshot`; this endpoint
+        flattens it to the wire-friendly dict shape."""
+        health = self.scheduler.health().as_dict()
         health["registry"] = self.registry.stats()
         return health
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition: scheduler counters/histograms,
+        live queue/backlog/breaker gauges, wire-codec instruments (once
+        :func:`repro.obs.enable` is on), and per-plan calibration
+        ratios."""
+        return self.scheduler.render_metrics()
 
     def shutdown(self) -> None:
         self.scheduler.shutdown()

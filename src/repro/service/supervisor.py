@@ -168,7 +168,7 @@ class Supervisor:
             setattr(self, counter, getattr(self, counter) + 1)
 
     async def supervise(self, attempt_fn, estimate_s: float | None = None,
-                        label: str = "job"):
+                        label: str = "job", span=None):
         """Run ``attempt_fn(cancel_event)`` on the pool to completion.
 
         Returns ``(result, attempts_taken)``; raises the final
@@ -176,6 +176,12 @@ class Supervisor:
         gets the full priced deadline; on timeout the attempt's cancel
         event is set (the executor aborts at the next node boundary)
         and the attempt's eventual result is discarded.
+
+        ``span`` is an optional :class:`repro.obs.trace.Span`: every
+        backoff taken opens a ``retry_backoff`` child recording the
+        retry number, the jittered delay actually slept, and the error
+        class that triggered it — the retry schedule becomes visible in
+        the job's trace instead of reading as unexplained dead time.
         """
         loop = asyncio.get_running_loop()
         deadline = self.deadline_for(estimate_s)
@@ -201,7 +207,14 @@ class Supervisor:
                 exc = caught
             if is_transient(exc) and attempt < self.config.max_retries:
                 self._bump("retries")
-                await asyncio.sleep(self.backoff_delay(attempt))
+                delay = self.backoff_delay(attempt)
+                if span is not None:
+                    with span.child("retry_backoff", cat="sched",
+                                    retry=attempt + 1, delay_s=delay,
+                                    error=type(exc).__name__):
+                        await asyncio.sleep(delay)
+                else:
+                    await asyncio.sleep(delay)
                 attempt += 1
                 continue
             self._bump("failures")

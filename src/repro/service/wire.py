@@ -54,6 +54,17 @@ from repro.ckks.cipher import Ciphertext, Plaintext
 from repro.ckks.keys import EvaluationKey, PublicKey
 from repro.ckks.params import CkksParams, PrimeContext, RingContext
 from repro.ckks.rns import RnsPolynomial
+from repro.obs import metrics as _obs_metrics
+
+#: Gated boundary instruments (no-ops until ``repro.obs.enable()``):
+#: blob and byte counts per object kind and direction, the traffic-rate
+#: view of the serving boundary.
+_WIRE_BLOBS = _obs_metrics.default_registry().counter(
+    "fhe_wire_blobs_total", "wire blobs crossing the serving boundary",
+    ("kind", "direction"))
+_WIRE_BYTES = _obs_metrics.default_registry().counter(
+    "fhe_wire_bytes_total", "wire bytes crossing the serving boundary",
+    ("direction",))
 
 MAGIC = b"BTSW"
 VERSION = 1
@@ -83,6 +94,9 @@ class ObjectKind(IntEnum):
 def _frame(kind: ObjectKind, digest: bytes, body: bytes) -> bytes:
     total = _HEADER.size + len(body) + _CRC.size
     head = _HEADER.pack(MAGIC, VERSION, kind, total, digest)
+    if _obs_metrics._ENABLED:
+        _WIRE_BLOBS.inc(kind=kind.name, direction="serialize")
+        _WIRE_BYTES.inc(total, direction="serialize")
     return head + body + _CRC.pack(zlib.crc32(head + body))
 
 
@@ -158,6 +172,9 @@ def _open(blob: bytes, expect_kind: ObjectKind,
             f"params digest mismatch: blob was produced under "
             f"{blob_digest.hex()}, this ring is {digest.hex()} — "
             "incompatible parameter sets")
+    if _obs_metrics._ENABLED:
+        _WIRE_BLOBS.inc(kind=kind.name, direction="deserialize")
+        _WIRE_BYTES.inc(len(blob), direction="deserialize")
     return _Reader(blob, _HEADER.size, len(blob) - _CRC.size)
 
 

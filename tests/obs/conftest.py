@@ -1,0 +1,51 @@
+"""Obs-tier fixtures: server/client factories on the session ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.server import FheServer, TenantClient
+
+
+@pytest.fixture()
+def make_server(small_params, small_ring):
+    """Factory for servers sharing the session ring (cheap per-test)."""
+
+    def build(config=None, byte_budget=None) -> FheServer:
+        return FheServer(small_params, config=config,
+                         byte_budget=byte_budget, ring=small_ring)
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def _client_cache(small_ring):
+    return {}
+
+
+@pytest.fixture()
+def make_client(small_ring, _client_cache):
+    """Clients keyed by (tenant, seed) — keygen is the expensive part."""
+
+    from repro.service.wire import serialize_params
+
+    params_blob = serialize_params(small_ring.params)
+
+    def build(tenant_id: str, seed: int) -> TenantClient:
+        key = (tenant_id, seed)
+        if key not in _client_cache:
+            _client_cache[key] = TenantClient(tenant_id, params_blob,
+                                              seed=seed, ring=small_ring)
+        return _client_cache[key]
+
+    return build
+
+
+@pytest.fixture()
+def obs_disabled():
+    """Guarantee the gated fast path is off before and after a test."""
+    from repro import obs
+
+    obs.disable()
+    yield
+    obs.disable()

@@ -1,0 +1,114 @@
+"""Calibration recorder: ratio stats, slow-job log, exposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.calibration import CalibrationRecorder
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 50.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestRecord:
+    def test_ratio_and_summary_stats(self):
+        recorder = CalibrationRecorder()
+        assert recorder.record("plan-a", 0.001, 0.002,
+                               program="prog") == pytest.approx(2.0)
+        recorder.record("plan-a", 0.001, 0.004, program="prog")
+        recorder.record("plan-a", 0.001, 0.003, program="prog")
+        [stats] = recorder.summary().values()
+        assert stats["program"] == "prog"
+        assert stats["count"] == 3
+        assert stats["ratio_mean"] == pytest.approx(3.0)
+        assert stats["ratio_min"] == pytest.approx(2.0)
+        assert stats["ratio_max"] == pytest.approx(4.0)
+        assert stats["ratio_p50"] == pytest.approx(3.0)
+        assert stats["last_actual_s"] == pytest.approx(0.003)
+        assert recorder.stats() == {"plans": 1, "records": 3,
+                                    "slow_detected": 0}
+
+    def test_shared_plan_key_accumulates_all_program_names(self):
+        """Structurally identical programs share a plan key; the entry
+        must remember every name (the cross-tenant cache case)."""
+        recorder = CalibrationRecorder()
+        recorder.record("k", 0.001, 0.002, program="alice-stencil")
+        recorder.record("k", 0.001, 0.002, program="bob-stencil")
+        [stats] = recorder.summary().values()
+        assert stats["programs"] == ["alice-stencil", "bob-stencil"]
+        assert stats["program"] == "bob-stencil"  # latest writer
+
+    def test_nonpositive_estimate_rejected(self):
+        recorder = CalibrationRecorder()
+        with pytest.raises(ValueError, match="estimate_s"):
+            recorder.record("k", 0.0, 1.0)
+
+    def test_nonpositive_slow_factor_rejected(self):
+        with pytest.raises(ValueError, match="slow_factor"):
+            CalibrationRecorder(slow_factor=0.0)
+
+    def test_quantile_window_is_bounded(self):
+        recorder = CalibrationRecorder(window=4)
+        for index in range(10):
+            recorder.record("k", 1.0, float(index + 1))
+        [stats] = recorder.summary().values()
+        # window keeps the last 4 ratios (7..10); min/max are lifetime
+        assert stats["ratio_min"] == pytest.approx(1.0)
+        assert stats["ratio_max"] == pytest.approx(10.0)
+        assert stats["ratio_p50"] == pytest.approx(8.5)
+
+
+class TestSlowJobLog:
+    def test_detection_uses_factor_and_clock(self):
+        clock = FakeClock()
+        recorder = CalibrationRecorder(slow_factor=3.0, clock=clock)
+        recorder.record("k", 0.010, 0.029, tenant="a", program="p")
+        assert recorder.slow_jobs() == []       # 2.9x < 3x: fine
+        clock.now = 77.0
+        recorder.record("k", 0.010, 0.031, tenant="a", program="p")
+        [slow] = recorder.slow_jobs()
+        assert slow.plan_key == "k"
+        assert slow.tenant == "a"
+        assert slow.program == "p"
+        assert slow.ratio == pytest.approx(3.1)
+        assert slow.at_s == 77.0
+        assert recorder.stats()["slow_detected"] == 1
+
+    def test_log_is_bounded_but_counter_is_not(self):
+        recorder = CalibrationRecorder(slow_factor=1.0, max_slow_log=3)
+        for index in range(10):
+            recorder.record("k", 0.001, 0.005, program=f"p{index}")
+        log = recorder.slow_jobs()
+        assert len(log) == 3
+        assert [slow.program for slow in log] == ["p7", "p8", "p9"]
+        assert recorder.stats()["slow_detected"] == 10
+
+    def test_no_factor_means_no_log(self):
+        recorder = CalibrationRecorder(slow_factor=None)
+        recorder.record("k", 0.001, 100.0)
+        assert recorder.slow_jobs() == []
+
+
+class TestRenderPrometheus:
+    def test_exposition_contains_quantiles_and_slow_counter(self):
+        recorder = CalibrationRecorder(slow_factor=1.5)
+        recorder.record("plan-key-abcdef0123456789", 0.001, 0.002,
+                        program="prog")
+        text = recorder.render_prometheus()
+        assert "# TYPE fhe_calibration_ratio summary" in text
+        assert 'program="prog"' in text
+        assert 'quantile="0.5"' in text
+        assert 'quantile="0.9"' in text
+        assert "fhe_calibration_ratio_count" in text
+        assert "fhe_calibration_slow_jobs_total 1" in text
+        # plan label is truncated to a readable 16-char prefix
+        assert 'plan="plan-key-abcdef0"' in text
+
+    def test_empty_recorder_still_renders(self):
+        text = CalibrationRecorder().render_prometheus()
+        assert "fhe_calibration_slow_jobs_total 0" in text

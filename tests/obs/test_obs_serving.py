@@ -1,0 +1,284 @@
+"""End-to-end observability through the serving stack.
+
+A traced two-tenant batched run must produce a parent/child-consistent
+span tree covering scheduler -> supervisor -> executor -> kernel,
+calibration entries for every executed plan, per-tenant counters in the
+typed health snapshot — and, with everything disabled, byte-identical
+output blobs to an untraced run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import kernel as obs_kernel
+from repro.obs.trace import Tracer, validate_chrome_trace
+from repro.runtime import Program
+from repro.service import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    HealthSnapshot,
+    JobRequest,
+    ServiceConfig,
+    SupervisionConfig,
+    TenantHealth,
+)
+
+AMOUNTS = (1, 2, 3)
+
+
+def stencil_program(amounts, name, n_slots=8):
+    prog = Program(n_slots=n_slots, name=name)
+    x = prog.input("x")
+    acc = x * 0.5
+    for amount in amounts:
+        acc = acc + x.rotate(amount) * 0.25
+    prog.output("out", acc)
+    return prog
+
+
+def serve(server, requests, return_exceptions=True):
+    async def run():
+        server.scheduler.start()
+        try:
+            return await asyncio.gather(
+                *(server.scheduler.submit(r) for r in requests),
+                return_exceptions=return_exceptions)
+        finally:
+            await server.scheduler.stop()
+
+    return asyncio.run(run())
+
+
+def onboard(server, client, amounts=AMOUNTS):
+    server.open_session(client.tenant_id, client.hello_blob())
+    server.register_keys(client.tenant_id, relin=client.relin_blob(),
+                         galois=client.galois_blob(amounts))
+
+
+def two_tenant_requests(make_client, server):
+    requests = []
+    for tenant, seed in (("alice", 7), ("bob", 13)):
+        client = make_client(tenant, seed)
+        onboard(server, client)
+        blob = client.encrypt_blob(np.linspace(-0.3, 0.3, 8))
+        requests += [
+            JobRequest(tenant, stencil_program(AMOUNTS, f"{tenant}-s0"),
+                       {"x": blob}),
+            JobRequest(tenant, stencil_program(AMOUNTS[:2],
+                                               f"{tenant}-s1"),
+                       {"x": blob}),
+        ]
+    return requests
+
+
+class TestTracedServing:
+    @pytest.fixture()
+    def traced_run(self, make_server, make_client, obs_disabled):
+        obs.enable()
+        tracer = Tracer()
+        server = make_server(ServiceConfig(
+            workers=2, max_batch=8, batch_window_s=0.05,
+            max_job_seconds=5.0, tracer=tracer))
+        requests = two_tenant_requests(make_client, server)
+        results = serve(server, requests, return_exceptions=False)
+        obs.disable()
+        yield server, tracer, requests, results
+        server.shutdown()
+
+    def test_span_tree_covers_every_pipeline_layer(self, traced_run):
+        server, tracer, requests, results = traced_run
+        assert all(result.attempts == 1 for result in results)
+        job_roots = [span for span in tracer.roots
+                     if span.cat == "job"]
+        assert {span.name for span in job_roots} == {
+            f"{r.tenant}/{r.program.name}" for r in requests}
+        for root in job_roots:
+            names = [child.name for child in root.children]
+            assert names[:1] == ["queue_wait"]
+            assert "admit" in names
+            assert "decode_inputs" in names
+            assert "supervise" in names
+            [supervise] = [c for c in root.children
+                           if c.name == "supervise"]
+            [attempt] = supervise.children
+            assert attempt.name == "execute_attempt"
+            assert attempt.args["attempt"] == 1
+            ops = [c for c in attempt.children if c.cat == "op"]
+            assert ops, "executor emitted no op spans"
+            op_names = {op.name for op in ops}
+            assert "input" in op_names
+            assert "hrot" in op_names
+            # kernel layer: executor ops that did kernel work carry the
+            # tally deltas (constant encode = one NTT pass per limb)
+            assert any("ntt_forward" in op.args for op in ops)
+            for op in ops:
+                if op.name == "hrot":
+                    assert "rotation" in op.args
+            # every span is closed — no unfinished leftovers
+            for span in [root, supervise, attempt, *ops]:
+                assert span.t1 is not None
+        batch_roots = [span for span in tracer.roots
+                       if span.name == "batch_assembly"]
+        assert batch_roots
+        assert sum(span.args["admitted"] for span in batch_roots) \
+            == len(requests)
+        # both tenants rotate distinct blobs, so coalescing groups per
+        # tenant (same tenant, same digest, two jobs each) — and the
+        # hoisted galois raise done here carries the kernel deltas that
+        # the seeded per-job hrot spans consequently lack
+        group_spans = [child for span in batch_roots
+                       for child in span.children
+                       if child.name == "coalesce_group"]
+        assert {span.args["tenant"] for span in group_spans} \
+            == {"alice", "bob"}
+        for group in group_spans:
+            assert group.args["members"] == 2
+            assert group.args["ntt_forward"] > 0
+            assert group.args["moddown"] > 0
+
+    def test_chrome_export_is_schema_valid(self, traced_run, tmp_path):
+        _, tracer, _, _ = traced_run
+        trace = tracer.chrome_trace()
+        assert validate_chrome_trace(trace) == []
+        path = tmp_path / "serving_trace.json"
+        assert tracer.write(path) == len(trace["traceEvents"])
+
+    def test_metrics_text_reports_every_plan_calibration(
+            self, traced_run):
+        server, _, requests, _ = traced_run
+        summary = server.scheduler.calibration.summary()
+        calibrated = {name for stats in summary.values()
+                      for name in stats["programs"]}
+        assert {r.program.name for r in requests} <= calibrated
+        text = server.metrics_text()
+        assert 'fhe_jobs_total{tenant="alice",outcome="completed"} 2' \
+            in text
+        assert 'fhe_jobs_total{tenant="bob",outcome="completed"} 2' \
+            in text
+        assert "fhe_plan_cache_total" in text
+        assert "fhe_calibration_ratio" in text
+        assert "fhe_job_queue_wait_seconds_count" in text
+        # the gated wire-codec counters were live during the run
+        assert 'fhe_wire_blobs_total{kind="CIPHERTEXT",' in text
+
+    def test_health_is_typed_with_tenant_and_cache_counters(
+            self, traced_run):
+        server, _, _, _ = traced_run
+        snapshot = server.scheduler.health()
+        assert isinstance(snapshot, HealthSnapshot)
+        assert isinstance(snapshot.tenants.get("alice"), TenantHealth)
+        assert snapshot.tenants["alice"].jobs_completed == 2
+        assert snapshot.tenants["bob"].jobs_completed == 2
+        health = server.health()
+        # original dict shape preserved (the PR-6 contract)...
+        for key in ("queue_depth", "backlog_jobs", "backlog_seconds",
+                    "max_queue_jobs", "backlog_budget_s", "tenants",
+                    "counters", "registry"):
+            assert key in health
+        assert health["counters"]["jobs_completed"] == 4
+        assert health["tenants"]["alice"]["consecutive_failures"] == 0
+        # ...and the additive observability fields ride along
+        assert health["tenants"]["alice"]["jobs_completed"] == 2
+        # 4 structurally distinct programs -> 2 unique plans, reused
+        # across tenants: hits + misses == lookups, misses == plans
+        assert health["plan_cache"]["misses"] == 2
+        assert health["plan_cache"]["hits"] == 2
+        assert health["calibration"]["plans"] == 2
+        assert health["calibration"]["records"] == 4
+
+
+class TestRetrySpans:
+    def test_backoff_is_recorded_with_attempt_and_delay(
+            self, make_server, make_client):
+        tracer = Tracer()
+        plan = FaultPlan([FaultSpec(FaultKind.TRANSIENT, tenant="alice",
+                                    program="flaky")], seed=11)
+        server = make_server(ServiceConfig(
+            workers=1, tracer=tracer, fault_plan=plan,
+            supervision=SupervisionConfig(
+                deadline_multiplier=0.0, deadline_floor_s=10.0,
+                max_retries=2, backoff_base_s=0.01, backoff_cap_s=0.02,
+                seed=7)))
+        client = make_client("alice", 7)
+        onboard(server, client)
+        request = JobRequest("alice", stencil_program((1,), "flaky"),
+                             {"x": client.encrypt_blob(np.ones(8) * 0.1)})
+        [result] = serve(server, [request], return_exceptions=False)
+        server.shutdown()
+        assert result.attempts == 2
+        [root] = [s for s in tracer.roots if s.cat == "job"]
+        [supervise] = [c for c in root.children if c.name == "supervise"]
+        assert supervise.args["attempts"] == 2
+        names = [c.name for c in supervise.children]
+        assert names == ["execute_attempt", "retry_backoff",
+                         "execute_attempt"]
+        first, backoff, second = supervise.children
+        assert first.args["error"] == "InjectedTransient"
+        assert backoff.args["retry"] == 1
+        assert backoff.args["error"] == "InjectedTransient"
+        assert 0.0 <= backoff.args["delay_s"] <= 0.02
+        assert backoff.duration_s >= backoff.args["delay_s"] * 0.5
+        assert second.args["attempt"] == 2
+        assert "error" not in second.args
+
+
+class TestDisabledModeIdentity:
+    def test_untraced_disabled_run_is_byte_identical(
+            self, make_server, make_client, obs_disabled):
+        """Tracing + gated instruments must never change a result bit."""
+        client = make_client("alice", 7)
+        blob = client.encrypt_blob(np.linspace(-0.2, 0.2, 8))
+        request = JobRequest("alice", stencil_program(AMOUNTS, "ident"),
+                             {"x": blob})
+
+        def run_once(config):
+            server = make_server(config)
+            onboard(server, client)
+            [result] = serve(server, [request], return_exceptions=False)
+            server.shutdown()
+            return result.outputs
+
+        plain = run_once(ServiceConfig(workers=1, max_job_seconds=5.0))
+        obs.enable()
+        traced = run_once(ServiceConfig(workers=1, max_job_seconds=5.0,
+                                        tracer=Tracer()))
+        obs.disable()
+        assert plain.keys() == traced.keys()
+        for name in plain:
+            assert plain[name] == traced[name]
+
+    def test_kernel_tallies_are_inert_when_disabled(self, small_ring,
+                                                    obs_disabled):
+        obs_kernel.reset()
+        prime = small_ring.q_primes[0]
+        data = np.arange(small_ring.n, dtype=np.uint64) % prime.value
+        prime.ntt.forward(data)
+        prime.ntt.inverse(data)
+        assert all(count == 0 for count in obs_kernel.snapshot().values())
+
+    def test_kernel_tallies_count_when_enabled(self, small_ring,
+                                               obs_disabled):
+        obs.enable()
+        obs_kernel.reset()
+        prime = small_ring.q_primes[0]
+        data = np.arange(small_ring.n, dtype=np.uint64) % prime.value
+        before = obs_kernel.snapshot()
+        prime.ntt.forward(data)
+        prime.ntt.forward(data)
+        prime.ntt.inverse(data)
+        delta = obs_kernel.delta(before)
+        assert delta["ntt_forward"] == 2
+        assert delta["ntt_inverse"] == 1
+        base = small_ring.base_qp(small_ring.max_level)
+        matrix = np.stack([np.arange(small_ring.n, dtype=np.uint64)
+                           % p.value for p in base])
+        before = obs_kernel.snapshot()
+        small_ring.batched_ntt(base).forward(matrix)
+        assert obs_kernel.delta(before)["ntt_forward"] == len(base)
+        obs.disable()
