@@ -155,8 +155,16 @@ def bench_rotation_batch(ev, ct, reps: int) -> dict[str, tuple[float, int]]:
     one NTT-domain internally).  All three produce bit-identical
     ciphertexts, so the ratios are pure scheduling wins — the kernels
     that gate the CoeffToSlot/SlotToCoeff baby-step path.
+    ``rotation_batch_fused`` runs the same amounts as one
+    ``rotate_reduce`` gather-accumulate (``fusion_moddown="single"``):
+    the whole sum pays a single ModDown, so its pairing against
+    ``rotation_batch_ntt_domain`` — measured back to back in this
+    process — is the optimizer's A/B evidence.
     """
+    from repro.ckks.evaluator import ReduceTerm
+
     amounts = list(ROTATION_BATCH_AMOUNTS)
+    terms = [ReduceTerm(amount=a) for a in amounts]
 
     def sequential():
         for amount in amounts:
@@ -173,7 +181,42 @@ def bench_rotation_batch(ev, ct, reps: int) -> dict[str, tuple[float, int]]:
              reps),
         "rotation_batch_sequential":
             (_median_seconds(sequential, reps), reps),
+        "rotation_batch_fused":
+            (_median_seconds(lambda: ev.rotate_reduce(ct, terms), reps),
+             reps),
     }
+
+
+def rotation_fusion_tallies(ev, ct) -> dict:
+    """Static kernel-tally A/B of the fused rotate-reduce path.
+
+    Counts the batched-engine work (NTT passes, BConv planes, ModDowns)
+    of summing all :data:`ROTATION_BATCH_AMOUNTS` rotations the unfused
+    way (NTT-domain hoisted batch + adds) and as one fused
+    ``rotate_reduce``.  Tallies are deterministic per code version —
+    wall-clock noise cannot hide a pass-count regression — so they ship
+    in the benchmark payload next to the paired medians.
+    """
+    from repro import obs
+    from repro.ckks.evaluator import ReduceTerm
+    from repro.obs import kernel as K
+
+    amounts = list(ROTATION_BATCH_AMOUNTS)
+    obs.enable()
+    try:
+        K.reset()
+        rotations = ev.rotate_hoisted(ct, amounts)
+        acc = None
+        for amount in amounts:
+            acc = rotations[amount] if acc is None \
+                else ev.add(acc, rotations[amount])
+        unfused = K.snapshot()
+        K.reset()
+        ev.rotate_reduce(ct, [ReduceTerm(amount=a) for a in amounts])
+        fused = K.snapshot()
+    finally:
+        obs.disable()
+    return {"unfused_ntt_domain": unfused, "fused_single": fused}
 
 
 def bench_service(ring, reps: int
@@ -421,6 +464,7 @@ def main() -> None:
     kernels.update(bench_rotation_batch(ev, ct,
                                         max(1, reps if args.smoke
                                             else reps // 2)))
+    fusion_tallies = rotation_fusion_tallies(ev, ct)
     service_kernels, service_calibration = bench_service(
         ring, max(1, reps if args.smoke else reps // 2))
     kernels.update(service_kernels)
@@ -445,6 +489,11 @@ def main() -> None:
         # NTT engine on the benchmark base, so pass-count regressions
         # show up in review even when wall-clock noise hides them.
         "ntt_pass_counts": ring.batched_ntt(full_base).pass_counts(),
+        # deterministic fused-vs-unfused kernel tallies for the
+        # rotate-reduce optimizer: the pass-count side of the
+        # rotation_batch_fused / rotation_batch_ntt_domain pairing,
+        # immune to runner wall-clock noise
+        "rotation_fusion_tallies": fusion_tallies,
         # actual/estimate ratio stats per plan for the batched-throughput
         # server (admission pricing on): the simulator-to-host gap the
         # serving deadline multiplier must absorb, stamped per run.

@@ -9,6 +9,8 @@ drop to the coefficient domain, mirroring the hardware's
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.ckks.cipher import Ciphertext, Plaintext
@@ -27,6 +29,24 @@ from repro.ckks.rns import RnsPolynomial, exact_residue_transfer
 #: parts-in-1e4; tolerating it injects relative message error of the
 #: same magnitude, far below the noise floor.
 SCALE_RTOL = 1e-3
+
+
+@dataclass(frozen=True)
+class ReduceTerm:
+    """One member of a fused rotate-reduce: ``sign * weight * galois(ct)``.
+
+    ``amount`` is the slot-rotation amount (``0`` means the identity —
+    the un-rotated ciphertext itself) and ``None`` means conjugation.
+    ``weight`` is an optional plaintext factor: a slot vector
+    (:class:`numpy.ndarray`) takes the PMult path, a scalar the CMult
+    path; ``weight_scale`` pins its encoding scale (``None``: the
+    level's top prime, the evaluator default).
+    """
+
+    amount: int | None
+    sign: int = 1
+    weight: object = None
+    weight_scale: float | None = None
 
 
 class Evaluator:
@@ -340,6 +360,194 @@ class Evaluator:
             raise ValueError("conjugation key not available")
         return self._apply_galois(ct, 2 * self.ring.n - 1,
                                   self.conjugation_key)
+
+    # ----- fused rotate-reduce -------------------------------------------------
+
+    def _reduce_galois_elt(self, amount: int | None
+                           ) -> tuple[int, EvaluationKey]:
+        """(galois element, evk) for one non-identity ReduceTerm."""
+        if amount is None:
+            if self.conjugation_key is None:
+                raise ValueError("conjugation key not available")
+            return 2 * self.ring.n - 1, self.conjugation_key
+        evk = self.rotation_keys.get(amount)
+        if evk is None:
+            raise ValueError(f"no rotation key for amount {amount}")
+        return pow(5, amount, 2 * self.ring.n), evk
+
+    def rotate_reduce(self, ct: Ciphertext, terms: list[ReduceTerm],
+                      mode: str = "single") -> Ciphertext:
+        """``sum_i sign_i * weight_i * galois_i(ct)`` from one raise.
+
+        The whole rotate-reduce tree shares a single NTT-domain raise of
+        ``ct.a``; each non-identity term is an evaluation-point gather
+        plus an evk inner product (:func:`~repro.ckks.keyswitch
+        .key_switch_accumulate`).  What happens to the accumulators
+        depends on ``mode``:
+
+        * ``"stacked"`` — every member's ``(b, a)`` accumulator pair
+          rides one :func:`~repro.ckks.keyswitch.mod_down_many`
+          dispatch, members materialize fully, weights/signs/additions
+          apply in ``C_level``.  **Bit-identical** to executing the tree
+          as discrete rotate/weight/add ops (the ModDown count is
+          unchanged — this mode fuses dispatches, not arithmetic).
+        * ``"single"`` (default) — the double-hoisting trick of
+          :meth:`~repro.ckks.linear_transform.LinearTransform.apply`
+          generalized: weighted accumulation happens in the P-scaled
+          extended base ``C_level + B`` and the whole tree pays **one**
+          ModDown (one :func:`~repro.ckks.keyswitch.mod_down_pair`).
+          Identity terms stay exact in ``C_level`` (no extension
+          round-trip); only the key-switch halves share the fused
+          ModDown, so the BConv approximation enters once per tree
+          instead of once per member — noise-level rounding shifts
+          exactly like the PR-4 double-hoisted BSGS, which is why this
+          mode is tolerance-tested rather than bit-identity-tested.
+
+        Every term's output scale must match (the planner guarantees
+        this for fused trees); the result carries the first term's.
+        """
+        from repro.ckks.keyswitch import (
+            galois_raised,
+            key_switch_accumulate,
+            mod_down_many,
+            mod_down_pair,
+            raise_decomposition,
+        )
+
+        if mode not in ("single", "stacked"):
+            raise ValueError(f"unknown rotate_reduce mode {mode!r}")
+        if not terms:
+            raise ValueError("rotate_reduce needs at least one term")
+        ring = self.ring
+        level = ct.level
+        galois_terms = [t for t in terms if t.amount != 0]
+        raised = (raise_decomposition(ct.a, level, ring)
+                  if galois_terms else None)
+
+        if mode == "stacked":
+            return self._rotate_reduce_stacked(ct, terms, raised)
+
+        base_q = ring.base_q(level)
+        base_qp = ring.base_qp(level)
+        b_acc = a_acc = None          # exact accumulators over C_level
+        ks_b_acc = ks_a_acc = None    # P-scaled accumulators, C_level + B
+        out_scale = None
+
+        def accumulate(acc, poly, sign):
+            if sign < 0:
+                poly = poly.neg()
+            return poly if acc is None else acc.add(poly)
+
+        for term in terms:
+            scale = term.weight_scale
+            if term.weight is not None and scale is None:
+                scale = float(ring.q_primes[level].value)
+            term_scale = ct.scale * (scale if term.weight is not None
+                                     else 1.0)
+            if out_scale is None:
+                out_scale = term_scale
+            elif abs(term_scale - out_scale) > SCALE_RTOL * out_scale:
+                raise ValueError(
+                    f"rotate_reduce term scales diverge: {term_scale:.6g}"
+                    f" vs {out_scale:.6g}")
+            weight_qp = weight_q = None
+            if term.weight is not None:
+                if isinstance(term.weight, np.ndarray):
+                    weight_qp = self.encoder.encode(
+                        np.asarray(term.weight, dtype=np.complex128),
+                        scale, base=base_qp).poly
+                else:
+                    weight_qp = self.encoder.encode_scalar(
+                        complex(term.weight), scale, base_qp).poly
+                # The q-prime rows of a C_level+B encoding are exactly
+                # the C_level encoding (same rounded integers, same
+                # residue spread), so one encode serves both halves.
+                weight_q = weight_qp.restrict(base_q)
+            if term.amount == 0:
+                b_part, a_part = ct.b, ct.a
+                if weight_q is not None:
+                    b_part, a_part = b_part.mul(weight_q), \
+                        a_part.mul(weight_q)
+                b_acc = accumulate(b_acc, b_part, term.sign)
+                a_acc = accumulate(a_acc, a_part, term.sign)
+                continue
+            galois_elt, evk = self._reduce_galois_elt(term.amount)
+            ks_b, ks_a = key_switch_accumulate(
+                galois_raised(raised, galois_elt), evk, level, ring)
+            b_rot = ct.b.galois(galois_elt)
+            if weight_q is not None:
+                b_rot = b_rot.mul(weight_q)
+                ks_b, ks_a = ks_b.mul(weight_qp), ks_a.mul(weight_qp)
+            b_acc = accumulate(b_acc, b_rot, term.sign)
+            ks_b_acc = accumulate(ks_b_acc, ks_b, term.sign)
+            ks_a_acc = accumulate(ks_a_acc, ks_a, term.sign)
+        if ks_b_acc is not None:
+            ks_b_md, ks_a_md = mod_down_pair(ks_b_acc, ks_a_acc, level,
+                                             ring)
+            b_acc = ks_b_md.neg() if b_acc is None else b_acc.sub(ks_b_md)
+            a_acc = ks_a_md.neg() if a_acc is None else a_acc.sub(ks_a_md)
+        return Ciphertext(b_acc, a_acc, out_scale, ct.n_slots)
+
+    def _rotate_reduce_stacked(self, ct: Ciphertext,
+                               terms: list[ReduceTerm],
+                               raised) -> Ciphertext:
+        """Bit-identical rotate-reduce: one stacked ModDown dispatch.
+
+        Members materialize exactly as :meth:`_galois_from_raised`
+        would produce them (all accumulator halves share one
+        :func:`~repro.ckks.keyswitch.mod_down_many` call, which is
+        bit-identical to per-member ModDowns), then weights, signs and
+        additions run as the discrete ops — residue arithmetic is
+        exactly associative, so any accumulation order matches the
+        unfused tree bit for bit.
+        """
+        from repro.ckks.keyswitch import (
+            galois_raised,
+            key_switch_accumulate,
+            mod_down_many,
+        )
+
+        ring = self.ring
+        level = ct.level
+        pending: list[RnsPolynomial] = []
+        for term in terms:
+            if term.amount == 0:
+                continue
+            galois_elt, evk = self._reduce_galois_elt(term.amount)
+            acc_b, acc_a = key_switch_accumulate(
+                galois_raised(raised, galois_elt), evk, level, ring)
+            pending.extend((acc_b, acc_a))
+        lowered = mod_down_many(pending, level, ring)
+        acc: Ciphertext | None = None
+        index = 0
+        for term in terms:
+            if term.amount == 0:
+                member = ct
+            else:
+                galois_elt, _ = self._reduce_galois_elt(term.amount)
+                ks_b, ks_a = lowered[index], lowered[index + 1]
+                index += 2
+                member = Ciphertext(ct.b.galois(galois_elt).sub(ks_b),
+                                    ks_a.neg(), ct.scale, ct.n_slots)
+            if term.weight is not None:
+                if isinstance(term.weight, np.ndarray):
+                    scale = term.weight_scale
+                    if scale is None:
+                        scale = float(ring.q_primes[level].value)
+                    pt = self.encoder.encode(
+                        np.asarray(term.weight, dtype=np.complex128),
+                        scale, level=member.level)
+                    member = self.multiply_plain(member, pt)
+                else:
+                    member = self.multiply_scalar(
+                        member, term.weight, scale=term.weight_scale)
+            if acc is None:
+                acc = self.negate(member) if term.sign < 0 else member
+            elif term.sign < 0:
+                acc = self.sub(acc, member)
+            else:
+                acc = self.add(acc, member)
+        return acc
 
     # ----- encryption / decryption (pk optional, sk for tests) ----------------------
 

@@ -161,6 +161,45 @@ def mod_down_pair(poly_b: RnsPolynomial, poly_a: RnsPolynomial, level: int,
     return outs[0], outs[1]
 
 
+def mod_down_many(polys: list[RnsPolynomial], level: int,
+                  ring: RingContext) -> list[RnsPolynomial]:
+    """ModDown every polynomial of ``polys`` through one stacked tail.
+
+    Generalizes :func:`mod_down_pair` from two polynomials to any
+    count: one stacked iNTT over all special-prime parts, one BConv
+    whose coefficient axis holds every polynomial side by side, one
+    stacked NTT over all corrections.  Bit-identical to calling
+    :func:`mod_down` per polynomial (the pair variant's invariant,
+    unchanged by width) — this is what lets a fused rotate-reduce tree
+    ModDown all of its members in one dispatch without perturbing a
+    single output bit.
+    """
+    if not polys:
+        return []
+    base_q = ring.base_q(level)
+    base_p = ring.base_p
+    if _obs_kernel._ENABLED:
+        _obs_kernel.TALLY.moddown += len(polys)  # logical count, fused
+    n = polys[0].n
+    coeffs = StackedTransform.inverse(
+        [RnsPolynomial(base_p, poly.residues[level + 1:], True)
+         for poly in polys])
+    paired = RnsPolynomial(
+        base_p, np.concatenate([c.residues for c in coeffs], axis=1),
+        False)
+    converted = base_convert(paired, base_q)
+    corrections = StackedTransform.forward(
+        [RnsPolynomial(base_q, converted.residues[:, i * n:(i + 1) * n],
+                       False)
+         for i in range(len(polys))])
+    cols, cols_shoup = ring.p_inv_scalar_columns(level)
+    outs = []
+    for poly, corr in zip(polys, corrections):
+        q_part = RnsPolynomial(base_q, poly.residues[:level + 1], True)
+        outs.append(q_part.sub(corr).mul_scalar_columns(cols, cols_shoup))
+    return outs
+
+
 def hoist_decomposition(poly: RnsPolynomial, level: int, ring: RingContext
                         ) -> tuple[tuple[RnsPolynomial, RnsPolynomial], ...]:
     """The rotation-independent half of a *coefficient-domain* hoist.

@@ -7,9 +7,11 @@ placement) and a cycle-level BTS timing estimate (lowered to the
 :mod:`repro.core` simulator's HEOp trace) from the same definition.
 """
 
-from repro.runtime.executor import ExecutionCancelled, ExecutionError, execute
+from repro.runtime.executor import ExecutionCancelled, ExecutionError, \
+    execute, execute_subgraph
 from repro.runtime.ir import Expr, Node, OpCode, Program
 from repro.runtime.lowering import LoweredProgram, lower_to_trace
+from repro.runtime.optimizer import FusedReduce, FusedTerm, optimize_plan
 from repro.runtime.planner import (
     NodeMeta,
     Plan,
@@ -26,6 +28,8 @@ __all__ = [
     "ExecutionCancelled",
     "ExecutionError",
     "Expr",
+    "FusedReduce",
+    "FusedTerm",
     "LoweredProgram",
     "Node",
     "NodeMeta",
@@ -37,7 +41,9 @@ __all__ = [
     "Program",
     "RotationBatch",
     "execute",
+    "execute_subgraph",
     "lower_to_trace",
+    "optimize_plan",
     "plan_cache_key",
     "plan_program",
     "structural_hash",

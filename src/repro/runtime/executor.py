@@ -1,14 +1,20 @@
 """Plan executor: runs a planned op graph against the functional library.
 
 The executor is deliberately thin — all scheduling decisions (rescale
-placement, bootstrap insertion, rotation batching) were made by the
-planner; here every node becomes exactly one
-:class:`~repro.ckks.evaluator.Evaluator` call, except galois batches
-(HRot and Conj nodes sharing a source), which collapse into a single
-:meth:`~repro.ckks.evaluator.Evaluator.galois_hoisted` call per source
-ciphertext: the raised NTT-domain decomposition stays alive across the
-whole batch, and every member is an evaluation-point gather + evk
-product + ModDown.
+placement, bootstrap insertion, rotation batching, rotate-reduce
+fusion) were made by the planner; here every node becomes exactly one
+:class:`~repro.ckks.evaluator.Evaluator` call, except:
+
+- galois batches (HRot and Conj nodes sharing a source), which collapse
+  into a single
+  :meth:`~repro.ckks.evaluator.Evaluator.galois_hoisted` call per
+  source ciphertext: the raised NTT-domain decomposition stays alive
+  across the whole batch, and every member is an evaluation-point
+  gather + evk product + ModDown;
+- fused rotate-reduce trees (:mod:`repro.runtime.optimizer`), where the
+  tree's *root* runs one
+  :meth:`~repro.ckks.evaluator.Evaluator.rotate_reduce` call and every
+  covered interior/leaf node is skipped entirely.
 
 Two runtime guarantees:
 
@@ -28,7 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ckks.cipher import Ciphertext
-from repro.ckks.evaluator import SCALE_RTOL, Evaluator
+from repro.ckks.evaluator import SCALE_RTOL, Evaluator, ReduceTerm
 from repro.obs import kernel as _obs_kernel
 from repro.runtime.ir import OpCode
 from repro.runtime.planner import Plan
@@ -61,7 +67,22 @@ def _seeded_result(plan: Plan, node, seeded_galois) -> Ciphertext | None:
     rotations, conjugated = entry
     if node.op is OpCode.CONJ:
         return conjugated
-    return rotations.get(node.rotation)
+    # The IR canonicalizes HRot amounts to [0, n_slots) at construction
+    # and the coalescer keys its union the same way; reduce here too so
+    # a plan built through a non-canonical path (hand-rolled Node
+    # lists in tests, future IR producers) still hits the seed instead
+    # of silently re-rotating.
+    return rotations.get(node.rotation % plan.program.n_slots)
+
+
+def _effective_args(plan: Plan, nid: int) -> tuple[int, ...]:
+    """Dataflow deps as executed: a fused root depends only on its source."""
+    idx = plan.fusion_of.get(nid)
+    if idx is not None:
+        fusion = plan.fusions[idx]
+        if fusion.root == nid:
+            return (fusion.source,)
+    return plan.nodes[nid].args
 
 
 def execute(plan: Plan, evaluator: Evaluator,
@@ -70,6 +91,7 @@ def execute(plan: Plan, evaluator: Evaluator,
             validate: bool = True,
             seeded_galois: dict[str, tuple[dict[int, Ciphertext],
                                            Ciphertext | None]] | None = None,
+            seeded_nodes: dict[int, Ciphertext] | None = None,
             should_cancel=None, span=None) -> dict[str, Ciphertext]:
     """Run ``plan`` and return the named output ciphertexts.
 
@@ -91,6 +113,14 @@ def execute(plan: Plan, evaluator: Evaluator,
     validation as everything else — since hoisted galois is bit-identical
     to sequential, seeding never changes a single output bit.
 
+    ``seeded_nodes`` maps *node ids* to already-computed ciphertexts —
+    the scheduler's cross-job CSE hook: when several queued jobs share
+    a plan-cache entry *and* the input ciphertexts a subgraph depends
+    on, that subgraph runs once (:func:`execute_subgraph`) and its
+    frontier values seed every member's execution.  A seeded node is
+    not executed, and any upstream node only it needed is skipped too;
+    seeded values still pass the per-node level/scale validation.
+
     ``should_cancel`` is an optional zero-argument callable polled
     before every node; when it returns true, execution aborts with
     :class:`ExecutionCancelled`.  This is the cooperative cancellation
@@ -106,23 +136,107 @@ def execute(plan: Plan, evaluator: Evaluator,
     deltas the node caused on this thread.  With ``span=None`` the
     execution path is byte-identical to an untraced run.
     """
-    program, config = plan.program, plan.config
-    missing = set(program.inputs) - set(inputs)
+    values = _run(plan, evaluator, inputs,
+                  targets=set(plan.outputs.values()),
+                  bootstrapper=bootstrapper, validate=validate,
+                  seeded_galois=seeded_galois, seeded_nodes=seeded_nodes,
+                  should_cancel=should_cancel, span=span)
+    return {name: values[nid] for name, nid in plan.outputs.items()}
+
+
+def execute_subgraph(plan: Plan, evaluator: Evaluator,
+                     inputs: dict[str, Ciphertext],
+                     node_ids, bootstrapper=None, validate: bool = True,
+                     should_cancel=None, span=None
+                     ) -> dict[int, Ciphertext]:
+    """Execute just enough of ``plan`` to produce ``node_ids``.
+
+    The cross-job CSE primitive: the scheduler runs a shared subgraph
+    once against one representative job's inputs and feeds the results
+    to every member via ``execute``'s ``seeded_nodes``.  Only the
+    inputs the requested nodes transitively depend on need to be bound;
+    execution is the same code path as :func:`execute` (same batching,
+    fusion, validation), so subgraph results are byte-identical to the
+    values a full run would compute.
+    """
+    return _run(plan, evaluator, inputs, targets=set(node_ids),
+                bootstrapper=bootstrapper, validate=validate,
+                seeded_galois=None, seeded_nodes=None,
+                should_cancel=should_cancel, span=span)
+
+
+def _run(plan: Plan, evaluator: Evaluator, inputs: dict[str, Ciphertext],
+         targets: set[int], bootstrapper, validate, seeded_galois,
+         seeded_nodes, should_cancel, span) -> dict[int, Ciphertext]:
+    program = plan.program
+    seeded_nodes = seeded_nodes or {}
+    fusion_root = {f.root: f for f in plan.fusions}
+
+    # Reverse liveness sweep: a node executes iff some target needs it
+    # and neither a seed nor a fusion provides/absorbs it.  ``order``
+    # is topological, so walking it backwards finalizes each node's
+    # consumer set before the node itself is classified.
+    needed: set[int] = set(targets)
+    executed: set[int] = set()
+    for nid in reversed(plan.order):
+        if nid not in needed:
+            continue
+        if nid in seeded_nodes:
+            continue  # value provided; its inputs are not our problem
+        idx = plan.fusion_of.get(nid)
+        if idx is not None and plan.fusions[idx].root != nid:
+            raise ExecutionError(
+                f"node {nid} is absorbed by fusion {idx} but something "
+                "outside the tree still needs it (optimizer invariant)")
+        executed.add(nid)
+        needed.update(_effective_args(plan, nid))
+    unknown = targets - set(plan.order)
+    if unknown:
+        raise ExecutionError(f"unknown target nodes: {sorted(unknown)}")
+
+    required_inputs = {plan.nodes[nid].name for nid in executed
+                       if plan.nodes[nid].op is OpCode.INPUT}
+    missing = required_inputs - set(inputs)
     if missing:
         raise ExecutionError(f"missing program inputs: {sorted(missing)}")
 
     refcount: dict[int, int] = {}
-    for nid in plan.order:
-        for arg in plan.nodes[nid].args:
+    for nid in executed:
+        for arg in _effective_args(plan, nid):
             refcount[arg] = refcount.get(arg, 0) + 1
-    for out_id in plan.outputs.values():
+    for out_id in targets:
         refcount[out_id] = refcount.get(out_id, 0) + 1
 
     values: dict[int, Ciphertext] = {}
+    for nid, ct in seeded_nodes.items():
+        if refcount.get(nid, 0) == 0:
+            continue
+        if validate:
+            meta = plan.meta[nid]
+            if ct.level != meta.level:
+                raise ExecutionError(
+                    f"seeded node {nid} at level {ct.level}, planned "
+                    f"{meta.level}")
+            if abs(ct.scale - meta.scale) > SCALE_RTOL * meta.scale:
+                raise ExecutionError(
+                    f"seeded node {nid} at scale {ct.scale:.6g}, planned "
+                    f"{meta.scale:.6g}")
+        values[nid] = ct
+
+    # Hoisted batches over the members that actually execute this run
+    # (seeded/CSE'd members consume no batch slot, and a batch whose
+    # members were all seeded never raises at all).
+    batch_rotations: dict[int, list[int]] = {}
+    batch_conjugate: dict[int, bool] = {}
+    batch_pending: dict[int, int] = {}
+    for i, batch in enumerate(plan.batches):
+        live_rots = [m for m in batch.members if m in executed]
+        live_conjs = [m for m in batch.conj_members if m in executed]
+        batch_rotations[i] = sorted(
+            {plan.nodes[m].rotation for m in live_rots})
+        batch_conjugate[i] = bool(live_conjs)
+        batch_pending[i] = len(live_rots) + len(live_conjs)
     batch_results: dict[int, tuple] = {}
-    batch_pending: dict[int, int] = {
-        i: len(b.members) + len(b.conj_members)
-        for i, b in enumerate(plan.batches)}
 
     def consume(nid: int) -> Ciphertext:
         ct = values[nid]
@@ -132,22 +246,37 @@ def execute(plan: Plan, evaluator: Evaluator,
         return ct
 
     for nid in plan.order:
+        if nid not in executed:
+            continue
         if should_cancel is not None and should_cancel():
             raise ExecutionCancelled(
                 f"execution cancelled before node {nid}")
         node = plan.nodes[nid]
         op = node.op
         meta = plan.meta[nid]
+        fusion = fusion_root.get(nid)
         node_span = None
         tally_before = None
         if span is not None:
             tags = {"node": nid, "level": meta.level}
-            if op is OpCode.HROT:
+            if fusion is not None:
+                tags["fused_terms"] = len(fusion.terms)
+            elif op is OpCode.HROT:
                 tags["rotation"] = node.rotation
-            node_span = span.child(op.value, cat="op", **tags)
+            node_span = span.child(
+                "rotate_reduce" if fusion is not None else op.value,
+                cat="op", **tags)
             if _obs_kernel._ENABLED:
                 tally_before = _obs_kernel.snapshot()
-        if op is OpCode.INPUT:
+        if fusion is not None:
+            source = consume(fusion.source)
+            terms = [ReduceTerm(amount=t.amount, sign=t.sign,
+                                weight=t.weight,
+                                weight_scale=t.weight_scale)
+                     for t in fusion.terms]
+            result = evaluator.rotate_reduce(
+                source, terms, mode=plan.config.fusion_moddown)
+        elif op is OpCode.INPUT:
             ct = inputs[node.name]
             if ct.n_slots != program.n_slots:
                 raise ExecutionError(
@@ -209,8 +338,8 @@ def execute(plan: Plan, evaluator: Evaluator,
                     # One NTT-domain raise of source.a serves every
                     # rotation and conjugation of the batch.
                     cached = evaluator.galois_hoisted(
-                        source, batch.amounts(plan.nodes),
-                        conjugate=bool(batch.conj_members))
+                        source, batch_rotations[batch_index],
+                        conjugate=batch_conjugate[batch_index])
                     batch_results[batch_index] = cached
                 rotations, conjugated = cached
                 consume(node.args[0])
@@ -252,9 +381,9 @@ def execute(plan: Plan, evaluator: Evaluator,
         if refcount.get(nid, 0) > 0:
             values[nid] = result
 
-    outputs: dict[str, Ciphertext] = {}
-    for name, nid in plan.outputs.items():
-        if nid not in values:  # pragma: no cover - refcounts pin outputs
-            raise ExecutionError(f"output {name!r} was freed before return")
-        outputs[name] = values[nid]
-    return outputs
+    out: dict[int, Ciphertext] = {}
+    for nid in targets:
+        if nid not in values:  # pragma: no cover - refcounts pin targets
+            raise ExecutionError(f"target {nid} was freed before return")
+        out[nid] = values[nid]
+    return out

@@ -185,6 +185,14 @@ class Program:
         for arg in args:
             if not 0 <= arg < len(self.nodes):
                 raise ValueError(f"unknown operand node {arg}")
+        if op is OpCode.HROT:
+            # Canonicalize once at construction: every consumer of
+            # ``node.rotation`` (structural_hash, batch detection, the
+            # key registry, cross-job coalescing) assumes slot-reduced
+            # amounts, and a raw ``-1`` here would give a structurally
+            # identical program a different plan-cache entry than
+            # ``n_slots - 1``.
+            rotation %= self.n_slots
         node = Node(len(self.nodes), op, args, rotation, payload,
                     payload_scale, name)
         self.nodes.append(node)

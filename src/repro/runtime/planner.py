@@ -27,6 +27,10 @@ executable :class:`Plan` in one forward walk plus two cheap analyses:
    (Section 3.3's dominant structure): every member is an
    evaluation-point gather + evk product + ModDown, with no transform
    of its own.
+5. **Rotate-reduce fusion** (opt-in, ``fuse_rotate_reduce=True``) —
+   :mod:`repro.runtime.optimizer` collapses weighted rotate-reduce
+   trees over one source into a single hoisted gather-accumulate; see
+   that module for the admission rules and ModDown strategies.
 """
 
 from __future__ import annotations
@@ -57,6 +61,10 @@ class PlannerConfig:
     input_scale: float | None = None  #: default: 2^scale_bits
     bootstrap_level: int | None = None  #: level after a bootstrap (None:
     #: no bootstrapping available; running out of levels is an error)
+    fuse_rotate_reduce: bool = False  #: run the optimizer fusion pass
+    fusion_moddown: str = "single"    #: fused ModDown strategy: "single"
+    #: (one ModDown per tree, double-hoist-class rounding) or "stacked"
+    #: (bit-identical, fuses dispatches only)
 
     def __post_init__(self) -> None:
         if len(self.q_values) != self.max_level + 1:
@@ -64,6 +72,9 @@ class PlannerConfig:
         if self.bootstrap_level is not None and not (
                 0 < self.bootstrap_level <= self.max_level):
             raise ValueError("bootstrap_level out of range")
+        if self.fusion_moddown not in ("single", "stacked"):
+            raise ValueError(
+                f"unknown fusion_moddown {self.fusion_moddown!r}")
 
     @property
     def nominal_scale(self) -> float:
@@ -140,6 +151,12 @@ class Plan:
     meta: dict[int, NodeMeta]
     batches: list[RotationBatch] = field(default_factory=list)
     batch_of: dict[int, int] = field(default_factory=dict)
+    #: optimizer results (:mod:`repro.runtime.optimizer`): fused
+    #: rotate-reduce trees, and node id -> index into ``fusions`` for
+    #: every node a fusion touches (the root executes the whole tree,
+    #: covered interior/leaf nodes are skipped).
+    fusions: list = field(default_factory=list)
+    fusion_of: dict[int, int] = field(default_factory=dict)
     eliminated: int = 0
     inserted_rescales: int = 0
     inserted_bootstraps: int = 0
@@ -324,7 +341,12 @@ class _Planner:
                     eliminated=len(program.nodes) - len(live),
                     inserted_rescales=self.inserted_rescales,
                     inserted_bootstraps=self.inserted_bootstraps)
-        self._detect_rotation_batches(plan)
+        detect_rotation_batches(plan)
+        if config.fuse_rotate_reduce:
+            # Lazy import: the optimizer consumes Plan, so a top-level
+            # import would be circular.
+            from repro.runtime.optimizer import optimize_plan
+            optimize_plan(plan)
         return plan
 
     def _live_set(self) -> set[int]:
@@ -341,24 +363,35 @@ class _Planner:
             stack.extend(program.nodes[nid].args)
         return live
 
-    def _detect_rotation_batches(self, plan: Plan) -> None:
-        groups: dict[int, tuple[list[int], list[int]]] = {}
-        for nid in plan.order:
-            node = plan.nodes[nid]
-            if node.op is OpCode.HROT:
-                groups.setdefault(node.args[0], ([], []))[0].append(nid)
-            elif node.op is OpCode.CONJ:
-                groups.setdefault(node.args[0], ([], []))[1].append(nid)
-        for source, (rots, conjs) in groups.items():
-            # Any two galois ops on one source share the raised
-            # decomposition, so CONJ nodes join their source's batch.
-            if len(rots) + len(conjs) < 2:
-                continue
-            index = len(plan.batches)
-            plan.batches.append(
-                RotationBatch(source, tuple(rots), tuple(conjs)))
-            for member in rots + conjs:
-                plan.batch_of[member] = index
+def detect_rotation_batches(plan: Plan,
+                            exclude: frozenset[int] = frozenset()) -> None:
+    """(Re)build ``plan.batches``/``batch_of``: galois nodes per source.
+
+    ``exclude`` skips nodes some other mechanism already owns — the
+    optimizer re-runs detection with its fusion-covered galois nodes
+    excluded, so a fused member never also appears in a hoisted batch.
+    """
+    plan.batches = []
+    plan.batch_of = {}
+    groups: dict[int, tuple[list[int], list[int]]] = {}
+    for nid in plan.order:
+        if nid in exclude:
+            continue
+        node = plan.nodes[nid]
+        if node.op is OpCode.HROT:
+            groups.setdefault(node.args[0], ([], []))[0].append(nid)
+        elif node.op is OpCode.CONJ:
+            groups.setdefault(node.args[0], ([], []))[1].append(nid)
+    for source, (rots, conjs) in groups.items():
+        # Any two galois ops on one source share the raised
+        # decomposition, so CONJ nodes join their source's batch.
+        if len(rots) + len(conjs) < 2:
+            continue
+        index = len(plan.batches)
+        plan.batches.append(
+            RotationBatch(source, tuple(rots), tuple(conjs)))
+        for member in rots + conjs:
+            plan.batch_of[member] = index
 
 
 def plan_program(program: Program, config: PlannerConfig) -> Plan:
@@ -423,6 +456,10 @@ def plan_cache_key(program: Program, config: PlannerConfig,
     h.update(struct.pack(
         "<q", -1 if config.input_level is None else config.input_level))
     h.update(struct.pack(f"<{len(config.q_values)}d", *config.q_values))
+    # Optimizer knobs change the plan (fusions, batches) and — for
+    # fusion_moddown="single" — the output bits, so they key the cache.
+    h.update(struct.pack("<q", 1 if config.fuse_rotate_reduce else 0))
+    h.update(config.fusion_moddown.encode())
     return h.hexdigest()
 
 

@@ -61,6 +61,7 @@ under faults (the failure model is documented in ``service/README.md``):
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import functools
 import hashlib
 import threading
@@ -112,6 +113,17 @@ class ServiceConfig:
     #: it, batch composition races the submitters and coalescing
     #: becomes timing-dependent)
     coalesce: bool = True            #: cross-job rotation batching
+    cse: bool = True                 #: cross-job common-subgraph reuse:
+    #: jobs in one batch window sharing a plan-cache entry *and* the
+    #: input blobs a subgraph depends on run that subgraph once and
+    #: seed every member (byte-identical — same execution code path)
+    optimize: bool = False           #: plan with rotate-reduce fusion
+    #: (:mod:`repro.runtime.optimizer`).  Opt-in: the default "single"
+    #: ModDown strategy changes output bits at the noise level (the
+    #: double-hoisting trade), and fused galois members no longer take
+    #: part in cross-job rotation coalescing.
+    fusion_moddown: str = "single"   #: forwarded to the planner when
+    #: ``optimize`` is set ("single" or "stacked")
     plan_cache_size: int = 64
     max_job_seconds: float | None = None  #: admission ceiling (estimated
     #: seconds on ``admission_params``; None disables the simulator)
@@ -162,6 +174,7 @@ class JobResult:
     coalesced: bool                  #: galois results arrived pre-computed
     wall_seconds: float
     attempts: int = 1                #: supervised attempts taken
+    cse_seeded: bool = False         #: subgraph results arrived pre-computed
 
 
 @dataclass
@@ -235,6 +248,12 @@ class _Job:
     #: input name -> blob digest (for coalescing group keys)
     digests: dict[str, str] = field(default_factory=dict)
     seeded: dict | None = None
+    #: node id -> precomputed ciphertext (cross-job CSE frontier)
+    seeded_nodes: dict | None = None
+    #: plan nodes the CSE seeding makes this job skip (frontier +
+    #: everything upstream of it); coalescing must not count their
+    #: galois work
+    cse_covered: frozenset | None = None
     cache_key: str | None = None     #: plan-cache key (calibration key)
     submitted_at: float = 0.0        #: perf_counter at submit
     attempt_no: int = 0              #: supervised attempts started
@@ -273,6 +292,7 @@ class RequestScheduler:
         self.jobs_overloaded = 0     #: submits shed by backpressure
         self.jobs_shed = 0           #: submits shed by open breakers
         self.coalesced_raises = 0
+        self.cse_reuses = 0          #: jobs served from a shared subgraph
         self._backlog_jobs = 0       #: queued + in-flight jobs
         self._backlog_seconds = 0.0  #: their priced accelerator seconds
         # ----- observability ------------------------------------------------
@@ -296,6 +316,9 @@ class RequestScheduler:
         self._m_coalesced = metrics.counter(
             "fhe_coalesced_raises_total",
             "hoisted raises saved by cross-job coalescing")
+        self._m_cse = metrics.counter(
+            "fhe_cse_reuses_total",
+            "subgraph executions saved by cross-job CSE")
         self._m_queue_wait = metrics.histogram(
             "fhe_job_queue_wait_seconds", "submit-to-batch-pull latency")
         self._m_wall = metrics.histogram(
@@ -511,8 +534,13 @@ class RequestScheduler:
     # ----- batch preparation (plan, admit, coalesce) -------------------------
 
     def _planner_config(self) -> PlannerConfig:
-        return PlannerConfig.from_ring(
+        config = PlannerConfig.from_ring(
             self.ring, bootstrap_level=self.config.bootstrap_level)
+        if self.config.optimize:
+            config = dataclasses.replace(
+                config, fuse_rotate_reduce=True,
+                fusion_moddown=self.config.fusion_moddown)
+        return config
 
     def _admit(self, job: _Job) -> None:
         """Plan the job and enforce the admission cost ceiling."""
@@ -614,6 +642,8 @@ class RequestScheduler:
                 admitted.append(job)
             except Exception as exc:  # reject: surface to the submitter
                 self._reject(job, exc)
+        if self.config.cse:
+            self._cse_seed(admitted, batch_span)
         if self.config.coalesce:
             self._coalesce(admitted, batch_span)
         if batch_span is not None:
@@ -636,6 +666,86 @@ class RequestScheduler:
             job.inputs[name] = ct
             job.digests[name] = digest
 
+    def _cse_seed(self, jobs: list[_Job],
+                  batch_span: Span | None = None) -> None:
+        """Run subgraphs shared by same-plan jobs once per batch window.
+
+        Jobs sharing a plan-cache entry (same ``cache_key``) *and* the
+        input blobs (by digest) some subgraph transitively depends on
+        reuse that subgraph: the scheduler executes it once
+        (:func:`~repro.runtime.executor.execute_subgraph`) against one
+        representative's inputs and seeds every member's executor via
+        ``seeded_nodes``.  The subgraph runs through the exact same
+        execution code path the members would use, so seeded and
+        independent runs are byte-identical.  Like coalescing, this is
+        an optimisation, never a liveness dependency: any failure skips
+        seeding for that group only.
+        """
+        from repro.runtime.executor import execute_subgraph
+
+        groups: dict[tuple[str, str], list[_Job]] = {}
+        for job in jobs:
+            if job.cache_key is not None and job.plan is not None:
+                groups.setdefault((job.request.tenant, job.cache_key),
+                                  []).append(job)
+        for (tenant, _key), members in groups.items():
+            if len(members) < 2:
+                continue
+            # Subgroup by the inputs each job shares with >= 2 jobs of
+            # the group; only jobs agreeing on that whole signature
+            # provably share the same subgraph values.
+            freq: dict[tuple[str, str], int] = {}
+            for job in members:
+                for pair in job.digests.items():
+                    freq[pair] = freq.get(pair, 0) + 1
+            subgroups: dict[frozenset, list[_Job]] = {}
+            for job in members:
+                signature = frozenset(pair for pair in job.digests.items()
+                                      if freq[pair] >= 2)
+                if signature:
+                    subgroups.setdefault(signature, []).append(job)
+            for signature, shared_jobs in subgroups.items():
+                if len(shared_jobs) < 2:
+                    continue
+                group_span = None
+                try:
+                    plan = shared_jobs[0].plan
+                    shared_names = {name for name, _ in signature}
+                    frontier, covered = _shared_subgraph(plan,
+                                                         shared_names)
+                    if not frontier or not covered:
+                        continue  # nothing worth sharing
+                    if batch_span is not None:
+                        group_span = batch_span.child(
+                            "cse_group", cat="sched", tenant=tenant,
+                            members=len(shared_jobs),
+                            frontier=len(frontier))
+                    tally_before = (_obs_kernel.snapshot()
+                                    if _obs_kernel._ENABLED else None)
+                    session = self.registry.session(tenant)
+                    seed_inputs = {name: shared_jobs[0].inputs[name]
+                                   for name in shared_names}
+                    results = execute_subgraph(plan, session.evaluator,
+                                               seed_inputs, frontier)
+                    saved = len(shared_jobs) - 1
+                    self._bump("cse_reuses", saved)
+                    self._m_cse.inc(saved)
+                    for job in shared_jobs:
+                        job.seeded_nodes = results
+                        job.cse_covered = covered
+                    if group_span is not None:
+                        if tally_before is not None:
+                            group_span.annotate(
+                                **{field: count for field, count
+                                   in _obs_kernel.delta(
+                                       tally_before).items() if count})
+                        group_span.end()
+                except Exception as exc:
+                    if group_span is not None:
+                        group_span.annotate(error=type(exc).__name__)
+                        group_span.end()
+                    continue  # group falls back to independent runs
+
     def _coalesce(self, jobs: list[_Job],
                   batch_span: Span | None = None) -> None:
         """One hoisted raise per (tenant, source ct) shared by >= 2 jobs.
@@ -656,7 +766,8 @@ class RequestScheduler:
                 rotating = [(job, name, amounts, conj)
                             for job, name in members
                             for amounts, conj in
-                            [_input_galois(job.plan, name)]
+                            [_input_galois(job.plan, name,
+                                           exclude=job.cse_covered)]
                             if amounts or conj]
                 if len({id(job) for job, *_ in rotating}) < 2:
                     continue  # a single job's executor hoists on its own
@@ -733,6 +844,11 @@ class RequestScheduler:
     def _run_attempt(self, job: _Job, cancel: threading.Event
                      ) -> JobResult:
         """One worker-side attempt (runs on the pool; may be retried)."""
+        # Per-attempt clock: t0 restarts on every retry, and the
+        # calibration record below only fires on the attempt that
+        # succeeds, so the recorded actual_s is pure execute wall —
+        # supervisor retry backoff (which sleeps *between* attempts,
+        # outside this function) can never inflate it.
         t0 = time.perf_counter()
         tenant = job.request.tenant
         with self._stats_lock:
@@ -755,6 +871,7 @@ class RequestScheduler:
             session.touch(needed, self.registry)
             outputs = execute(job.plan, session.evaluator, job.inputs,
                               seeded_galois=job.seeded,
+                              seeded_nodes=job.seeded_nodes,
                               should_cancel=cancel.is_set,
                               span=attempt_span)
             blobs = {name: wire.serialize_ciphertext(ct, self.ring.params)
@@ -784,7 +901,8 @@ class RequestScheduler:
             estimated_seconds=job.estimate,
             plan_cache_hit=job.cache_hit,
             coalesced=job.seeded is not None,
-            wall_seconds=wall)
+            wall_seconds=wall,
+            cse_seeded=job.seeded_nodes is not None)
 
     def _inject_worker_faults(self, job: _Job,
                               cancel: threading.Event) -> None:
@@ -822,6 +940,7 @@ class RequestScheduler:
                 "jobs_overloaded": self.jobs_overloaded,
                 "jobs_shed": self.jobs_shed,
                 "coalesced_raises": self.coalesced_raises,
+                "cse_reuses": self.cse_reuses,
                 "plan_cache": self.plan_cache.stats(),
             }
 
@@ -852,6 +971,7 @@ class RequestScheduler:
                     "jobs_failed": self.jobs_failed,
                     "jobs_overloaded": self.jobs_overloaded,
                     "jobs_shed": self.jobs_shed,
+                    "cse_reuses": self.cse_reuses,
                     "retries": supervisor["retries"],
                     "timeouts": supervisor["timeouts"],
                     "attempts": supervisor["attempts"],
@@ -904,20 +1024,89 @@ class RequestScheduler:
         return "".join(parts)
 
 
-def _input_galois(plan: Plan, input_name: str
+def _input_galois(plan: Plan, input_name: str,
+                  exclude: frozenset | None = None
                   ) -> tuple[set[int], bool]:
-    """(rotation amounts, any-conjugation) applied directly to an input."""
+    """(rotation amounts, any-conjugation) applied directly to an input.
+
+    Galois nodes a fusion absorbed or CSE seeding skips (``exclude``)
+    never execute individually, so their amounts must not inflate a
+    coalesced union.  Amounts are reduced mod ``n_slots`` to match the
+    canonical form the IR, the executor's seed lookup, and
+    ``galois_hoisted``'s result keys all use.
+    """
     src = plan.inputs.get(input_name)
+    n_slots = plan.program.n_slots
     amounts: set[int] = set()
     conj = False
     for nid in plan.order:
+        if exclude is not None and nid in exclude:
+            continue
+        idx = plan.fusion_of.get(nid)
+        if idx is not None and plan.fusions[idx].root != nid:
+            continue  # absorbed into a fused rotate-reduce
         node = plan.nodes[nid]
         if node.args and node.args[0] == src:
             if node.op is OpCode.HROT:
-                amounts.add(node.rotation)
+                amounts.add(node.rotation % n_slots)
             elif node.op is OpCode.CONJ:
                 conj = True
     return amounts, conj
+
+
+def _shared_subgraph(plan: Plan, shared_names: set[str]
+                     ) -> tuple[list[int], frozenset]:
+    """(frontier node ids, all skipped node ids) for a CSE seeding.
+
+    A node belongs to the shared subgraph when every value it
+    transitively depends on is an INPUT in ``shared_names`` — its
+    result is then a pure function of blobs the whole group shares.
+    The *frontier* is the subgraph's boundary (nodes some non-shared
+    consumer or a program output needs); seeding just the frontier
+    lets the executor's liveness sweep skip everything upstream.
+    BOOTSTRAP nodes never join (bootstrapper state is per-attempt), and
+    nodes absorbed by a rotate-reduce fusion are represented by their
+    fusion root.
+    """
+    from repro.runtime.executor import _effective_args
+
+    def absorbed(nid: int) -> bool:
+        idx = plan.fusion_of.get(nid)
+        return idx is not None and plan.fusions[idx].root != nid
+
+    ok: set[int] = set()
+    for nid in plan.order:
+        if absorbed(nid):
+            continue
+        node = plan.nodes[nid]
+        if node.op is OpCode.INPUT:
+            if node.name in shared_names:
+                ok.add(nid)
+            continue
+        if node.op is OpCode.BOOTSTRAP:
+            continue
+        args = _effective_args(plan, nid)
+        if args and all(a in ok for a in args):
+            ok.add(nid)
+    consumers: dict[int, list[int]] = {}
+    for nid in plan.order:
+        if absorbed(nid):
+            continue
+        for arg in _effective_args(plan, nid):
+            consumers.setdefault(arg, []).append(nid)
+    output_ids = set(plan.outputs.values())
+    frontier = sorted(
+        nid for nid in ok
+        if plan.nodes[nid].op is not OpCode.INPUT
+        and (nid in output_ids
+             or any(c not in ok for c in consumers.get(nid, ()))))
+    covered = {nid for nid in ok
+               if plan.nodes[nid].op is not OpCode.INPUT}
+    for nid in list(covered):
+        idx = plan.fusion_of.get(nid)
+        if idx is not None and plan.fusions[idx].root == nid:
+            covered.update(plan.fusions[idx].covered)
+    return frontier, frozenset(covered)
 
 
 def _finish_future(future: asyncio.Future, result: JobResult) -> None:

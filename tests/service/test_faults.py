@@ -515,6 +515,46 @@ class TestFaultIsolation:
 
 # ----- admission-estimate lies ------------------------------------------------
 
+class TestCalibrationClock:
+    def test_retry_backoff_excluded_from_calibration_wall(
+            self, faulted_setup):
+        """Regression: ``actual_s`` is the *winning attempt's* wall.
+
+        Two injected TRANSIENT faults force two jittered backoff sleeps
+        before the third attempt succeeds.  The calibration record must
+        reflect only that attempt's execute wall — a clock started at
+        the first attempt would fold both backoff sleeps into
+        ``actual_s`` and poison the estimate-vs-actual ratios that the
+        admission ceiling and slow-job detector learn from.
+        """
+        supervision = quick_supervision(max_retries=3, backoff_base_s=0.8,
+                                        backoff_cap_s=0.8)
+        plan = FaultPlan([FaultSpec(FaultKind.TRANSIENT, program="cal",
+                                    times=2)], seed=5)
+        server, client = faulted_setup(ServiceConfig(
+            workers=1, max_job_seconds=10.0, fault_plan=plan,
+            supervision=supervision))
+        req = JobRequest("alice", stencil_program([1, 2], name="cal"),
+                         {"x": client.encrypt_blob(np.zeros(8))})
+        [result] = serve(server, [req])
+        assert result.attempts == 3
+        assert server.scheduler.supervisor.stats()["retries"] == 2
+
+        # replay the supervisor's deterministic full-jitter draws to
+        # know exactly how much backoff the job actually slept through
+        import random
+        rng = random.Random(supervision.seed)
+        slept = sum(
+            rng.uniform(0.0, min(supervision.backoff_cap_s,
+                                 supervision.backoff_base_s * 2.0 ** a))
+            for a in (0, 1))
+        assert slept > 0.3  # the sleeps dominate the ~ms execute wall
+
+        [entry] = server.scheduler.calibration.summary().values()
+        assert entry["count"] == 1
+        assert entry["last_actual_s"] < slept / 2
+
+
 class TestMisprice:
     def test_inflating_lie_trips_the_admission_ceiling(
             self, faulted_setup):

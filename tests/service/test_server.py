@@ -210,6 +210,27 @@ class TestBatching:
             ref = stencil_reference(vec, list(amts))
             assert np.max(np.abs(got - ref)) < 1e-6
 
+    def test_negative_amounts_coalesce_and_decrypt(self, ready_server):
+        """Regression: programs written with negative rotation amounts.
+
+        ``rotate(-1)`` canonicalizes to ``n_slots - 1`` at IR emit, so
+        the coalescer's amount union and the follower seeding path see
+        the same key a leader's hoisted batch was built with.  Before
+        canonicalization a follower looked up the raw ``-1`` in the
+        seeded rotation dict, silently missed, and re-raised.
+        """
+        server, client = ready_server
+        vec = np.linspace(-0.4, 0.4, 8)
+        amounts = [(-1, 2), (2, 3), (-3, 4)]
+        programs = [stencil_program(list(a), name=f"neg{i}")
+                    for i, a in enumerate(amounts)]
+        results = self._submit_window(server, client, programs, vec)
+        assert server.scheduler.coalesced_raises >= 2
+        for result, amts in zip(results, amounts):
+            got = client.decrypt_blob(result.outputs["out"])
+            ref = stencil_reference(vec, list(amts))
+            assert np.max(np.abs(got - ref)) < 1e-6
+
     def test_distinct_inputs_are_not_coalesced(self, ready_server):
         server, client = ready_server
         progs = [stencil_program([1, 2], name="a"),
@@ -299,6 +320,46 @@ class TestSeededExecutor:
                               seeded["out"].b.residues)
         assert np.array_equal(plain["out"].a.residues,
                               seeded["out"].a.residues)
+
+    def test_negative_amount_program_accepts_canonical_seed(
+            self, small_ring, small_keys, small_evaluator, small_encoder):
+        """A ``rotate(-6)`` program consumes a seed keyed by ``2``.
+
+        The seeded-rotation dict is always keyed by canonical amounts
+        (what ``galois_hoisted`` was asked for); the lookup on the
+        consuming side reduces the node's amount mod ``n_slots`` so a
+        negative-amount program still hits the seed instead of paying a
+        silent re-raise.
+        """
+        prog = stencil_program([-6, 3])
+        plan = plan_program(prog, PlannerConfig.from_ring(small_ring))
+        z = np.linspace(-0.3, 0.3, 8) + 0j
+        pt = small_encoder.encode(z, 2.0 ** 40)
+        ct = small_keys.encrypt_symmetric(pt.poly, 2.0 ** 40, 8)
+        from repro.runtime import execute
+
+        import repro.obs as obs
+        from repro.obs import kernel as K
+
+        rotations, _ = small_evaluator.galois_hoisted(ct, [2, 3])
+        obs.enable()
+        try:
+            K.reset()
+            plain = execute(plan, small_evaluator, {"x": ct})
+            plain_tally = K.snapshot()
+            K.reset()
+            seeded = execute(plan, small_evaluator, {"x": ct},
+                             seeded_galois={"x": (rotations, None)})
+            seeded_tally = K.snapshot()
+        finally:
+            obs.disable()
+        assert np.array_equal(plain["out"].b.residues,
+                              seeded["out"].b.residues)
+        assert np.array_equal(plain["out"].a.residues,
+                              seeded["out"].a.residues)
+        # the seed must actually be consumed: a missed lookup would
+        # fall back to a (bit-identical) re-raise and cost the same
+        assert seeded_tally["bconv_calls"] < plain_tally["bconv_calls"]
 
     def test_partial_seed_falls_back(self, small_ring, small_keys,
                                      small_evaluator, small_encoder):
