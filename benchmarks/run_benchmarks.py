@@ -104,7 +104,7 @@ def build_hmult_fixture():
                               n_slots)
     ct_other = kg.encrypt_symmetric(enc.encode(w, 2.0 ** 40).poly,
                                     2.0 ** 40, n_slots)
-    return ring, ev, ct, ct_other
+    return ring, kg, ev, ct, ct_other
 
 
 def bench_ntt(ring, reps: int) -> dict[str, tuple[float, int]]:
@@ -303,6 +303,117 @@ def bench_service(ring, reps: int
     return out, calibration
 
 
+def bench_precision_calibration(ring, kg, ev, smoke: bool) -> dict:
+    """Decrypt-probe calibration: analytic estimate vs true slot error.
+
+    Runs the reference workloads — one HELR training iteration and a
+    fused rotate-reduce stencil through the full planner/executor path,
+    plus (outside ``--smoke``) a small bootstrap at N=2^9 — and, with
+    the secret key in hand, measures the real decrypted error next to
+    the :class:`~repro.obs.noise.NoiseTracker` estimate for the same
+    output node.  The soundness contract (estimated precision <=
+    measured precision, i.e. estimated noise >= true error) is
+    *enforced*: an unsound estimate fails the benchmark run, so the
+    committed ``precision_calibration`` payload is a checked claim, not
+    a log.
+    """
+    from repro.ckks.encoder import Encoder
+    from repro.obs.noise import NoiseTracker, PrecisionProbe
+    from repro.runtime import Program
+    from repro.runtime.executor import execute
+    from repro.runtime.planner import PlannerConfig, plan_program
+    from repro.workloads.helr import HelrConfig, build_helr_program, \
+        helr_program_reference
+
+    enc = Encoder(ring)
+    tracker = NoiseTracker.from_ring(ring)
+    probe = PrecisionProbe(ev, kg.secret, tracker)
+    rng = np.random.default_rng(17)
+    scale = 2.0 ** ring.params.scale_bits
+    n_slots = 16
+
+    def run_and_probe(prefix: str, prog: Program,
+                      inputs: dict, references: dict) -> None:
+        plan = plan_program(prog, PlannerConfig.from_ring(ring))
+        kg.ensure_rotation_keys(ev, plan.required_rotations())
+        cts = {name: kg.encrypt_symmetric(
+                   enc.encode(np.asarray(vec, dtype=np.complex128),
+                              scale).poly, scale, n_slots)
+               for name, vec in inputs.items()}
+        outputs = execute(plan, ev, cts)
+        profile = tracker.profile(plan)
+        for name, ct_out in outputs.items():
+            probe.record(f"{prefix}_{name}", ct_out, references[name],
+                         profile.outputs[name].estimate())
+
+    helr_cfg = HelrConfig(iterations=1, batch=4, features=3,
+                          padded_features=4, sigmoid_depth=1)
+    helr_prog = build_helr_program(helr_cfg, n_slots)
+    helr_inputs = {name: rng.normal(size=n_slots) * 0.2
+                   for name in helr_prog.inputs}
+    run_and_probe("helr", helr_prog, helr_inputs,
+                  helr_program_reference(helr_inputs, helr_cfg, n_slots))
+
+    # The stencil's rotation sum fuses into one rotate_reduce (single
+    # shared ModDown); the tracker scores the *unfused* graph, so this
+    # workload checks that the unfused walk upper-bounds the fused run.
+    amounts = [1, 2, 4, 8]
+    stencil = Program(n_slots=n_slots, name="rotate_reduce")
+    x = stencil.input("x")
+    acc = x * 0.5
+    for amount in amounts:
+        acc = acc + x.rotate(amount) * 0.25
+    stencil.output("out", acc)
+    vec = rng.normal(size=n_slots) * 0.3
+    ref = vec * 0.5
+    for amount in amounts:
+        ref = ref + np.roll(vec, -amount) * 0.25
+    run_and_probe("fused_rotate_reduce", stencil, {"x": vec},
+                  {"out": ref})
+
+    if not smoke:
+        from repro.ckks.bootstrap import BootstrapConfig, Bootstrapper
+        from repro.ckks.evaluator import Evaluator
+        from repro.ckks.keys import KeyGenerator
+        from repro.ckks.params import CkksParams, RingContext
+        from repro.ckks.sine import SineConfig
+
+        bparams = CkksParams.functional(n=1 << 9, l=14, dnum=3,
+                                        scale_bits=40, q0_bits=52,
+                                        p_bits=52, h=32)
+        bring = RingContext(bparams)
+        bkg = KeyGenerator(bring, seed=2)
+        bev = Evaluator(bring)
+        bs = Bootstrapper(bev, BootstrapConfig(
+            n_slots=4, sine=SineConfig(k_range=12, degree=63,
+                                       double_angles=2)))
+        bs.generate_keys(bkg)
+        btracker = NoiseTracker.from_ring(bring)
+        bprobe = PrecisionProbe(bev, bkg.secret, btracker)
+        benc = Encoder(bring)
+        z = np.array([0.3, -0.2, 0.1, 0.4])
+        ct0 = bev.drop_to_level(
+            bkg.encrypt_symmetric(benc.encode(z + 0j, 2.0 ** 40).poly,
+                                  2.0 ** 40, 4), 0)
+        refreshed = bs.bootstrap(ct0)
+        state = btracker.estimator.drop_to_level(
+            btracker.estimator.fresh(2.0 ** 40), 0)
+        bprobe.record(
+            "bootstrap_small", refreshed, z,
+            btracker.score(btracker.estimator.bootstrap(
+                state, refreshed.level, refreshed.scale,
+                approx_error_bits=btracker.bootstrap_error_bits)))
+        probe._records.update(bprobe.records())
+
+    if not probe.all_sound():
+        unsound = [name for name, rec in probe.records().items()
+                   if not rec.sound]
+        raise AssertionError(
+            f"noise estimate unsound (claims more precision than "
+            f"measured) for: {unsound}")
+    return probe.summary()
+
+
 def bench_bootstrap_small(reps: int) -> dict[str, tuple[float, int]]:
     from repro.ckks.bootstrap import BootstrapConfig, Bootstrapper
     from repro.ckks.encoder import Encoder
@@ -454,7 +565,7 @@ def main() -> None:
     reps = max(1, reps)
     kernels: dict[str, tuple[float, int]] = {}
 
-    ring, ev, ct, ct_other = build_hmult_fixture()
+    ring, kg, ev, ct, ct_other = build_hmult_fixture()
     # NTT medians gate the perf acceptance, so they get a higher default
     # rep floor to damp single-core runner noise — unless the user
     # explicitly asked for a specific count.
@@ -468,6 +579,8 @@ def main() -> None:
     service_kernels, service_calibration = bench_service(
         ring, max(1, reps if args.smoke else reps // 2))
     kernels.update(service_kernels)
+    precision_calibration = bench_precision_calibration(
+        ring, kg, ev, smoke=args.smoke)
     if not args.smoke:
         kernels.update(bench_bootstrap_small(max(1, reps // 3)))
 
@@ -498,6 +611,11 @@ def main() -> None:
         # server (admission pricing on): the simulator-to-host gap the
         # serving deadline multiplier must absorb, stamped per run.
         "service_calibration": service_calibration,
+        # decrypt-probe soundness evidence: per-workload analytic
+        # estimate vs true decrypted error (sound == estimate claims no
+        # more precision than measured); an unsound estimate fails the
+        # run before this payload is written.
+        "precision_calibration": precision_calibration,
         "baselines": {"seed-v0": SEED_BASELINE,
                       "pr1-batched-radix2": PR1_BASELINE},
     }
@@ -514,6 +632,11 @@ def main() -> None:
         base = SEED_BASELINE.get(name)
         speedup = f"  ({base / value:5.2f}x vs seed)" if base else ""
         print(f"  {name:28s} {value * 1e3:10.3f} ms{speedup}")
+    print("precision calibration (sound: estimate <= measured bits):")
+    for name, rec in sorted(precision_calibration.items()):
+        print(f"  {name:28s} est {rec['estimated_precision_bits']:7.2f} "
+              f"bits  measured {rec['measured_precision_bits']:7.2f} "
+              f"bits  gap {rec['gap_bits']:6.2f}")
 
     if args.check:
         regressions = check_regressions(kernels, baseline_kernels,

@@ -29,11 +29,19 @@ instruments are enabled (kernel tallies + wire-codec counters), a
 :class:`~repro.obs.trace.Tracer` records per-job span trees across
 scheduler -> supervisor -> executor -> kernel, and the demo writes a
 Chrome trace-event JSON (``chrome://tracing`` loadable), validates it
-against the schema, and cross-checks that every completed program has
-a calibration entry in ``metrics_text()``.
+against the schema, cross-checks that every completed program has a
+calibration entry in ``metrics_text()``, and asserts that every
+executor op span carries the analytic ``noise_bits`` /
+``headroom_bits`` numeric-health attributes — including, when composed
+with ``--chaos``, the op spans of *retried* attempts.
+
+With ``--events out.jsonl`` the scheduler writes a JSON-lines job
+journal (one line per lifecycle transition: submitted, started,
+retried, completed, failed); the demo validates the stream with
+:func:`repro.obs.events.validate_journal` after the run.
 
 Usage:  PYTHONPATH=src python examples/fhe_server_demo.py
-            [--chaos] [--trace out.json]
+            [--chaos] [--trace out.json] [--events out.jsonl]
 """
 
 from __future__ import annotations
@@ -197,7 +205,8 @@ def verify_chaos(workloads, results) -> None:
 
 
 def report_observability(server: FheServer, tracer, trace_path: str,
-                         results: dict[str, list]) -> None:
+                         results: dict[str, list],
+                         chaos: bool = False) -> None:
     """Write + validate the trace; cross-check calibration coverage."""
     trace = tracer.chrome_trace()
     problems = obs.validate_chrome_trace(trace)
@@ -222,6 +231,22 @@ def report_observability(server: FheServer, tracer, trace_path: str,
                  "bconv_planes", "moddown")))
     if kernel_tagged == 0:
         raise SystemExit("no op span carries kernel tallies")
+    op_spans = [e for e in spans if e["cat"] == "op"]
+    bare = [e["name"] for e in op_spans
+            if "headroom_bits" not in e["args"]
+            or "noise_bits" not in e["args"]]
+    if bare:
+        raise SystemExit(f"{len(bare)} op spans lack numeric-health "
+                         f"attributes (e.g. {bare[:3]})")
+    attempts = [e for e in spans if e["name"] == "execute_attempt"]
+    retried = [e for e in attempts if e["args"].get("attempt", 1) > 1]
+    if chaos:
+        if not retried:
+            raise SystemExit("chaos run traced no retried attempts")
+        healthy_retries = [e for e in retried
+                           if "headroom_bits" in e["args"]]
+        if not healthy_retries:
+            raise SystemExit("no retried attempt carries headroom_bits")
     executed = {result.program_name
                 for tenant_results in results.values()
                 for result in tenant_results
@@ -240,6 +265,9 @@ def report_observability(server: FheServer, tracer, trace_path: str,
     print(f"  {events} trace events, {len(spans)} spans "
           f"({kernel_tagged} op spans carry kernel tallies), "
           f"{len(summary)} plans calibrated")
+    print(f"  numeric health: {len(op_spans)} op spans carry "
+          f"noise_bits/headroom_bits; {len(attempts)} attempts traced "
+          f"({len(retried)} retried)")
     for stats in sorted(summary.values(), key=lambda s: s["program"]):
         print(f"  {stats['program']:18s} actual/estimate p50 "
               f"{stats['ratio_p50']:10.1f}  over {stats['count']} runs")
@@ -247,26 +275,51 @@ def report_observability(server: FheServer, tracer, trace_path: str,
           "exposition lines")
 
 
+def report_events(events_path: str, journal, chaos: bool) -> None:
+    """Validate the job journal and summarize the lifecycle stream."""
+    journal.close()
+    records = obs.read_journal(events_path)
+    problems = obs.validate_journal(records)
+    if problems:
+        raise SystemExit("invalid journal: " + "; ".join(problems[:5]))
+    by_event: dict[str, int] = {}
+    for rec in records:
+        by_event[rec["event"]] = by_event.get(rec["event"], 0) + 1
+    if not by_event.get("submitted") or not by_event.get("completed"):
+        raise SystemExit(f"journal missing lifecycle events: {by_event}")
+    if chaos and not by_event.get("failed"):
+        raise SystemExit("chaos journal records no failed jobs")
+    print(f"\n-- job journal ({events_path}) --")
+    print(f"  {len(records)} records valid: "
+          + ", ".join(f"{k}={v}" for k, v in sorted(by_event.items())))
+
+
+def _flag_value(args: list[str], flag: str) -> str | None:
+    if flag not in args:
+        return None
+    index = args.index(flag)
+    if index + 1 >= len(args):
+        raise SystemExit(f"{flag} requires an output file path")
+    return args[index + 1]
+
+
 def main() -> None:
     args = sys.argv[1:]
     chaos = "--chaos" in args
-    trace_path = None
-    if "--trace" in args:
-        index = args.index("--trace")
-        if index + 1 >= len(args):
-            raise SystemExit("--trace requires an output file path")
-        trace_path = args[index + 1]
+    trace_path = _flag_value(args, "--trace")
+    events_path = _flag_value(args, "--events")
     tracer = None
     if trace_path is not None:
         obs.enable()   # kernel tallies + wire counters for the spans
         tracer = obs.Tracer()
+    journal = obs.JobJournal(events_path) if events_path else None
     params = CkksParams.functional(n=1 << 10, l=10, dnum=2)
     print(f"server params: N=2^10, L={params.l}, dnum={params.dnum} "
           f"(digest {params.digest[:12]}…)")
     plan = chaos_plan() if chaos else None
     server = FheServer(params, ServiceConfig(
         workers=2, max_batch=8, max_job_seconds=0.05,
-        fault_plan=plan, tracer=tracer,
+        fault_plan=plan, tracer=tracer, events=journal,
         supervision=SupervisionConfig(deadline_multiplier=1e4,
                                       deadline_floor_s=30.0,
                                       max_retries=2,
@@ -278,6 +331,8 @@ def main() -> None:
               "faults armed)")
     if trace_path is not None:
         print(f"trace mode: spans + kernel tallies -> {trace_path}")
+    if events_path is not None:
+        print(f"events mode: job journal -> {events_path}")
 
     print("\n-- tenant onboarding (keys travel as wire blobs) --")
     workloads = {}
@@ -355,9 +410,18 @@ def main() -> None:
           f"{stats['scheduler']['coalesced_raises']} coalesced raises, "
           f"{stats['registry']['galois_bytes'] / 1e6:.1f} MB galois keys "
           f"for {stats['registry']['tenants']} tenants")
+    numeric = server.health()["numeric_health"]
+    print("numeric health: min headroom "
+          + (f"{numeric['min_headroom_bits']:.1f} bits"
+             if numeric["min_headroom_bits"] is not None else "n/a")
+          + f" (floor {numeric['floor_bits']} bits, "
+          f"{numeric['jobs_at_risk']} jobs at risk)")
     if trace_path is not None:
-        report_observability(server, tracer, trace_path, results)
+        report_observability(server, tracer, trace_path, results,
+                             chaos=chaos)
         obs.disable()
+    if journal is not None:
+        report_events(events_path, journal, chaos)
     server.shutdown()
 
 

@@ -72,6 +72,25 @@ class NoiseEstimator:
         return NoiseEstimate(noise=a.noise + b.noise,
                              scale=max(a.scale, b.scale), level=level)
 
+    def sub(self, a: NoiseEstimate, b: NoiseEstimate) -> NoiseEstimate:
+        """Subtraction has the same noise algebra as addition."""
+        return self.add(a, b)
+
+    def negate(self, a: NoiseEstimate) -> NoiseEstimate:
+        """Negation flips coefficients; |error| is unchanged."""
+        return a
+
+    def add_plain(self, a: NoiseEstimate) -> NoiseEstimate:
+        """Plaintext addition only contributes the encoding rounding."""
+        n = self.params.n
+        rounding = math.sqrt(n / 12.0)
+        return replace(a, noise=a.noise + rounding)
+
+    def multiply_integer(self, a: NoiseEstimate,
+                         value: int) -> NoiseEstimate:
+        """Exact small-integer product: noise scales with |value|."""
+        return replace(a, noise=a.noise * max(1.0, abs(float(value))))
+
     def multiply(self, a: NoiseEstimate, b: NoiseEstimate
                  ) -> NoiseEstimate:
         level = min(a.level, b.level)
@@ -91,15 +110,49 @@ class NoiseEstimator:
     def rotate(self, a: NoiseEstimate) -> NoiseEstimate:
         return replace(a, noise=a.noise + self.keyswitch_noise(a.level))
 
-    def rescale(self, a: NoiseEstimate) -> NoiseEstimate:
+    def conjugate(self, a: NoiseEstimate) -> NoiseEstimate:
+        """Conjugation is a galois op: same key-switch term as rotation."""
+        return self.rotate(a)
+
+    def rescale(self, a: NoiseEstimate,
+                prime: float | None = None) -> NoiseEstimate:
+        """Drop the top prime.  ``prime`` is the actual modulus value
+        when the caller knows it (planner/executor paths); the nominal
+        ``2**scale_bits`` otherwise."""
         if a.level == 0:
             raise ValueError("cannot rescale at level 0")
-        q_drop = 2.0 ** self.params.scale_bits
+        q_drop = float(prime) if prime is not None \
+            else 2.0 ** self.params.scale_bits
         n = self.params.n
         h = self.params.h or n // 2
         rounding = math.sqrt(n / 12.0) * (1.0 + math.sqrt(h))
         return NoiseEstimate(noise=a.noise / q_drop + rounding,
                              scale=a.scale / q_drop, level=a.level - 1)
+
+    def drop_to_level(self, a: NoiseEstimate, level: int) -> NoiseEstimate:
+        """Exact RNS limb drop: scale and error are untouched."""
+        if level > a.level:
+            raise ValueError(
+                f"cannot raise level {a.level} -> {level} by dropping")
+        return replace(a, level=level)
+
+    def bootstrap(self, a: NoiseEstimate, level: int, scale: float,
+                  approx_error_bits: float = 5.0) -> NoiseEstimate:
+        """Post-bootstrap noise state at the refreshed (level, scale).
+
+        Bootstrap output error is dominated not by gadget noise but by
+        the EvalMod sine approximation, which is *relative to the
+        message scale*: the refreshed ciphertext carries roughly
+        ``approx_error_bits`` of message precision headroom lost to the
+        polynomial approximation.  The default is deliberately
+        conservative (few bits survive a shallow functional-ring sine);
+        the decrypt-probe calibrator measures the real figure.
+        """
+        approx = scale * self.message_bound * 2.0 ** (-approx_error_bits)
+        pipeline = self.fresh(scale, level).noise \
+            + self.keyswitch_noise(level)
+        return NoiseEstimate(noise=approx + pipeline, scale=scale,
+                             level=level)
 
     def keyswitch_noise(self, level: int) -> float:
         """Gadget noise after ModDown: ~ sqrt(N * alpha) * sigma * q_max/P

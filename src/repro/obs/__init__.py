@@ -21,6 +21,13 @@ The cross-cutting layer every subsystem reports through:
   pairs per plan-cache key: ratio distributions that audit the BTS
   cycle model against real execution, plus a slow-job log that turns
   mispriced admission estimates into a detected condition.
+* :mod:`repro.obs.noise` — the numeric axis: a :class:`NoiseTracker`
+  that scores every plan node with analytic ``noise_bits`` /
+  ``headroom_bits``, and a :class:`PrecisionProbe` decrypt-probe
+  calibrator (estimate vs true error, trusted side only).
+* :mod:`repro.obs.events` — opt-in JSON-lines job journal, one line
+  per job lifecycle transition; ``python -m repro.obs.events``
+  validates a file.
 
 :func:`enable` / :func:`disable` flip the global fast-path switch for
 the gated instruments (default registry + kernel tallies).  Tracers
@@ -31,6 +38,7 @@ get always-on instruments.
 
 from repro.obs import kernel, metrics
 from repro.obs.calibration import CalibrationRecorder, SlowJob
+from repro.obs.events import JobJournal, read_journal, validate_journal
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -39,6 +47,20 @@ from repro.obs.metrics import (
     default_registry,
 )
 from repro.obs.trace import Span, Tracer, validate_chrome_trace
+
+#: noise-tracker exports resolved lazily (PEP 562): repro.obs is
+#: imported from inside the ckks kernels (the gated tallies), while
+#: repro.obs.noise builds on the ckks analytic model — an eager import
+#: here would be circular.
+_LAZY = ("NoiseTracker", "PlanNoiseProfile", "PrecisionProbe")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.obs import noise
+
+        return getattr(noise, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def enable() -> None:
@@ -62,7 +84,11 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JobJournal",
     "MetricsRegistry",
+    "NoiseTracker",
+    "PlanNoiseProfile",
+    "PrecisionProbe",
     "SlowJob",
     "Span",
     "Tracer",
@@ -72,5 +98,7 @@ __all__ = [
     "enabled",
     "kernel",
     "metrics",
+    "read_journal",
+    "validate_journal",
     "validate_chrome_trace",
 ]

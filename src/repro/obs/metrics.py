@@ -46,6 +46,12 @@ def enabled() -> bool:
 DEFAULT_BUCKETS = (1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
                    2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
 
+#: Bucket bounds for *bit-valued* histograms (noise headroom): dense
+#: near zero where jobs are at the precision cliff, coarse above — a
+#: job in the 0/2/4-bit buckets is an alert, one past 64 is idle slack.
+BIT_BUCKETS = (0.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0,
+               64.0, 96.0, 128.0, 192.0, 256.0)
+
 
 def _escape(value: str) -> str:
     return value.replace("\\", r"\\").replace("\n", r"\n") \

@@ -36,6 +36,7 @@ import numpy as np
 from repro.ckks.cipher import Ciphertext
 from repro.ckks.evaluator import SCALE_RTOL, Evaluator, ReduceTerm
 from repro.obs import kernel as _obs_kernel
+from repro.obs.noise import NoiseTracker
 from repro.runtime.ir import OpCode
 from repro.runtime.planner import Plan
 
@@ -92,7 +93,8 @@ def execute(plan: Plan, evaluator: Evaluator,
             seeded_galois: dict[str, tuple[dict[int, Ciphertext],
                                            Ciphertext | None]] | None = None,
             seeded_nodes: dict[int, Ciphertext] | None = None,
-            should_cancel=None, span=None) -> dict[str, Ciphertext]:
+            should_cancel=None, span=None,
+            noise: NoiseTracker | None = None) -> dict[str, Ciphertext]:
     """Run ``plan`` and return the named output ciphertexts.
 
     ``inputs`` maps the program's input names to ciphertexts encrypted
@@ -135,12 +137,19 @@ def execute(plan: Plan, evaluator: Evaluator,
     span additionally carries the NTT-pass / BConv-plane / ModDown
     deltas the node caused on this thread.  With ``span=None`` the
     execution path is byte-identical to an untraced run.
+
+    ``noise`` is an optional :class:`repro.obs.noise.NoiseTracker`;
+    traced runs build one from the evaluator's ring automatically, so
+    every op span also carries ``noise_bits`` / ``headroom_bits`` from
+    the analytic per-node profile.  The tracker is pure float algebra
+    over plan metadata — it never reads ciphertext coefficients, so
+    outputs are byte-identical with or without it.
     """
     values = _run(plan, evaluator, inputs,
                   targets=set(plan.outputs.values()),
                   bootstrapper=bootstrapper, validate=validate,
                   seeded_galois=seeded_galois, seeded_nodes=seeded_nodes,
-                  should_cancel=should_cancel, span=span)
+                  should_cancel=should_cancel, span=span, noise=noise)
     return {name: values[nid] for name, nid in plan.outputs.items()}
 
 
@@ -162,15 +171,22 @@ def execute_subgraph(plan: Plan, evaluator: Evaluator,
     return _run(plan, evaluator, inputs, targets=set(node_ids),
                 bootstrapper=bootstrapper, validate=validate,
                 seeded_galois=None, seeded_nodes=None,
-                should_cancel=should_cancel, span=span)
+                should_cancel=should_cancel, span=span, noise=None)
 
 
 def _run(plan: Plan, evaluator: Evaluator, inputs: dict[str, Ciphertext],
          targets: set[int], bootstrapper, validate, seeded_galois,
-         seeded_nodes, should_cancel, span) -> dict[int, Ciphertext]:
+         seeded_nodes, should_cancel, span, noise
+         ) -> dict[int, Ciphertext]:
     program = plan.program
     seeded_nodes = seeded_nodes or {}
     fusion_root = {f.root: f for f in plan.fusions}
+
+    noise_profile = None
+    if span is not None:
+        if noise is None:
+            noise = NoiseTracker.from_ring(evaluator.ring)
+        noise_profile = noise.profile(plan)
 
     # Reverse liveness sweep: a node executes iff some target needs it
     # and neither a seed nor a fusion provides/absorbs it.  ``order``
@@ -263,6 +279,10 @@ def _run(plan: Plan, evaluator: Evaluator, inputs: dict[str, Ciphertext],
                 tags["fused_terms"] = len(fusion.terms)
             elif op is OpCode.HROT:
                 tags["rotation"] = node.rotation
+            if noise_profile is not None:
+                health = noise_profile.nodes[nid]
+                tags["noise_bits"] = round(health.noise_bits, 2)
+                tags["headroom_bits"] = round(health.headroom_bits, 2)
             node_span = span.child(
                 "rotate_reduce" if fusion is not None else op.value,
                 cat="op", **tags)

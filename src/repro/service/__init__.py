@@ -32,6 +32,7 @@ from repro.service.errors import (
     JobError,
     KeyEvictedError,
     Overloaded,
+    PrecisionAtRisk,
     SchedulerStopped,
     ServiceError,
     TenantError,
@@ -83,6 +84,7 @@ __all__ = [
     "KeyRegistry",
     "ObjectKind",
     "Overloaded",
+    "PrecisionAtRisk",
     "RegistryError",
     "RequestScheduler",
     "SchedulerStopped",

@@ -90,6 +90,42 @@ class SchedulerStopped(ServiceError):
     """Submit rejected because the scheduler is stopped (or stopping)."""
 
 
+class PrecisionAtRisk(Warning):
+    """Non-fatal: a job's terminal noise headroom fell below the floor.
+
+    This is a *warning*, not a failure — the job completed and its
+    outputs are returned, but the analytic noise profile says the
+    result finished within ``headroom_bits`` doublings of the error
+    swallowing the message at the ciphertext's scale.  The scheduler
+    records it on the :class:`~repro.service.scheduler.JobResult` and
+    counts it per tenant in ``health()``; it is the alertable signal
+    that a program/parameter combination is running too close to the
+    precision cliff (the paper's level-budget discussion turned into
+    an operational event).
+    """
+
+    def __init__(self, tenant: str, program: str,
+                 headroom_bits: float, floor_bits: float,
+                 worst_node: int | None = None) -> None:
+        self.tenant = tenant
+        self.program = program
+        self.headroom_bits = float(headroom_bits)
+        self.floor_bits = float(floor_bits)
+        self.worst_node = worst_node
+        super().__init__(
+            f"tenant {tenant!r} program {program!r}: terminal noise "
+            f"headroom {self.headroom_bits:.2f} bits is below the "
+            f"{self.floor_bits:.2f}-bit floor"
+            + (f" (worst at node {worst_node})"
+               if worst_node is not None else ""))
+
+    def as_dict(self) -> dict:
+        return {"tenant": self.tenant, "program": self.program,
+                "headroom_bits": round(self.headroom_bits, 3),
+                "floor_bits": round(self.floor_bits, 3),
+                "worst_node": self.worst_node}
+
+
 class CircuitOpen(TenantError):
     """Tenant shed by its circuit breaker; retry after the cooldown."""
 

@@ -263,6 +263,23 @@ class KeyRegistry:
 
     # ----- introspection -----------------------------------------------------
 
+    def bytes_by_tenant(self) -> dict[str, int]:
+        """Resident key bytes per tenant (galois LRU entries + pinned).
+
+        The memory-accounting feed for the scheduler's
+        ``fhe_registry_bytes{tenant}`` gauge: who is actually holding
+        the byte budget right now.
+        """
+        totals = {tenant: 0 for tenant in self._sessions}
+        for (tenant, _elt), nbytes in self._lru.items():
+            totals[tenant] = totals.get(tenant, 0) + nbytes
+        for tenant, session in self._sessions.items():
+            totals[tenant] += sum(
+                evk_stored_bytes(k) for k in
+                (session.evaluator.relin_key,
+                 session.evaluator.conjugation_key) if k is not None)
+        return totals
+
     def stats(self) -> dict:
         return {
             "tenants": len(self._sessions),
@@ -273,4 +290,5 @@ class KeyRegistry:
             "evictions": self.evictions,
             "dedup_hits": sum(s.dedup_hits
                               for s in self._sessions.values()),
+            "bytes_by_tenant": self.bytes_by_tenant(),
         }

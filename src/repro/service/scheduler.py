@@ -74,7 +74,9 @@ from repro.ckks.params import CkksParams
 from repro.obs import kernel as _obs_kernel
 from repro.obs import metrics as _obs_metrics
 from repro.obs.calibration import CalibrationRecorder
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.events import JobJournal
+from repro.obs.metrics import BIT_BUCKETS, MetricsRegistry
+from repro.obs.noise import NoiseTracker, PlanNoiseProfile
 from repro.obs.trace import Span, Tracer
 from repro.runtime.executor import ExecutionCancelled, execute
 from repro.runtime.ir import OpCode, Program
@@ -86,6 +88,7 @@ from repro.service.errors import (
     CircuitOpen,
     KeyEvictedError,
     Overloaded,
+    PrecisionAtRisk,
     SchedulerStopped,
 )
 from repro.service.faults import FaultKind, FaultPlan, InjectedCrash, \
@@ -151,6 +154,16 @@ class ServiceConfig:
     #: actual/estimate; default is the supervision deadline multiplier —
     #: a job slower than that was one floor away from timing out, which
     #: is exactly "the admission estimate lied"
+    min_headroom_bits: float | None = 8.0  #: numeric-health floor: a
+    #: completed job whose terminal analytic noise headroom falls below
+    #: this many bits carries a non-fatal
+    #: :class:`~repro.service.errors.PrecisionAtRisk` warning (None
+    #: disables the check; headroom is still tracked and exported)
+    noise_message_bound: float = 1.0  #: assumed |message| bound for the
+    #: analytic noise model (tenants encrypting larger messages should
+    #: raise it — under-bounding the message under-counts noise)
+    events: JobJournal | None = None  #: opt-in JSON-lines job journal
+    #: (one line per lifecycle transition; never a liveness dependency)
 
 
 @dataclass
@@ -175,6 +188,10 @@ class JobResult:
     wall_seconds: float
     attempts: int = 1                #: supervised attempts taken
     cse_seeded: bool = False         #: subgraph results arrived pre-computed
+    headroom_bits: float | None = None  #: terminal analytic noise
+    #: headroom (worst output): log2(q_chain/scale) - noise_bits
+    precision_at_risk: PrecisionAtRisk | None = None  #: non-fatal
+    #: warning when headroom fell below ``ServiceConfig.min_headroom_bits``
 
 
 @dataclass
@@ -187,6 +204,8 @@ class TenantHealth:
     jobs_completed: int = 0
     jobs_failed: int = 0
     jobs_rejected: int = 0
+    precision_at_risk: int = 0       #: completed jobs below the floor
+    min_headroom_bits: float | None = None  #: worst terminal headroom seen
 
     def as_dict(self) -> dict:
         return {
@@ -196,6 +215,8 @@ class TenantHealth:
             "jobs_completed": self.jobs_completed,
             "jobs_failed": self.jobs_failed,
             "jobs_rejected": self.jobs_rejected,
+            "precision_at_risk": self.precision_at_risk,
+            "min_headroom_bits": self.min_headroom_bits,
         }
 
 
@@ -218,6 +239,7 @@ class HealthSnapshot:
     counters: dict[str, int]
     plan_cache: dict
     calibration: dict
+    numeric_health: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -231,6 +253,7 @@ class HealthSnapshot:
             "counters": dict(self.counters),
             "plan_cache": dict(self.plan_cache),
             "calibration": dict(self.calibration),
+            "numeric_health": dict(self.numeric_health),
         }
 
 
@@ -293,11 +316,21 @@ class RequestScheduler:
         self.jobs_shed = 0           #: submits shed by open breakers
         self.coalesced_raises = 0
         self.cse_reuses = 0          #: jobs served from a shared subgraph
+        self.precision_at_risk_jobs = 0  #: completed below the floor
         self._backlog_jobs = 0       #: queued + in-flight jobs
         self._backlog_seconds = 0.0  #: their priced accelerator seconds
         # ----- observability ------------------------------------------------
         self.tracer = self.config.tracer
         self.metrics = self.config.metrics or MetricsRegistry()
+        self.events = self.config.events
+        # Noise profiles are pure functions of the plan (input level and
+        # scale are fixed by the planner's meta), so one tracker serves
+        # every tenant and profiles cache by plan-cache key alongside
+        # the admission estimates.
+        self.noise_tracker = NoiseTracker.from_ring(
+            self.ring, message_bound=self.config.noise_message_bound)
+        self._noise_profiles: dict[str, PlanNoiseProfile] = {}
+        self._tenant_min_headroom: dict[str, float] = {}
         slow = self.config.calibration_slow_factor
         if slow is None:
             # A job slower than deadline_multiplier x estimate was one
@@ -337,6 +370,18 @@ class RequestScheduler:
         self._g_supervisor = metrics.gauge(
             "fhe_supervisor_events", "supervisor lifecycle counters",
             ("kind",))
+        self._m_headroom = metrics.histogram(
+            "fhe_noise_headroom_bits",
+            "terminal analytic noise headroom per completed job",
+            ("tenant",), buckets=BIT_BUCKETS)
+        self._g_min_headroom = metrics.gauge(
+            "fhe_noise_min_headroom_bits",
+            "worst terminal headroom seen per tenant", ("tenant",))
+        self._g_registry_bytes = metrics.gauge(
+            "fhe_registry_bytes",
+            "resident evaluation-key bytes per tenant", ("tenant",))
+        self._g_plan_cache_entries = metrics.gauge(
+            "fhe_plan_cache_entries", "plans resident in the cache")
 
     # ----- lifecycle ---------------------------------------------------------
 
@@ -443,6 +488,7 @@ class RequestScheduler:
                 f"{request.tenant}/{request.program.name}", cat="job",
                 tenant=request.tenant, program=request.program.name)
             job.queue_span = job.span.child("queue_wait", cat="sched")
+        self._journal("submitted", job, cost_s=round(cost, 6) or None)
         await self._queue.put(job)
         try:
             return await job.future
@@ -488,8 +534,23 @@ class RequestScheduler:
             if counts is None:
                 counts = self._tenant_counts[tenant] = {
                     "jobs_completed": 0, "jobs_failed": 0,
-                    "jobs_rejected": 0}
+                    "jobs_rejected": 0, "precision_at_risk": 0}
             counts[key] += 1
+
+    def _journal(self, event: str, job: _Job, **fields) -> None:
+        """Emit one job-lifecycle line to the opt-in journal.
+
+        Like coalescing and tracing, the journal is observability, not
+        a liveness dependency: a failing sink must never fail the job.
+        """
+        journal = self.events
+        if journal is None:
+            return
+        try:
+            journal.emit(event, job.request.tenant,
+                         job.request.program.name, **fields)
+        except Exception:  # noqa: S110 - forensics must not kill jobs
+            pass
 
     # ----- dispatch ----------------------------------------------------------
 
@@ -607,6 +668,8 @@ class RequestScheduler:
         self._tenant_bump(job.request.tenant, "jobs_rejected")
         self._m_jobs.inc(tenant=job.request.tenant, outcome="rejected")
         self._breaker(job.request.tenant).record_failure()
+        self._journal("failed", job, outcome="rejected",
+                      error=type(exc).__name__)
         job.future.get_loop().call_soon_threadsafe(
             _fail_future, job.future, exc)
 
@@ -829,6 +892,8 @@ class RequestScheduler:
             self._tenant_bump(tenant, "jobs_failed")
             self._m_jobs.inc(tenant=tenant, outcome="failed")
             self._breaker(tenant).record_failure()
+            self._journal("failed", job, outcome=type(exc).__name__,
+                          attempts=job.attempt_no or None)
             _fail_future(job.future, exc)
             return
         if job.supervise_span is not None:
@@ -839,6 +904,11 @@ class RequestScheduler:
         self._tenant_bump(tenant, "jobs_completed")
         self._m_jobs.inc(tenant=tenant, outcome="completed")
         self._breaker(tenant).record_success()
+        self._journal(
+            "completed", job, outcome="ok", attempts=attempts,
+            headroom_bits=None if result.headroom_bits is None
+            else round(result.headroom_bits, 3),
+            precision_at_risk=True if result.precision_at_risk else None)
         _finish_future(job.future, result)
 
     def _run_attempt(self, job: _Job, cancel: threading.Event
@@ -854,6 +924,8 @@ class RequestScheduler:
         with self._stats_lock:
             job.attempt_no += 1
             attempt_no = job.attempt_no
+        self._journal("started" if attempt_no == 1 else "retried", job,
+                      attempt=attempt_no)
         attempt_span = None
         if job.span is not None:
             attempt_span = (job.supervise_span or job.span).child(
@@ -873,7 +945,8 @@ class RequestScheduler:
                               seeded_galois=job.seeded,
                               seeded_nodes=job.seeded_nodes,
                               should_cancel=cancel.is_set,
-                              span=attempt_span)
+                              span=attempt_span,
+                              noise=self.noise_tracker)
             blobs = {name: wire.serialize_ciphertext(ct, self.ring.params)
                      for name, ct in outputs.items()}
         except Exception as exc:
@@ -883,6 +956,7 @@ class RequestScheduler:
             raise
         wall = time.perf_counter() - t0
         self._m_wall.observe(wall, tenant=tenant)
+        headroom, risk = self._score_numeric_health(job)
         if job.estimate is not None and job.estimate > 0 \
                 and job.cache_key is not None:
             ratio = self.calibration.record(
@@ -891,6 +965,8 @@ class RequestScheduler:
             if attempt_span is not None:
                 attempt_span.annotate(calibration_ratio=round(ratio, 4))
         if attempt_span is not None:
+            if headroom is not None:
+                attempt_span.annotate(headroom_bits=round(headroom, 2))
             attempt_span.end()
         with self._stats_lock:
             session.jobs_run += 1
@@ -902,7 +978,52 @@ class RequestScheduler:
             plan_cache_hit=job.cache_hit,
             coalesced=job.seeded is not None,
             wall_seconds=wall,
-            cse_seeded=job.seeded_nodes is not None)
+            cse_seeded=job.seeded_nodes is not None,
+            headroom_bits=headroom,
+            precision_at_risk=risk)
+
+    def _noise_profile(self, job: _Job) -> PlanNoiseProfile:
+        """Per-node analytic noise profile, cached by plan-cache key.
+
+        Pure function of the plan (the planner's meta fixes every input
+        level and scale), so cache hits cost one dict lookup and a
+        benign double-compute on a cold race is idempotent.
+        """
+        key = job.cache_key
+        if key is None:
+            return self.noise_tracker.profile(job.plan)
+        profile = self._noise_profiles.get(key)
+        if profile is None:
+            profile = self.noise_tracker.profile(job.plan)
+            self._noise_profiles[key] = profile
+        return profile
+
+    def _score_numeric_health(
+            self, job: _Job) -> tuple[float | None,
+                                      PrecisionAtRisk | None]:
+        """Terminal headroom of a completed attempt, plus the warning
+        when it fell below the configured floor."""
+        tenant = job.request.tenant
+        profile = self._noise_profile(job)
+        headroom = profile.terminal_headroom_bits
+        if headroom == float("inf"):  # plan with no outputs
+            return None, None
+        self._m_headroom.observe(headroom, tenant=tenant)
+        with self._stats_lock:
+            prev = self._tenant_min_headroom.get(tenant)
+            if prev is None or headroom < prev:
+                self._tenant_min_headroom[tenant] = headroom
+        risk = None
+        floor = self.config.min_headroom_bits
+        if floor is not None and headroom < floor:
+            worst = min(profile.outputs.values(),
+                        key=lambda rec: rec.headroom_bits)
+            risk = PrecisionAtRisk(
+                tenant, job.request.program.name, headroom, floor,
+                worst_node=worst.node)
+            self._bump("precision_at_risk_jobs")
+            self._tenant_bump(tenant, "precision_at_risk")
+        return headroom, risk
 
     def _inject_worker_faults(self, job: _Job,
                               cancel: threading.Event) -> None:
@@ -941,6 +1062,7 @@ class RequestScheduler:
                 "jobs_shed": self.jobs_shed,
                 "coalesced_raises": self.coalesced_raises,
                 "cse_reuses": self.cse_reuses,
+                "precision_at_risk_jobs": self.precision_at_risk_jobs,
                 "plan_cache": self.plan_cache.stats(),
             }
 
@@ -957,6 +1079,8 @@ class RequestScheduler:
         with self._stats_lock:
             tenant_counts = {tenant: dict(counts) for tenant, counts
                              in self._tenant_counts.items()}
+            tenant_min = dict(self._tenant_min_headroom)
+            at_risk = self.precision_at_risk_jobs
             snapshot = HealthSnapshot(
                 queue_depth=self._queue.qsize()
                 if self._queue is not None else 0,
@@ -972,12 +1096,22 @@ class RequestScheduler:
                     "jobs_overloaded": self.jobs_overloaded,
                     "jobs_shed": self.jobs_shed,
                     "cse_reuses": self.cse_reuses,
+                    "precision_at_risk_jobs": at_risk,
                     "retries": supervisor["retries"],
                     "timeouts": supervisor["timeouts"],
                     "attempts": supervisor["attempts"],
                 },
                 plan_cache=self.plan_cache.stats(),
                 calibration=self.calibration.stats(),
+                numeric_health={
+                    "floor_bits": self.config.min_headroom_bits,
+                    "jobs_at_risk": at_risk,
+                    "min_headroom_bits": min(tenant_min.values())
+                    if tenant_min else None,
+                    "tenants": {tenant: round(value, 3)
+                                for tenant, value
+                                in sorted(tenant_min.items())},
+                },
             )
         for tenant in sorted(set(breaker_snaps) | set(tenant_counts)):
             breaker = breaker_snaps.get(tenant, {})
@@ -989,7 +1123,9 @@ class RequestScheduler:
                 shed=breaker.get("shed", 0),
                 jobs_completed=counts.get("jobs_completed", 0),
                 jobs_failed=counts.get("jobs_failed", 0),
-                jobs_rejected=counts.get("jobs_rejected", 0))
+                jobs_rejected=counts.get("jobs_rejected", 0),
+                precision_at_risk=counts.get("precision_at_risk", 0),
+                min_headroom_bits=tenant_min.get(tenant))
         return snapshot
 
     def render_metrics(self) -> str:
@@ -1005,10 +1141,17 @@ class RequestScheduler:
         with self._stats_lock:
             backlog_jobs = self._backlog_jobs
             backlog_seconds = self._backlog_seconds
+            tenant_min = dict(self._tenant_min_headroom)
         self._g_queue_depth.set(
             self._queue.qsize() if self._queue is not None else 0)
         self._g_backlog_jobs.set(backlog_jobs)
         self._g_backlog_seconds.set(backlog_seconds)
+        for tenant, headroom in tenant_min.items():
+            self._g_min_headroom.set(round(headroom, 3), tenant=tenant)
+        for tenant, nbytes in self.registry.bytes_by_tenant().items():
+            self._g_registry_bytes.set(nbytes, tenant=tenant)
+        self._g_plan_cache_entries.set(
+            self.plan_cache.stats().get("entries", 0))
         state_values = {"closed": 0, "half_open": 1, "open": 2}
         for tenant, breaker in list(self._breakers.items()):
             snap = breaker.snapshot()

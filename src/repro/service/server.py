@@ -119,9 +119,13 @@ class FheServer:
         breaker states plus job counters, plan-cache and calibration
         stats, and retry/timeout/shed counters — everything an operator
         needs to see *how* the server is degrading before it stops
-        serving.  The scheduler side is a typed
-        :class:`~repro.service.scheduler.HealthSnapshot`; this endpoint
-        flattens it to the wire-friendly dict shape."""
+        serving.  The ``numeric_health`` section (see
+        ``service/README.md``, Numeric health) carries the noise axis:
+        the headroom floor, per-tenant worst terminal headroom, and how
+        many completed jobs finished below the floor; ``registry``
+        includes per-tenant resident key bytes.  The scheduler side is
+        a typed :class:`~repro.service.scheduler.HealthSnapshot`; this
+        endpoint flattens it to the wire-friendly dict shape."""
         health = self.scheduler.health().as_dict()
         health["registry"] = self.registry.stats()
         return health

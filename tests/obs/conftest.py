@@ -7,6 +7,28 @@ import pytest
 from repro.service.server import FheServer, TenantClient
 
 
+@pytest.fixture(scope="session")
+def boot_probe_setup():
+    """N=512 bootstrappable ring for decrypt-probe soundness tests."""
+    from repro.ckks.bootstrap import BootstrapConfig, Bootstrapper
+    from repro.ckks.encoder import Encoder
+    from repro.ckks.evaluator import Evaluator
+    from repro.ckks.keys import KeyGenerator
+    from repro.ckks.params import CkksParams, RingContext
+    from repro.ckks.sine import SineConfig
+
+    params = CkksParams.functional(n=1 << 9, l=14, dnum=3, scale_bits=40,
+                                   q0_bits=52, p_bits=52, h=32)
+    ring = RingContext(params)
+    kg = KeyGenerator(ring, seed=11)
+    ev = Evaluator(ring)
+    bs = Bootstrapper(ev, BootstrapConfig(
+        n_slots=4, sine=SineConfig(k_range=12, degree=63,
+                                   double_angles=2)))
+    bs.generate_keys(kg)
+    return ring, kg, ev, bs, Encoder(ring)
+
+
 @pytest.fixture()
 def make_server(small_params, small_ring):
     """Factory for servers sharing the session ring (cheap per-test)."""

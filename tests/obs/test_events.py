@@ -1,0 +1,176 @@
+"""Job-journal tests: emit/read/validate, crash artifacts, CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.events import (
+    JobJournal,
+    main as events_main,
+    read_journal,
+    validate_journal,
+)
+
+
+def fake_clock(start=1000.0, step=0.5):
+    state = {"t": start - step}
+
+    def tick() -> float:
+        state["t"] += step
+        return state["t"]
+
+    return tick
+
+
+class TestJournalWriter:
+    def test_emit_writes_sorted_json_lines(self):
+        sink = io.StringIO()
+        journal = JobJournal(sink, clock=fake_clock())
+        journal.emit("submitted", "alice", "p1", cost_s=0.25)
+        journal.emit("completed", "alice", "p1", outcome="ok")
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 2 and journal.emitted == 2
+        first = json.loads(lines[0])
+        assert first == {"event": "submitted", "tenant": "alice",
+                         "program": "p1", "cost_s": 0.25, "ts": 1000.0}
+        assert list(first) == sorted(first)  # sort_keys on the wire
+
+    def test_unknown_event_raises(self):
+        journal = JobJournal(io.StringIO())
+        with pytest.raises(ValueError, match="unknown journal event"):
+            journal.emit("exploded", "alice", "p1")
+
+    def test_none_fields_dropped(self):
+        sink = io.StringIO()
+        JobJournal(sink, clock=fake_clock()).emit(
+            "started", "alice", "p1", attempt=1, error=None)
+        rec = json.loads(sink.getvalue())
+        assert "error" not in rec and rec["attempt"] == 1
+
+    def test_path_sink_appends_and_closes(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with JobJournal(path, clock=fake_clock()) as journal:
+            journal.emit("submitted", "alice", "p1")
+        with JobJournal(path, clock=fake_clock(2000.0)) as journal:
+            journal.emit("completed", "alice", "p1", outcome="ok")
+        records = read_journal(path)
+        assert [r["event"] for r in records] == ["submitted",
+                                                 "completed"]
+        assert validate_journal(records) == []
+
+    def test_concurrent_emit_yields_intact_lines(self):
+        sink = io.StringIO()
+        journal = JobJournal(sink, clock=fake_clock())
+
+        def work(tenant):
+            for i in range(50):
+                journal.emit("started", tenant, f"p{i}", attempt=1)
+
+        threads = [threading.Thread(target=work, args=(t,))
+                   for t in ("alice", "bob", "carol")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = read_journal(io.StringIO(sink.getvalue()))
+        assert len(records) == 150
+        # ts stamped under the lock: global write order == ts order
+        ts = [r["ts"] for r in records]
+        assert ts == sorted(ts)
+
+
+class TestReader:
+    def test_torn_last_line_dropped(self):
+        text = ('{"event": "submitted", "tenant": "a", "program": "p",'
+                ' "ts": 1.0}\n{"event": "comp')
+        records = read_journal(io.StringIO(text))
+        assert len(records) == 1
+
+    def test_mid_file_corruption_raises(self):
+        lines = ['{"ts": 1.0}', "garbage", '{"ts": 2.0}']
+        with pytest.raises(ValueError, match="corrupt journal line 2"):
+            read_journal(lines)
+
+    def test_blank_lines_skipped(self):
+        records = read_journal(['{"ts": 1.0}', "", '{"ts": 2.0}'])
+        assert len(records) == 2
+
+
+class TestValidator:
+    def good(self):
+        return [
+            {"ts": 1.0, "event": "submitted", "tenant": "a",
+             "program": "p"},
+            {"ts": 2.0, "event": "started", "tenant": "a",
+             "program": "p", "attempt": 1},
+            {"ts": 3.0, "event": "completed", "tenant": "a",
+             "program": "p", "outcome": "ok"},
+        ]
+
+    def test_valid_stream(self):
+        assert validate_journal(self.good()) == []
+
+    def test_missing_fields(self):
+        problems = validate_journal([{"event": "started"}])
+        assert problems and "missing fields" in problems[0]
+
+    def test_unknown_event(self):
+        recs = self.good()
+        recs[1]["event"] = "paused"
+        assert any("unknown event" in p
+                   for p in validate_journal(recs))
+
+    def test_backwards_timestamp_within_stream(self):
+        recs = self.good()
+        recs[2]["ts"] = 0.5
+        assert any("backwards" in p for p in validate_journal(recs))
+
+    def test_interleaved_streams_independent(self):
+        recs = [
+            {"ts": 5.0, "event": "submitted", "tenant": "a",
+             "program": "p"},
+            {"ts": 1.0, "event": "submitted", "tenant": "b",
+             "program": "q"},  # earlier ts, different stream: fine
+            {"ts": 6.0, "event": "completed", "tenant": "a",
+             "program": "p", "outcome": "ok"},
+        ]
+        assert validate_journal(recs) == []
+
+    def test_terminal_without_outcome(self):
+        recs = self.good()
+        del recs[2]["outcome"]
+        assert any("without outcome" in p
+                   for p in validate_journal(recs))
+
+    def test_terminal_without_submitted(self):
+        recs = self.good()[1:]
+        assert any("no submitted" in p for p in validate_journal(recs))
+
+
+class TestCli:
+    def write(self, tmp_path, records):
+        path = tmp_path / "journal.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        return str(path)
+
+    def test_ok(self, tmp_path, capsys):
+        path = self.write(tmp_path, TestValidator().good())
+        assert events_main([path]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OK: 3 records")
+
+    def test_min_records_enforced(self, tmp_path, capsys):
+        path = self.write(tmp_path, TestValidator().good())
+        assert events_main([path, "--min-records", "10"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_invalid_journal_fails(self, tmp_path, capsys):
+        recs = TestValidator().good()
+        del recs[2]["outcome"]
+        path = self.write(tmp_path, recs)
+        assert events_main([path]) == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,362 @@
+"""Noise-budget telemetry: tracker algebra, plan profiles, soundness.
+
+The contract under test is one-sided: the tracker may only *over*-count
+noise.  ``estimated precision <= measured precision`` (equivalently
+``estimated noise >= true decrypted error``) must hold on every
+workload, under both modmath backends, and the pessimism must stay
+bounded — an estimator that always answers "zero bits left" would be
+sound and useless.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ckks.noise import NoiseEstimate, NoiseEstimator
+from repro.obs.noise import NoiseTracker, PrecisionProbe
+from repro.runtime import Program
+from repro.runtime.executor import execute
+from repro.runtime.planner import PlannerConfig, plan_program
+
+SCALE = 2.0 ** 40
+
+#: pessimism ceiling (bits): sound estimates must stay within this many
+#: bits of the measured precision on the shallow test workloads
+MAX_GAP_BITS = 20.0
+
+
+@pytest.fixture()
+def estimator(small_params) -> NoiseEstimator:
+    return NoiseEstimator(small_params)
+
+
+@pytest.fixture()
+def tracker(small_ring) -> NoiseTracker:
+    return NoiseTracker.from_ring(small_ring)
+
+
+def encrypt(small_keys, small_encoder, vec, scale=SCALE):
+    pt = small_encoder.encode(np.asarray(vec, dtype=np.complex128), scale)
+    return small_keys.encrypt_symmetric(pt.poly, scale, len(vec))
+
+
+class TestEstimatorAlgebra:
+    """The per-op extensions added for whole-plan propagation."""
+
+    def test_sub_matches_add(self, estimator):
+        a = estimator.fresh(SCALE)
+        b = estimator.fresh(SCALE, level=3)
+        assert estimator.sub(a, b) == estimator.add(a, b)
+
+    def test_negate_is_identity(self, estimator):
+        a = estimator.fresh(SCALE)
+        assert estimator.negate(a) == a
+
+    def test_add_plain_adds_encoding_rounding(self, estimator):
+        a = estimator.fresh(SCALE)
+        out = estimator.add_plain(a)
+        assert out.noise > a.noise
+        assert out.scale == a.scale and out.level == a.level
+
+    def test_multiply_integer_scales_noise(self, estimator):
+        a = estimator.fresh(SCALE)
+        assert estimator.multiply_integer(a, 8).noise == a.noise * 8
+        # small values floor at 1: an exact product never reduces noise
+        assert estimator.multiply_integer(a, 0).noise == a.noise
+
+    def test_conjugate_matches_rotate(self, estimator):
+        a = estimator.fresh(SCALE)
+        assert estimator.conjugate(a) == estimator.rotate(a)
+
+    def test_rescale_uses_actual_prime(self, estimator, small_ring):
+        a = estimator.fresh(SCALE)
+        prime = small_ring.q_primes[a.level].value
+        nominal = estimator.rescale(a)
+        exact = estimator.rescale(a, prime=prime)
+        assert exact.level == a.level - 1
+        assert exact.scale == pytest.approx(a.scale / prime)
+        assert exact.scale != nominal.scale  # primes are never 2^k
+
+    def test_rescale_at_level_zero_raises(self, estimator):
+        a = NoiseEstimate(noise=1.0, scale=SCALE, level=0)
+        with pytest.raises(ValueError):
+            estimator.rescale(a)
+
+    def test_drop_to_level(self, estimator):
+        a = estimator.fresh(SCALE)
+        out = estimator.drop_to_level(a, 2)
+        assert out.level == 2 and out.noise == a.noise
+        with pytest.raises(ValueError):
+            estimator.drop_to_level(out, 5)
+
+    def test_bootstrap_dominated_by_approx_error(self, estimator):
+        a = NoiseEstimate(noise=1.0, scale=SCALE, level=0)
+        out = estimator.bootstrap(a, level=4, scale=SCALE,
+                                  approx_error_bits=5.0)
+        assert out.level == 4 and out.scale == SCALE
+        # 5 bits of approximation error ~ scale * 2^-5 dominates
+        assert out.precision_bits < 5.01
+        deeper = estimator.bootstrap(a, level=4, scale=SCALE,
+                                     approx_error_bits=10.0)
+        assert deeper.noise < out.noise
+
+
+class TestTracker:
+    def test_q_values_length_validated(self, small_params):
+        with pytest.raises(ValueError, match="entries"):
+            NoiseTracker(small_params, q_values=(2.0 ** 50,))
+
+    def test_nominal_chain_default(self, small_params):
+        tracker = NoiseTracker(small_params)
+        expected = small_params.q0_bits \
+            + small_params.l * small_params.scale_bits
+        assert tracker.log2_q_chain(small_params.l) == \
+            pytest.approx(expected)
+
+    def test_exact_chain_from_ring(self, small_ring, tracker):
+        expected = sum(math.log2(p.value) for p in small_ring.q_primes)
+        assert tracker.log2_q_chain(small_ring.max_level) == \
+            pytest.approx(expected)
+
+    def test_margin_applied_to_scoring(self, small_ring, estimator):
+        plain = NoiseTracker.from_ring(small_ring, margin_bits=0.0)
+        margined = NoiseTracker.from_ring(small_ring, margin_bits=4.0)
+        est = estimator.fresh(SCALE)
+        assert margined.noise_bits(est) == \
+            pytest.approx(plain.noise_bits(est) + 4.0)
+        assert margined.headroom_bits(est) == \
+            pytest.approx(plain.headroom_bits(est) - 4.0)
+
+    def test_headroom_identity(self, tracker, estimator):
+        est = estimator.fresh(SCALE)
+        expected = tracker.log2_q_chain(est.level) \
+            - math.log2(est.scale) - tracker.noise_bits(est)
+        assert tracker.headroom_bits(est) == pytest.approx(expected)
+
+    def test_score_bakes_in_margin(self, tracker, estimator):
+        est = estimator.fresh(SCALE)
+        scored = tracker.score(est)
+        assert math.log2(scored.noise) == \
+            pytest.approx(tracker.noise_bits(est))
+        assert (scored.scale, scored.level) == (est.scale, est.level)
+
+    def test_describe_consistency(self, tracker, estimator):
+        est = estimator.fresh(SCALE)
+        rec = tracker.describe(7, "input", est)
+        assert rec.node == 7 and rec.op == "input"
+        assert rec.noise_bits == pytest.approx(tracker.noise_bits(est))
+        assert rec.precision_bits == \
+            pytest.approx(math.log2(est.scale) - rec.noise_bits)
+        # the reconstructed estimate carries the margined noise
+        est2 = rec.estimate()
+        assert math.log2(est2.noise) == pytest.approx(rec.noise_bits)
+
+
+def stencil_program(n_slots=8, name="stencil"):
+    prog = Program(n_slots=n_slots, name=name)
+    x = prog.input("x")
+    acc = x * 0.5
+    for amount in (1, 2):
+        acc = acc + x.rotate(amount) * 0.25
+    prog.output("out", acc)
+    return prog
+
+
+def square_program(n_slots=8, name="square"):
+    prog = Program(n_slots=n_slots, name=name)
+    x = prog.input("x")
+    y = x * x
+    prog.output("out", y * y)
+    return prog
+
+
+class TestPlanProfile:
+    def test_every_node_scored(self, small_ring):
+        plan = plan_program(stencil_program(),
+                            PlannerConfig.from_ring(small_ring))
+        profile = NoiseTracker.from_ring(small_ring).profile(plan)
+        assert set(profile.nodes) == set(plan.order)
+        assert set(profile.outputs) == set(plan.outputs)
+        assert profile.terminal_headroom_bits >= \
+            profile.min_headroom_bits
+        for rec in profile.nodes.values():
+            assert math.isfinite(rec.headroom_bits)
+
+    def test_noise_grows_along_stencil(self, small_ring):
+        plan = plan_program(stencil_program(),
+                            PlannerConfig.from_ring(small_ring))
+        profile = NoiseTracker.from_ring(small_ring).profile(plan)
+        out = profile.outputs["out"]
+        first = profile.nodes[plan.order[0]]
+        assert out.noise_bits > first.noise_bits
+        assert out.headroom_bits < first.headroom_bits
+
+    def test_pressure_points_list_rescales(self, small_ring):
+        plan = plan_program(square_program(),
+                            PlannerConfig.from_ring(small_ring))
+        profile = NoiseTracker.from_ring(small_ring).profile(plan)
+        points = profile.pressure_points()
+        assert points, "square chain must rescale"
+        assert {p["op"] for p in points} <= {"rescale", "bootstrap"}
+        for point in points:
+            assert point["node"] in profile.nodes
+
+    def test_bootstrap_nodes_profiled(self, small_ring):
+        """A planner-inserted bootstrap resets the tracked state to the
+        refreshed level and shows up as a pressure point."""
+        prog = Program(n_slots=8, name="deep")
+        x = prog.input("x")
+        acc = x
+        for _ in range(7):  # deeper than l=6 allows without refresh
+            acc = acc * acc
+        prog.output("out", acc)
+        plan = plan_program(prog, PlannerConfig.from_ring(
+            small_ring, bootstrap_level=small_ring.max_level - 1))
+        assert plan.inserted_bootstraps > 0
+        profile = NoiseTracker.from_ring(small_ring).profile(plan)
+        boots = [p for p in profile.pressure_points()
+                 if p["op"] == "bootstrap"]
+        assert len(boots) == plan.inserted_bootstraps
+        assert boots[0]["level"] == small_ring.max_level - 1
+
+    def test_sub_neg_conj_branches_profiled(self, small_ring):
+        prog = Program(n_slots=8, name="linear_ops")
+        x = prog.input("x")
+        prog.output("out", -(x - x.rotate(1).conjugate()))
+        plan = plan_program(prog, PlannerConfig.from_ring(small_ring))
+        profile = NoiseTracker.from_ring(small_ring).profile(plan)
+        ops = {rec.op for rec in profile.nodes.values()}
+        assert {"hsub", "neg", "conj"} <= ops
+        # linear ops never drop a level: headroom stays finite and the
+        # output is noisier than the fresh input
+        out = profile.outputs["out"]
+        fresh = profile.nodes[plan.order[0]]
+        assert out.level == fresh.level
+        assert out.noise_bits > fresh.noise_bits
+
+    def test_profile_is_deterministic(self, small_ring):
+        plan = plan_program(stencil_program(),
+                            PlannerConfig.from_ring(small_ring))
+        tracker = NoiseTracker.from_ring(small_ring)
+        a = tracker.profile(plan).as_dict()
+        b = tracker.profile(plan).as_dict()
+        assert a == b
+
+    def test_as_dict_shape(self, small_ring):
+        plan = plan_program(stencil_program(),
+                            PlannerConfig.from_ring(small_ring))
+        payload = NoiseTracker.from_ring(small_ring).profile(
+            plan).as_dict()
+        assert {"min_headroom_bits", "terminal_headroom_bits",
+                "outputs", "pressure_points"} <= set(payload)
+        assert {"node", "op", "level", "scale", "noise_bits",
+                "headroom_bits", "precision_bits"} <= \
+            set(payload["outputs"]["out"])
+
+
+class TestSoundness:
+    """Decrypt-probe: estimate >= measured error, gap bounded, both
+    backends."""
+
+    def probe(self, small_ring, small_keys, small_evaluator):
+        tracker = NoiseTracker.from_ring(small_ring)
+        return tracker, PrecisionProbe(small_evaluator,
+                                       small_keys.secret, tracker)
+
+    def check(self, rec):
+        assert rec.sound, (
+            f"{rec.workload}: estimate claims "
+            f"{rec.estimated_precision_bits:.2f} bits but decrypt "
+            f"measured {rec.measured_precision_bits:.2f}")
+        assert rec.gap_bits < MAX_GAP_BITS, (
+            f"{rec.workload}: {rec.gap_bits:.2f} bits of pessimism")
+
+    def test_fresh(self, each_backend, small_ring, small_keys,
+                   small_encoder, small_evaluator, rng):
+        tracker, probe = self.probe(small_ring, small_keys,
+                                    small_evaluator)
+        vec = rng.normal(size=8) * 0.3
+        ct = encrypt(small_keys, small_encoder, vec)
+        est = tracker.score(tracker.estimator.fresh(SCALE))
+        self.check(probe.record("fresh", ct, vec, est))
+
+    def test_hmult_then_rescale(self, each_backend, small_ring,
+                                small_keys, small_encoder,
+                                small_evaluator, rng):
+        tracker, probe = self.probe(small_ring, small_keys,
+                                    small_evaluator)
+        est = tracker.estimator
+        vec = rng.normal(size=8) * 0.3
+        ct = encrypt(small_keys, small_encoder, vec)
+        prod = small_evaluator.multiply(ct, ct, rescale=False)
+        state = est.multiply(est.fresh(SCALE), est.fresh(SCALE))
+        self.check(probe.record("hmult", prod, vec * vec,
+                                tracker.score(state)))
+        prime = small_ring.q_primes[prod.level].value
+        scaled = small_evaluator.rescale(prod)
+        state = est.rescale(state, prime=prime)
+        self.check(probe.record("rescale", scaled, vec * vec,
+                                tracker.score(state)))
+
+    def test_rotate_and_conjugate(self, each_backend, small_ring,
+                                  small_keys, small_encoder,
+                                  small_evaluator, rng):
+        tracker, probe = self.probe(small_ring, small_keys,
+                                    small_evaluator)
+        est = tracker.estimator
+        vec = rng.normal(size=8) * 0.3
+        ct = encrypt(small_keys, small_encoder, vec)
+        rot = small_evaluator.rotate(ct, 2)
+        state = est.rotate(est.fresh(SCALE))
+        self.check(probe.record("rotate", rot, np.roll(vec, -2),
+                                tracker.score(state)))
+        conj = small_evaluator.conjugate(ct)
+        state = est.conjugate(est.fresh(SCALE))
+        self.check(probe.record("conjugate", conj, vec,
+                                tracker.score(state)))
+
+    def test_planned_stencil_profile(self, each_backend, small_ring,
+                                     small_keys, small_encoder,
+                                     small_evaluator, rng):
+        """Whole-plan propagation: the executor's fused rotate-reduce
+        must stay below the tracker's unfused upper bound."""
+        tracker, probe = self.probe(small_ring, small_keys,
+                                    small_evaluator)
+        plan = plan_program(stencil_program(),
+                            PlannerConfig.from_ring(small_ring))
+        vec = rng.normal(size=8) * 0.3
+        outputs = execute(plan, small_evaluator,
+                          {"x": encrypt(small_keys, small_encoder, vec)})
+        ref = vec * 0.5 + np.roll(vec, -1) * 0.25 \
+            + np.roll(vec, -2) * 0.25
+        profile = tracker.profile(plan)
+        self.check(probe.record("stencil", outputs["out"], ref,
+                                profile.outputs["out"].estimate()))
+        assert probe.all_sound()
+        assert set(probe.summary()) == {"stencil"}
+
+    def test_bootstrap(self, each_backend, boot_probe_setup):
+        """Refreshed ciphertext: the calibrated estimate stays sound."""
+        ring, kg, ev, bs, enc = boot_probe_setup
+        tracker = NoiseTracker.from_ring(ring)
+        probe = PrecisionProbe(ev, kg.secret, tracker)
+        z = np.array([0.3, -0.2, 0.1, 0.4])
+        ct = ev.drop_to_level(
+            kg.encrypt_symmetric(enc.encode(z + 0j, SCALE).poly,
+                                 SCALE, 4), 0)
+        refreshed = bs.bootstrap(ct)
+        est = tracker.estimator
+        state = est.bootstrap(
+            est.drop_to_level(est.fresh(SCALE), 0),
+            refreshed.level, refreshed.scale,
+            approx_error_bits=tracker.bootstrap_error_bits)
+        rec = probe.record("bootstrap", refreshed, z,
+                           tracker.score(state))
+        assert rec.sound, (rec.estimated_precision_bits,
+                           rec.measured_precision_bits)
+        # the default approx_error_bits is deliberately conservative;
+        # allow a wider (but still bounded) pessimism window here
+        assert rec.gap_bits < 16.0

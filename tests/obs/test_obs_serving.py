@@ -24,6 +24,7 @@ from repro.service import (
     FaultSpec,
     HealthSnapshot,
     JobRequest,
+    PrecisionAtRisk,
     ServiceConfig,
     SupervisionConfig,
     TenantHealth,
@@ -141,6 +142,28 @@ class TestTracedServing:
             assert group.args["members"] == 2
             assert group.args["ntt_forward"] > 0
             assert group.args["moddown"] > 0
+
+    def test_every_op_span_scores_numeric_health(self, traced_run):
+        """Each executed op span carries the analytic noise state, and
+        each completed attempt the terminal headroom."""
+        _, tracer, _, results = traced_run
+        attempts = ops = 0
+        for root in [s for s in tracer.roots if s.cat == "job"]:
+            [supervise] = [c for c in root.children
+                           if c.name == "supervise"]
+            for attempt in supervise.children:
+                assert attempt.args["headroom_bits"] > 0
+                attempts += 1
+                for op in [c for c in attempt.children
+                           if c.cat == "op"]:
+                    assert "noise_bits" in op.args
+                    assert "headroom_bits" in op.args
+                    ops += 1
+        assert attempts == len(results) and ops > 0
+        # the span tag agrees with the JobResult the tenant saw
+        for result in results:
+            assert result.headroom_bits is not None
+            assert result.precision_at_risk is None
 
     def test_chrome_export_is_schema_valid(self, traced_run, tmp_path):
         _, tracer, _, _ = traced_run
@@ -282,3 +305,149 @@ class TestDisabledModeIdentity:
         small_ring.batched_ntt(base).forward(matrix)
         assert obs_kernel.delta(before)["ntt_forward"] == len(base)
         obs.disable()
+
+
+class TestNumericHealthServing:
+    """The noise axis through the serving layer: headroom scoring,
+    PrecisionAtRisk surfacing, journal lifecycle, memory gauges."""
+
+    def run_jobs(self, make_server, make_client, config):
+        server = make_server(config)
+        client = make_client("alice", 7)
+        onboard(server, client)
+        blob = client.encrypt_blob(np.linspace(-0.3, 0.3, 8))
+        requests = [JobRequest("alice",
+                               stencil_program(AMOUNTS, f"job{i}"),
+                               {"x": blob}) for i in range(2)]
+        results = serve(server, requests, return_exceptions=False)
+        return server, results
+
+    def test_headroom_scored_without_tracing(self, make_server,
+                                             make_client):
+        """Numeric health is always on — no tracer required."""
+        server, results = self.run_jobs(
+            make_server, make_client,
+            ServiceConfig(workers=1, max_job_seconds=5.0))
+        for result in results:
+            assert result.headroom_bits is not None
+            assert result.headroom_bits > 0
+            assert result.precision_at_risk is None
+        health = server.health()
+        numeric = health["numeric_health"]
+        assert numeric["jobs_at_risk"] == 0
+        assert numeric["min_headroom_bits"] == pytest.approx(
+            min(r.headroom_bits for r in results), abs=1e-2)
+        assert numeric["tenants"]["alice"] > 0
+        assert health["tenants"]["alice"]["precision_at_risk"] == 0
+        assert health["tenants"]["alice"]["min_headroom_bits"] > 0
+        server.shutdown()
+
+    def test_precision_at_risk_surfaces_everywhere(self, make_server,
+                                                   make_client):
+        """A floor above the achievable headroom trips the warning in
+        the JobResult, health(), and the per-tenant counters — and the
+        job still completes (non-fatal)."""
+        server, results = self.run_jobs(
+            make_server, make_client,
+            ServiceConfig(workers=1, max_job_seconds=5.0,
+                          min_headroom_bits=10_000.0))
+        for result in results:
+            risk = result.precision_at_risk
+            assert isinstance(risk, PrecisionAtRisk)
+            assert isinstance(risk, Warning)  # non-fatal by type
+            assert risk.tenant == "alice"
+            assert risk.floor_bits == 10_000.0
+            assert risk.headroom_bits == pytest.approx(
+                result.headroom_bits)
+            payload = risk.as_dict()
+            assert payload["worst_node"] is not None
+            assert "below the" in str(risk)
+            assert result.outputs  # the answer still shipped
+        health = server.health()
+        assert health["numeric_health"]["jobs_at_risk"] == len(results)
+        assert health["counters"]["precision_at_risk_jobs"] \
+            == len(results)
+        assert health["tenants"]["alice"]["precision_at_risk"] \
+            == len(results)
+        server.shutdown()
+
+    def test_floor_none_disables_the_check(self, make_server,
+                                           make_client):
+        server, results = self.run_jobs(
+            make_server, make_client,
+            ServiceConfig(workers=1, max_job_seconds=5.0,
+                          min_headroom_bits=None))
+        assert all(r.precision_at_risk is None for r in results)
+        assert all(r.headroom_bits is not None for r in results)
+        assert server.health()["numeric_health"]["floor_bits"] is None
+        server.shutdown()
+
+    def test_metrics_export_noise_and_memory_instruments(
+            self, make_server, make_client):
+        server, _ = self.run_jobs(
+            make_server, make_client,
+            ServiceConfig(workers=1, max_job_seconds=5.0))
+        text = server.metrics_text()
+        assert 'fhe_noise_headroom_bits_count{tenant="alice"} 2' in text
+        assert 'fhe_noise_min_headroom_bits{tenant="alice"}' in text
+        assert 'fhe_registry_bytes{tenant="alice"}' in text
+        assert "fhe_plan_cache_entries 1" in text
+        # the gauge agrees with the registry's own accounting
+        expected = server.registry.bytes_by_tenant()["alice"]
+        assert f'fhe_registry_bytes{{tenant="alice"}} {expected}' in text
+        assert expected > 0
+        assert server.registry.stats()["bytes_by_tenant"]["alice"] \
+            == expected
+        server.shutdown()
+
+    def test_journal_records_full_lifecycle(self, make_server,
+                                            make_client):
+        import io
+
+        from repro.obs.events import (JobJournal, read_journal,
+                                      validate_journal)
+
+        sink = io.StringIO()
+        journal = JobJournal(sink)
+        server, results = self.run_jobs(
+            make_server, make_client,
+            ServiceConfig(workers=1, max_job_seconds=5.0,
+                          events=journal))
+        records = read_journal(io.StringIO(sink.getvalue()))
+        assert validate_journal(records) == []
+        by_event = {}
+        for rec in records:
+            by_event.setdefault(rec["event"], []).append(rec)
+        assert len(by_event["submitted"]) == len(results)
+        assert len(by_event["started"]) == len(results)
+        assert len(by_event["completed"]) == len(results)
+        for rec in by_event["completed"]:
+            assert rec["outcome"] == "ok"
+            assert rec["headroom_bits"] > 0
+            assert "precision_at_risk" not in rec  # None fields drop
+        server.shutdown()
+
+    def test_journal_records_failures(self, make_server, make_client):
+        import io
+
+        from repro.obs.events import JobJournal, read_journal
+
+        sink = io.StringIO()
+        plan = FaultPlan([FaultSpec(FaultKind.CRASH, tenant="alice",
+                                    program="doomed")], seed=3)
+        server = make_server(ServiceConfig(
+            workers=1, max_job_seconds=5.0, fault_plan=plan,
+            events=JobJournal(sink),
+            supervision=SupervisionConfig(max_retries=0,
+                                          deadline_floor_s=10.0)))
+        client = make_client("alice", 7)
+        onboard(server, client)
+        request = JobRequest("alice", stencil_program((1,), "doomed"),
+                             {"x": client.encrypt_blob(np.ones(8) * 0.1)})
+        [result] = serve(server, [request], return_exceptions=True)
+        assert isinstance(result, Exception)
+        records = read_journal(io.StringIO(sink.getvalue()))
+        failed = [r for r in records if r["event"] == "failed"]
+        assert len(failed) == 1
+        assert failed[0]["outcome"] == "InjectedCrash"
+        server.shutdown()
